@@ -1,0 +1,219 @@
+//! Maximal independent set.
+//!
+//! Input per §4.2: the symmetrized uniform random graph. The Lonestar
+//! algorithm is a greedy MIS — each node joins the set unless a neighbor
+//! already did — which is *non-deterministic*: the resulting set depends on
+//! processing order. The PBBS comparator computes the lexicographically
+//! first MIS deterministically (§4.1 notes it is data-parallel).
+
+use galois_core::{Ctx, Executor, MarkTable, OpResult, RunReport};
+use galois_graph::csr::NodeId;
+use galois_graph::{AtomicArray, CsrGraph};
+use pbbs_det::{speculative_for, SpecForStats, Step};
+
+/// Node states in the `flags` output array.
+pub mod state {
+    /// Not yet decided (only observable mid-run).
+    pub const UNDECIDED: u32 = 0;
+    /// In the independent set.
+    pub const IN: u32 = 1;
+    /// Out of the set (a neighbor is in).
+    pub const OUT: u32 = 2;
+}
+
+/// Sequential greedy MIS in node order — the lexicographically first MIS.
+pub fn seq(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut flags = vec![state::UNDECIDED; n];
+    for v in 0..n {
+        if flags[v] == state::UNDECIDED {
+            flags[v] = state::IN;
+            for &w in g.neighbors(v as NodeId) {
+                flags[w as usize] = state::OUT;
+            }
+        }
+    }
+    // Normalize: nodes never touched are IN-eligible singletons... they were
+    // all visited above, so every node is IN or OUT here.
+    flags
+}
+
+/// The shared Galois operator (greedy MIS; one task per node, no pushes).
+///
+/// Under [`galois_core::Schedule::Speculative`] this is the non-deterministic
+/// Lonestar `mis`; under [`galois_core::Schedule::Deterministic`] (with node
+/// ids as pre-assigned priorities, §3.3) the committed order — and therefore
+/// the set — is deterministic.
+pub fn galois(g: &CsrGraph, exec: &Executor) -> (Vec<u32>, RunReport) {
+    let n = g.num_nodes();
+    let flags = AtomicArray::new_filled(n, state::UNDECIDED);
+    let marks = MarkTable::new(n);
+    let op = |t: &NodeId, ctx: &mut Ctx<'_, NodeId>| -> OpResult {
+        let v = *t;
+        ctx.acquire(v)?;
+        for &w in g.neighbors(v) {
+            ctx.acquire(w)?;
+        }
+        ctx.failsafe()?;
+        let any_in = g
+            .neighbors(v)
+            .iter()
+            .any(|&w| flags.get(w as usize) == state::IN);
+        flags.set(
+            v as usize,
+            if any_in { state::OUT } else { state::IN },
+        );
+        Ok(())
+    };
+    let tasks: Vec<NodeId> = g.nodes().collect();
+    let report = exec.run_with_ids(&marks, tasks, &op, |v| *v as u64, n);
+    (flags.snapshot(), report)
+}
+
+/// Handwritten deterministic MIS (PBBS style): computes the
+/// lexicographically first MIS with deterministic reservations — node `v`
+/// decides once every smaller-id neighbor has decided.
+pub fn pbbs(g: &CsrGraph, threads: usize, record_trace: bool) -> (Vec<u32>, SpecForStats) {
+    let n = g.num_nodes();
+    let flags = AtomicArray::new_filled(n, state::UNDECIDED);
+
+    struct MisStep<'a> {
+        g: &'a CsrGraph,
+        flags: &'a AtomicArray,
+    }
+    impl Step for MisStep<'_> {
+        fn reserve(&self, _i: u64) -> bool {
+            true
+        }
+        fn commit(&self, i: u64) -> bool {
+            let v = i as u32;
+            // Decide when all smaller-id neighbors have decided. Larger
+            // neighbors cannot veto: if one later joins the set it will see
+            // us only if we are OUT... so correctness needs the sequential
+            // rule: v is IN iff no smaller neighbor is IN.
+            let mut in_neighbor = false;
+            for &w in self.g.neighbors(v) {
+                if w < v {
+                    match self.flags.get(w as usize) {
+                        state::UNDECIDED => return false, // retry later
+                        state::IN => in_neighbor = true,
+                        _ => {}
+                    }
+                }
+            }
+            self.flags
+                .set(v as usize, if in_neighbor { state::OUT } else { state::IN });
+            true
+        }
+    }
+
+    let step = MisStep { g, flags: &flags };
+    let stats = speculative_for(&step, 0, n as u64, threads, 25, record_trace);
+    (flags.snapshot(), stats)
+}
+
+/// Verifies independence and maximality.
+pub fn verify(g: &CsrGraph, flags: &[u32]) -> Result<(), String> {
+    for v in g.nodes() {
+        match flags[v as usize] {
+            state::IN => {
+                for &w in g.neighbors(v) {
+                    if flags[w as usize] == state::IN {
+                        return Err(format!("adjacent nodes {v} and {w} both IN"));
+                    }
+                }
+            }
+            state::OUT => {
+                if !g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&w| flags[w as usize] == state::IN)
+                {
+                    return Err(format!("node {v} is OUT with no IN neighbor"));
+                }
+            }
+            other => return Err(format!("node {v} undecided ({other})")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galois_core::Schedule;
+    use galois_graph::gen;
+
+    fn graph() -> CsrGraph {
+        gen::uniform_random_undirected(400, 4, 77)
+    }
+
+    #[test]
+    fn sequential_is_valid_and_lexicographic() {
+        let g = graph();
+        let flags = seq(&g);
+        verify(&g, &flags).unwrap();
+        // Node 0 always joins the lexicographically first MIS.
+        assert_eq!(flags[0], state::IN);
+    }
+
+    #[test]
+    fn speculative_is_valid_any_thread_count() {
+        let g = graph();
+        for threads in [1usize, 4] {
+            let exec = Executor::new().threads(threads).schedule(Schedule::Speculative);
+            let (flags, report) = galois(&g, &exec);
+            verify(&g, &flags).unwrap();
+            assert_eq!(report.stats.committed, 400);
+        }
+    }
+
+    #[test]
+    fn deterministic_is_valid_and_portable() {
+        let g = graph();
+        let mut prev: Option<Vec<u32>> = None;
+        for threads in [1usize, 2, 4] {
+            let exec = Executor::new().threads(threads).schedule(Schedule::deterministic());
+            let (flags, _) = galois(&g, &exec);
+            verify(&g, &flags).unwrap();
+            if let Some(p) = &prev {
+                assert_eq!(&flags, p, "deterministic MIS changed with {threads} threads");
+            }
+            prev = Some(flags);
+        }
+    }
+
+    #[test]
+    fn pbbs_matches_sequential_lexicographic_mis() {
+        let g = graph();
+        let expect = seq(&g);
+        for threads in [1usize, 3] {
+            let (flags, stats) = pbbs(&g, threads, false);
+            assert_eq!(flags, expect, "threads={threads}");
+            assert_eq!(stats.committed, 400);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g = CsrGraph::from_edges(1, &[]);
+        let (flags, _) = pbbs(&g, 2, false);
+        assert_eq!(flags, vec![state::IN]);
+        let exec = Executor::new().schedule(Schedule::deterministic());
+        let (flags, _) = galois(&g, &exec);
+        assert_eq!(flags, vec![state::IN]);
+    }
+
+    #[test]
+    fn path_graph_alternates() {
+        // 0-1-2-3-4 path: lexicographic MIS = {0, 2, 4}.
+        let g = CsrGraph::symmetrized(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let flags = seq(&g);
+        assert_eq!(
+            flags,
+            vec![state::IN, state::OUT, state::IN, state::OUT, state::IN]
+        );
+        let (pbbs_flags, _) = pbbs(&g, 2, false);
+        assert_eq!(pbbs_flags, flags);
+    }
+}

@@ -1,0 +1,214 @@
+//! Maximal matching (extension).
+//!
+//! The paper's benchmark selection excludes maximal matching "because of its
+//! similarity to maximal independent set" (§4.1); it is included here as an
+//! extension exercising a different conflict shape: a task locks an *edge's
+//! two endpoints*, so conflicts follow the line graph rather than the vertex
+//! neighborhood.
+//!
+//! - **seq**: greedy matching in edge order (the lexicographically first
+//!   maximal matching).
+//! - **g-n / g-d**: one Galois operator over edges; endpoints are the
+//!   neighborhood.
+//! - **pbbs**: deterministic reservations over edges with edge-index
+//!   priorities — exactly the sequential greedy outcome, in parallel.
+
+use galois_core::{Ctx, Executor, MarkTable, OpResult, RunReport};
+use galois_graph::csr::NodeId;
+use galois_graph::{AtomicArray, CsrGraph};
+use pbbs_det::{speculative_for, SpecForStats, Step};
+
+/// Sentinel for "unmatched".
+pub const UNMATCHED: u32 = u32::MAX;
+
+/// Collects each undirected edge once (u < v), in deterministic order.
+pub fn edge_list(g: &CsrGraph) -> Vec<(NodeId, NodeId)> {
+    let mut edges = Vec::new();
+    for u in g.nodes() {
+        for &v in g.neighbors(u) {
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+/// Sequential greedy matching in edge order. Returns `mate[v]`.
+pub fn seq(g: &CsrGraph) -> Vec<u32> {
+    let mut mate = vec![UNMATCHED; g.num_nodes()];
+    for (u, v) in edge_list(g) {
+        if mate[u as usize] == UNMATCHED && mate[v as usize] == UNMATCHED {
+            mate[u as usize] = v;
+            mate[v as usize] = u;
+        }
+    }
+    mate
+}
+
+/// The shared Galois operator: task = edge, neighborhood = its endpoints.
+pub fn galois(g: &CsrGraph, exec: &Executor) -> (Vec<u32>, RunReport) {
+    let mate = AtomicArray::new_filled(g.num_nodes(), UNMATCHED);
+    let marks = MarkTable::new(g.num_nodes());
+    let edges = edge_list(g);
+    let op = |t: &(NodeId, NodeId), ctx: &mut Ctx<'_, (NodeId, NodeId)>| -> OpResult {
+        let (u, v) = *t;
+        ctx.acquire(u)?;
+        ctx.acquire(v)?;
+        ctx.failsafe()?;
+        if mate.get(u as usize) == UNMATCHED && mate.get(v as usize) == UNMATCHED {
+            mate.set(u as usize, v);
+            mate.set(v as usize, u);
+        }
+        Ok(())
+    };
+    let report = exec.run(&marks, edges, &op);
+    (mate.snapshot(), report)
+}
+
+/// Handwritten deterministic matching (PBBS style): edges reserve both
+/// endpoints with their edge index; winners match, losers whose endpoints
+/// are both still free retry.
+pub fn pbbs(g: &CsrGraph, threads: usize, record_trace: bool) -> (Vec<u32>, SpecForStats) {
+    let mate = AtomicArray::new_filled(g.num_nodes(), UNMATCHED);
+    let reservations = pbbs_det::Reservations::new(g.num_nodes());
+    let edges = edge_list(g);
+
+    struct MatchStep<'a> {
+        edges: &'a [(NodeId, NodeId)],
+        mate: &'a AtomicArray,
+        r: &'a pbbs_det::Reservations,
+    }
+    impl Step for MatchStep<'_> {
+        fn reserve(&self, i: u64) -> bool {
+            let (u, v) = self.edges[i as usize];
+            if self.mate.get(u as usize) != UNMATCHED || self.mate.get(v as usize) != UNMATCHED {
+                return false; // an endpoint is already matched: drop
+            }
+            self.r.reserve(u as usize, i);
+            self.r.reserve(v as usize, i);
+            true
+        }
+        fn commit(&self, i: u64) -> bool {
+            let (u, v) = self.edges[i as usize];
+            let won_u = self.r.check(u as usize, i);
+            let won_v = self.r.check(v as usize, i);
+            if won_u && won_v {
+                self.mate.set(u as usize, v);
+                self.mate.set(v as usize, u);
+            }
+            // Free whatever we hold; losers retry next round (unless an
+            // endpoint got matched, which reserve() detects).
+            self.r.check_reset(u as usize, i);
+            self.r.check_reset(v as usize, i);
+            won_u && won_v || {
+                // Retry only if both endpoints are still free.
+                self.mate.get(u as usize) != UNMATCHED || self.mate.get(v as usize) != UNMATCHED
+            }
+        }
+    }
+
+    let step = MatchStep {
+        edges: &edges,
+        mate: &mate,
+        r: &reservations,
+    };
+    let stats = speculative_for(&step, 0, edges.len() as u64, threads, 25, record_trace);
+    (mate.snapshot(), stats)
+}
+
+/// Verifies the matching is valid (symmetric, edges exist) and maximal
+/// (no edge joins two unmatched nodes).
+pub fn verify(g: &CsrGraph, mate: &[u32]) -> Result<(), String> {
+    for v in g.nodes() {
+        let m = mate[v as usize];
+        if m != UNMATCHED {
+            if m as usize >= mate.len() {
+                return Err(format!("mate[{v}] = {m} out of range"));
+            }
+            if mate[m as usize] != v {
+                return Err(format!("matching not symmetric at {v} <-> {m}"));
+            }
+            if !g.neighbors(v).contains(&m) {
+                return Err(format!("matched pair ({v},{m}) is not an edge"));
+            }
+        }
+    }
+    for (u, v) in edge_list(g) {
+        if mate[u as usize] == UNMATCHED && mate[v as usize] == UNMATCHED {
+            return Err(format!("edge ({u},{v}) joins two unmatched nodes"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galois_core::Schedule;
+    use galois_graph::gen;
+
+    fn graph() -> CsrGraph {
+        gen::uniform_random_undirected(500, 4, 91)
+    }
+
+    #[test]
+    fn sequential_greedy_is_valid() {
+        let g = graph();
+        verify(&g, &seq(&g)).unwrap();
+    }
+
+    #[test]
+    fn speculative_valid_any_threads() {
+        let g = graph();
+        for threads in [1usize, 4] {
+            let exec = Executor::new().threads(threads).schedule(Schedule::Speculative);
+            let (mate, report) = galois(&g, &exec);
+            verify(&g, &mate).unwrap();
+            assert_eq!(report.stats.committed as usize, edge_list(&g).len());
+        }
+    }
+
+    #[test]
+    fn deterministic_portable() {
+        let g = graph();
+        let mut prev: Option<Vec<u32>> = None;
+        for threads in [1usize, 2, 4] {
+            let exec = Executor::new().threads(threads).schedule(Schedule::deterministic());
+            let (mate, _) = galois(&g, &exec);
+            verify(&g, &mate).unwrap();
+            if let Some(p) = &prev {
+                assert_eq!(&mate, p, "matching changed at {threads} threads");
+            }
+            prev = Some(mate);
+        }
+    }
+
+    #[test]
+    fn pbbs_matches_sequential_greedy() {
+        let g = graph();
+        let expect = seq(&g);
+        for threads in [1usize, 3] {
+            let (mate, _) = pbbs(&g, threads, false);
+            assert_eq!(mate, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn path_graph_matches_alternating() {
+        // 0-1-2-3: greedy matches (0,1) and (2,3).
+        let g = CsrGraph::symmetrized(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mate = seq(&g);
+        assert_eq!(mate, vec![1, 0, 3, 2]);
+        let (p, _) = pbbs(&g, 2, false);
+        assert_eq!(p, mate);
+    }
+
+    #[test]
+    fn triangle_leaves_one_unmatched() {
+        let g = CsrGraph::symmetrized(3, &[(0, 1), (1, 2), (0, 2)]);
+        let mate = seq(&g);
+        assert_eq!(mate, vec![1, 0, UNMATCHED]);
+        verify(&g, &mate).unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 7: speedup of g-n, g-d and PBBS over the best sequential
+//! baseline, across thread counts and machines.
+//!
+//! Paper result (§5.3): g-n is the best variant overall (median 2.4× over
+//! PBBS at max threads), with ≥15× speedup on m4x10 for four of five apps;
+//! deterministic variants scale substantially worse; numa8x4 shows a cliff
+//! past 8 threads. Speedups here come from one-thread traces replayed
+//! through the virtual-time machine model (DESIGN.md, substitution 1).
+
+use galois_bench::sweep::{run_sweep, thread_points};
+use galois_bench::tables::{f, Table};
+use galois_bench::{App, Variant};
+use galois_runtime::simtime::MachineProfile;
+
+fn main() {
+    let scale = galois_bench::scale();
+    println!("== Figure 7: speedup vs best sequential baseline (scale {scale}) ==\n");
+    let data = run_sweep(scale, false);
+    for machine in &MachineProfile::ALL {
+        println!("-- machine {} --", machine.name);
+        let pts = thread_points(machine);
+        let mut header: Vec<String> = vec!["app".into(), "variant".into()];
+        header.extend(pts.iter().map(|p| format!("p={p}")));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(&header_refs);
+        for app in App::ALL {
+            for &variant in app.variants() {
+                if variant == Variant::Seq {
+                    continue;
+                }
+                let mut row = vec![app.name().to_string(), variant.to_string()];
+                for &p in &pts {
+                    let s = data
+                        .speedup((app, variant, machine.name, p))
+                        .map(f)
+                        .unwrap_or_else(|| "-".into());
+                    row.push(s);
+                }
+                table.row(row);
+            }
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "expected shape: g-n scales best (near-linear until the NUMA cliff on\n\
+         numa8x4); g-d and pbbs flatten as rounds and barriers dominate"
+    );
+}

@@ -1,0 +1,125 @@
+//! Plain-text table rendering for the figure harnesses.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<w$}  ", c, w = width[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Median of a sample (NaNs excluded).
+pub fn median(values: &[f64]) -> f64 {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["app", "value"]);
+        t.row(vec!["bfs".into(), "1.23".into()]);
+        t.row(vec!["dmr-long-name".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("app"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn median_cases() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert!(median(&[]).is_nan());
+        assert_eq!(median(&[f64::NAN, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.6234), "0.6234");
+        assert_eq!(f(2.4), "2.40");
+        assert_eq!(f(250.0), "250");
+    }
+}

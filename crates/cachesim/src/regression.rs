@@ -1,0 +1,91 @@
+//! Simple linear regression, for the Figure 12 model fit.
+//!
+//! The paper fits `eff_var = B0 + B1 · (PC_ref / PC_var) · eff_ref` and
+//! reports how well the observed efficiencies match a linear function of the
+//! performance-counter ratio. [`fit`] returns the least-squares coefficients
+//! and R².
+
+/// Result of a least-squares line fit `y ≈ b0 + b1·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// Intercept.
+    pub b0: f64,
+    /// Slope.
+    pub b1: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Fits `y ≈ b0 + b1·x` by ordinary least squares.
+///
+/// Returns `None` when fewer than two points are given or `x` has no
+/// variance.
+pub fn fit(xs: &[f64], ys: &[f64]) -> Option<Fit> {
+    assert_eq!(xs.len(), ys.len(), "paired samples required");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let b1 = sxy / sxx;
+    let b0 = my - b1 * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (b0 + b1 * x);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(Fit { b0, b1, r2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_has_r2_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let f = fit(&xs, &ys).unwrap();
+        assert!((f.b0 - 3.0).abs() < 1e-12);
+        assert!((f.b1 - 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_reduces_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
+        let f = fit(&xs, &ys).unwrap();
+        assert!(f.r2 < 1.0);
+        assert!(f.r2 > 0.8, "still broadly linear: {}", f.r2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(fit(&[], &[]).is_none());
+        assert!(fit(&[1.0], &[2.0]).is_none());
+        assert!(fit(&[2.0, 2.0], &[1.0, 3.0]).is_none(), "no x variance");
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn mismatched_lengths_panic() {
+        let _ = fit(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the cache model.
+
+use cache_sim::{Cache, CacheConfig, Hierarchy, HierarchyConfig};
+use proptest::prelude::*;
+
+fn tiny_config() -> CacheConfig {
+    CacheConfig {
+        sets: 4,
+        ways: 2,
+        line_bytes: 64,
+    }
+}
+
+proptest! {
+    /// Hits + misses always equals accesses; replay is deterministic.
+    #[test]
+    fn conservation_and_determinism(addrs in proptest::collection::vec(0u64..4096, 1..300)) {
+        let run = || {
+            let mut c = Cache::new(tiny_config());
+            for &a in &addrs {
+                c.access(a * 8);
+            }
+            (c.hits(), c.misses())
+        };
+        let (h, m) = run();
+        prop_assert_eq!(h + m, addrs.len() as u64);
+        prop_assert_eq!(run(), (h, m));
+    }
+
+    /// LRU inclusion-ish monotonicity: a strictly larger (same-geometry-
+    /// family) cache never has more misses on the same trace.
+    #[test]
+    fn bigger_cache_never_misses_more(addrs in proptest::collection::vec(0u64..8192, 1..400)) {
+        let misses = |ways: usize| {
+            let mut c = Cache::new(CacheConfig { sets: 4, ways, line_bytes: 64 });
+            for &a in &addrs {
+                c.access(a * 4);
+            }
+            c.misses()
+        };
+        // With LRU and identical set indexing, adding ways is inclusion-
+        // preserving, so misses are monotone non-increasing.
+        prop_assert!(misses(4) <= misses(2));
+        prop_assert!(misses(8) <= misses(4));
+    }
+
+    /// An immediately repeated access always hits.
+    #[test]
+    fn repeat_access_hits(addrs in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut c = Cache::new(tiny_config());
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.access(a), "second touch of {a} must hit");
+        }
+    }
+
+    /// Hierarchy counters are conserved across levels.
+    #[test]
+    fn hierarchy_conservation(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(0u32..512, 0..150),
+            1..4,
+        ),
+    ) {
+        let mut h = Hierarchy::new(streams.len(), HierarchyConfig {
+            l1: tiny_config(),
+            l2: CacheConfig { sets: 8, ways: 2, line_bytes: 64 },
+            l3: CacheConfig { sets: 16, ways: 4, line_bytes: 64 },
+        });
+        let stats = h.replay(&streams);
+        let total: usize = streams.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(stats.accesses, total as u64);
+        prop_assert_eq!(
+            stats.l1_hits + stats.l2_hits + stats.l3_hits + stats.dram,
+            stats.accesses
+        );
+    }
+}
+
+#[test]
+fn dram_rate_bounds() {
+    let mut h = Hierarchy::new(1, HierarchyConfig::default());
+    let s = h.replay(&[vec![1, 2, 3, 1, 2, 3]]);
+    let r = s.dram_rate();
+    assert!((0.0..=1.0).contains(&r));
+}

@@ -1,0 +1,813 @@
+//! The deterministic DIG scheduler (Figures 2–3).
+//!
+//! Tasks execute in bulk-synchronous **rounds**. Each round:
+//!
+//! 1. **prepare** (one thread): carve a window-sized prefix `cur` off the
+//!    deterministically ordered pending sequence; adapt the window from the
+//!    previous round's commit ratio.
+//! 2. **inspect** (all threads): run each task in `cur` up to its failsafe
+//!    point, marking its neighborhood with `writeMarkMax`. The cumulative
+//!    marks implicitly build the round's interference graph; abort flags
+//!    record which tasks lost an edge to a higher id.
+//! 3. **commit** (all threads): tasks whose flag is clear form the unique
+//!    deterministic independent set; they re-execute (or resume from their
+//!    checkpointed continuation) and commit. Each worker keys its committed
+//!    tasks' children with `(parent, rank)` and collects children and failed
+//!    tasks into per-thread buffers over a *contiguous* slot range, so
+//!    concatenating the buffers in thread order reproduces slot order — the
+//!    leader's stitch is O(threads) bookkeeping plus buffer moves, never a
+//!    per-task scan.
+//!
+//! Passes (Figure 2's outer loop) drain the pending sequence; created tasks
+//! accumulate in `todo` and become the next pass after deterministic id
+//! assignment. Every structure that influences the schedule — window sizes,
+//! ids, independent sets — is a pure function of committed-task history, so
+//! the schedule is identical for every thread count (**portability**).
+
+use crate::ctx::{Abort, Access, Ctx, Mode};
+use crate::executor::{DetOptions, Executor, RunReport};
+use crate::flags::AbortFlags;
+use crate::marks::{LockId, MarkTable};
+use crate::ops::Operator;
+use crate::task::{assign_ids, spread_for_locality, PendingItem, WorkItem};
+use crate::window::AdaptiveWindow;
+use galois_runtime::pool::{chunk_range, run_on_threads};
+use galois_runtime::simtime::{ExecTrace, PhaseTrace, RoundTrace};
+use galois_runtime::stats::{ExecStats, ThreadStats};
+use galois_runtime::SenseBarrier;
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-task round state. Slots are claimed by at most one thread per phase
+/// and recycled across rounds (their vectors keep their capacity), so
+/// scheduling does no per-round allocator traffic.
+struct Slot<T> {
+    item: Option<WorkItem<T>>,
+    neighborhood: Vec<LockId>,
+    stash: Option<Box<dyn Any + Send>>,
+    pushes: Vec<T>,
+    /// Created tasks with their deterministic `(parent, rank)` keys,
+    /// converted by the committing worker.
+    pending_out: Vec<PendingItem<T>>,
+    committed: bool,
+}
+
+impl<T> Slot<T> {
+    fn empty() -> Self {
+        Slot {
+            item: None,
+            neighborhood: Vec::new(),
+            stash: None,
+            pushes: Vec::new(),
+            pending_out: Vec::new(),
+            committed: false,
+        }
+    }
+
+    fn item(&self) -> &WorkItem<T> {
+        self.item.as_ref().expect("slot carries a task during rounds")
+    }
+}
+
+/// Per-thread round outputs, written by exactly one worker per round and
+/// read by the leader between barriers.
+struct ThreadOut<T> {
+    /// Children of this thread's committed slots, `(parent, rank)` keyed,
+    /// in slot order.
+    todo: Vec<PendingItem<T>>,
+    /// Failed tasks from this thread's slot range, in slot order.
+    failed: Vec<WorkItem<T>>,
+    /// Commits in this thread's range.
+    committed: u64,
+    /// Inspect-phase timing aggregate (when tracing).
+    inspect: PhaseTrace,
+    /// Commit-phase timing aggregate (when tracing).
+    commit: PhaseTrace,
+}
+
+impl<T> ThreadOut<T> {
+    fn new() -> Self {
+        ThreadOut {
+            todo: Vec::new(),
+            failed: Vec::new(),
+            committed: 0,
+            inspect: PhaseTrace::default(),
+            commit: PhaseTrace::default(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.todo.clear();
+        self.failed.clear();
+        self.committed = 0;
+        self.inspect = PhaseTrace::default();
+        self.commit = PhaseTrace::default();
+    }
+}
+
+/// Round state shared between the preparing leader and the phase workers.
+///
+/// The leader mutates `cur`, `flags` and drains `outs` strictly between the
+/// commit barrier and the prepare barrier; workers access `cur` slots
+/// disjointly (dynamic claim chunks during inspect, static contiguous ranges
+/// during commit) and only their own `outs[tid]`. The barriers'
+/// acquire/release chains order all of it.
+struct RoundState<T> {
+    cur: UnsafeCell<Vec<Slot<T>>>,
+    flags: UnsafeCell<Option<AbortFlags>>,
+    outs: Vec<UnsafeCell<ThreadOut<T>>>,
+    claim_inspect: AtomicUsize,
+    done: AtomicBool,
+}
+
+// SAFETY: see the struct docs; all concurrent access is phase-separated by
+// barriers, and within a phase slot indexes / out-buffers are exclusive.
+unsafe impl<T: Send> Sync for RoundState<T> {}
+
+/// Leader-only bookkeeping across rounds and passes.
+struct LeaderState<T> {
+    pending: VecDeque<WorkItem<T>>,
+    todo: Vec<PendingItem<T>>,
+    window: AdaptiveWindow,
+    rounds: u64,
+    round_traces: Vec<RoundTrace>,
+    started: bool,
+    /// Recycled slots (retaining vector capacities).
+    spare: Vec<Slot<T>>,
+}
+
+/// Pre-assigned id source: the id function and the id space bound (§3.3).
+pub(crate) type Preassigned<'a, T> = Option<(&'a (dyn Fn(&T) -> u64 + Sync), usize)>;
+
+pub(crate) fn run<T, O>(
+    cfg: &Executor,
+    opts: &DetOptions,
+    marks: &MarkTable,
+    tasks: Vec<T>,
+    op: &O,
+    preassigned: Preassigned<'_, T>,
+) -> RunReport
+where
+    T: Send,
+    O: Operator<T>,
+{
+    let threads = cfg.threads;
+    let start = Instant::now();
+
+    // Initial pass: ids in iteration order (§3.2), or pre-assigned (§3.3).
+    let initial: Vec<WorkItem<T>> = match &preassigned {
+        None => tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| WorkItem { task: t, id: i as u64 })
+            .collect(),
+        Some((id_of, id_space)) => {
+            let mut v: Vec<WorkItem<T>> = tasks
+                .into_iter()
+                .map(|t| {
+                    let id = id_of(&t);
+                    assert!(
+                        (id as usize) < *id_space,
+                        "pre-assigned id {id} outside id space {id_space}"
+                    );
+                    WorkItem { task: t, id }
+                })
+                .collect();
+            galois_runtime::sort::parallel_sort_by_key(&mut v, threads, |w| w.id);
+            v.dedup_by(|a, b| a.id == b.id);
+            v
+        }
+    };
+    let flag_space_of = |pass_size: usize| match &preassigned {
+        None => pass_size,
+        // Created tasks are renumbered densely (see `run_with_ids` docs), so
+        // a pass of created tasks can exceed the initial id space; size the
+        // flags for whichever is larger.
+        Some((_, id_space)) => (*id_space).max(pass_size),
+    };
+
+    let state: RoundState<T> = RoundState {
+        cur: UnsafeCell::new(Vec::new()),
+        flags: UnsafeCell::new(None),
+        outs: (0..threads).map(|_| UnsafeCell::new(ThreadOut::new())).collect(),
+        claim_inspect: AtomicUsize::new(0),
+        done: AtomicBool::new(false),
+    };
+    let barrier = SenseBarrier::new(threads);
+    let initial_cell: Mutex<Option<Vec<WorkItem<T>>>> = Mutex::new(Some(initial));
+    let collected: Mutex<Vec<(ThreadStats, Vec<Access>)>> = Mutex::new(Vec::new());
+    let leader_out: Mutex<Option<(u64, Vec<RoundTrace>)>> = Mutex::new(None);
+
+    run_on_threads(threads, |tid| {
+        let mut stats = ThreadStats::default();
+        let mut accesses: Vec<Access> = Vec::new();
+        let mut leader: Option<LeaderState<T>> = (tid == 0).then(|| LeaderState {
+            pending: VecDeque::new(),
+            todo: Vec::new(),
+            window: AdaptiveWindow::for_pass(opts.window, 0),
+            rounds: 0,
+            round_traces: Vec::new(),
+            started: false,
+            spare: Vec::new(),
+        });
+        if let Some(leader) = leader.as_mut() {
+            let initial = initial_cell.lock().unwrap().take().expect("single leader");
+            leader.pending = spread_for_locality(initial, opts.locality_spread).into();
+        }
+
+        loop {
+            if let Some(leader) = leader.as_mut() {
+                let t0 = cfg.record_trace.then(Instant::now);
+                let sort_ns = prepare_round(leader, &state, opts, cfg, threads, flag_space_of);
+                if let (Some(t0), Some(last)) = (t0, leader.round_traces.last_mut()) {
+                    // The merge/carve work belongs to the round it closed;
+                    // the pass-boundary sort is parallelizable scheduler work.
+                    let total = t0.elapsed().as_nanos() as f64;
+                    last.serial_ns += (total - sort_ns).max(0.0);
+                    last.sched_par_ns += sort_ns;
+                }
+            }
+            barrier.wait();
+            if state.done.load(Ordering::Acquire) {
+                break;
+            }
+            // SAFETY: the leader finished mutating `cur`/`flags` before the
+            // barrier; both are read-only (at the Vec level) until the next
+            // prepare. Slot and out-buffer access is phase-exclusive.
+            let (slots, flags) = unsafe {
+                let cur: &Vec<Slot<T>> = &*state.cur.get();
+                let flags: &AbortFlags = (*state.flags.get()).as_ref().expect("flags set");
+                (cur.as_ptr() as *mut Slot<T>, flags)
+            };
+            let n = unsafe { (*state.cur.get()).len() };
+            // SAFETY: outs[tid] is exclusively this worker's between barriers.
+            let out = unsafe { &mut *state.outs[tid].get() };
+            out.reset();
+
+            // Inspect phase: dynamic chunked claims (load balance); timing
+            // amortized per chunk so tiny tasks are not inflated by timers.
+            const CLAIM_CHUNK: usize = 8;
+            loop {
+                let i0 = state.claim_inspect.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                if i0 >= n {
+                    break;
+                }
+                let hi = (i0 + CLAIM_CHUNK).min(n);
+                let t0 = cfg.record_trace.then(Instant::now);
+                for i in i0..hi {
+                    // SAFETY: index range claimed exclusively above.
+                    let slot = unsafe { &mut *slots.add(i) };
+                    inspect_slot(slot, marks, flags, opts, cfg, tid, &mut stats, &mut accesses, op);
+                }
+                if let Some(t0) = t0 {
+                    out.inspect
+                        .add_block(t0.elapsed().as_nanos() as f64, (hi - i0) as u64);
+                }
+            }
+            barrier.wait();
+
+            // Select-and-execute phase: static contiguous ranges, so each
+            // thread's outputs concatenate to slot order.
+            let range = chunk_range(n, threads, tid);
+            let mut block_start = range.start;
+            while block_start < range.end {
+                let block_end = (block_start + 64).min(range.end);
+                let t0 = cfg.record_trace.then(Instant::now);
+                let mut block_committed = 0u64;
+                for i in block_start..block_end {
+                    // SAFETY: static ranges are disjoint across threads.
+                    let slot = unsafe { &mut *slots.add(i) };
+                    commit_slot(slot, marks, flags, cfg, tid, &mut stats, &mut accesses, op);
+                    if slot.committed {
+                        block_committed += 1;
+                        out.todo.append(&mut slot.pending_out);
+                        slot.item = None;
+                    } else {
+                        out.failed.push(slot.item.take().expect("slot had a task"));
+                    }
+                }
+                out.committed += block_committed;
+                if let Some(t0) = t0 {
+                    // Count only commits; abort-check time still lands in
+                    // the phase total (it is real commit-phase work).
+                    out.commit
+                        .add_block(t0.elapsed().as_nanos() as f64, block_committed);
+                }
+                block_start = block_end;
+            }
+            barrier.wait();
+        }
+
+        if let Some(leader) = leader {
+            *leader_out.lock().unwrap() = Some((leader.rounds, leader.round_traces));
+        }
+        collected.lock().unwrap().push((stats, accesses));
+    });
+
+    let elapsed = start.elapsed();
+    let per_thread = collected.into_inner().unwrap();
+    let mut agg = ExecStats::from_threads(per_thread.iter().map(|(s, _)| s));
+    let (rounds, round_traces) = leader_out.into_inner().unwrap().expect("leader ran");
+    agg.rounds = rounds;
+    agg.elapsed = elapsed;
+    agg.threads = threads;
+
+    debug_assert!(marks.all_unowned(), "deterministic run must release all marks");
+    RunReport {
+        stats: agg,
+        trace: cfg.record_trace.then_some(ExecTrace::Rounds(round_traces)),
+        accesses: cfg
+            .record_access
+            .then(|| per_thread.into_iter().map(|(_, a)| a).collect()),
+    }
+}
+
+/// Leader work between rounds: merge per-thread outputs, advance passes,
+/// carve the next window. Runs strictly between the commit barrier and the
+/// prepare barrier. Returns the (parallelizable) pass-boundary sort time.
+fn prepare_round<T: Send>(
+    leader: &mut LeaderState<T>,
+    state: &RoundState<T>,
+    opts: &DetOptions,
+    cfg: &Executor,
+    threads: usize,
+    flag_space_of: impl Fn(usize) -> usize,
+) -> f64 {
+    // SAFETY: leader-exclusive access window (see RoundState docs).
+    let cur = unsafe { &mut *state.cur.get() };
+    let flags_cell = unsafe { &mut *state.flags.get() };
+
+    if !leader.started {
+        leader.started = true;
+        let pass_size = leader.pending.len();
+        *flags_cell = Some(AbortFlags::new(flag_space_of(pass_size)));
+        leader.window = AdaptiveWindow::for_pass(opts.window, pass_size);
+    } else {
+        // Merge the finished round's per-thread outputs: O(threads) plus
+        // buffer moves; the per-task work happened on the workers.
+        let attempted = cur.len();
+        let mut committed = 0usize;
+        let mut trace = cfg.record_trace.then(RoundTrace::default);
+        // Failed tasks precede the untried remainder (Figure 2 line 19) in
+        // slot order: walk threads (and their items) in reverse, prepending.
+        for tid in (0..threads).rev() {
+            // SAFETY: workers are parked at the barrier; outs are quiescent.
+            let out = unsafe { &mut *state.outs[tid].get() };
+            committed += out.committed as usize;
+            if let Some(t) = trace.as_mut() {
+                t.inspect.merge(&out.inspect);
+                t.commit.merge(&out.commit);
+            }
+            while let Some(item) = out.failed.pop() {
+                leader.pending.push_front(item);
+            }
+        }
+        for tid in 0..threads {
+            // SAFETY: as above.
+            let out = unsafe { &mut *state.outs[tid].get() };
+            leader.todo.append(&mut out.todo);
+        }
+        debug_assert!(
+            attempted == 0 || committed >= 1,
+            "the maximum id in a round always commits"
+        );
+        if let Some(mut t) = trace {
+            t.barriers = 3;
+            leader.round_traces.push(t);
+        }
+        leader.rounds += 1;
+        leader.window.update(attempted, committed);
+    }
+
+    // Pass boundary: the sorted sequence is drained; order `todo` (Figure 2
+    // lines 3-6).
+    let mut sort_ns = 0.0;
+    if leader.pending.is_empty() && !leader.todo.is_empty() {
+        let t_sort = cfg.record_trace.then(Instant::now);
+        let todo = std::mem::take(&mut leader.todo);
+        let items = assign_ids(todo, threads);
+        let pass_size = items.len();
+        leader.pending = spread_for_locality(items, opts.locality_spread).into();
+        if let Some(t) = t_sort {
+            sort_ns = t.elapsed().as_nanos() as f64;
+        }
+        *flags_cell = Some(AbortFlags::new(flag_space_of(pass_size)));
+        leader.window = AdaptiveWindow::for_pass(opts.window, pass_size);
+    }
+
+    if leader.pending.is_empty() {
+        state.done.store(true, Ordering::Release);
+        return sort_ns;
+    }
+
+    // Carve the window (Figure 2 `getWindowOfTasks`), recycling slot
+    // storage so no allocator traffic happens per round.
+    let w = leader.window.size().min(leader.pending.len());
+    while cur.len() > w {
+        leader.spare.push(cur.pop().expect("len > w"));
+    }
+    while cur.len() < w {
+        cur.push(leader.spare.pop().unwrap_or_else(Slot::empty));
+    }
+    for slot in cur.iter_mut() {
+        slot.item = Some(leader.pending.pop_front().expect("w <= len"));
+        slot.committed = false;
+        slot.stash = None;
+        slot.pushes.clear();
+        slot.pending_out.clear();
+    }
+    state.claim_inspect.store(0, Ordering::Relaxed);
+    sort_ns
+}
+
+#[allow(clippy::too_many_arguments)]
+fn inspect_slot<T: Send, O: Operator<T>>(
+    slot: &mut Slot<T>,
+    marks: &MarkTable,
+    flags: &AbortFlags,
+    opts: &DetOptions,
+    cfg: &Executor,
+    tid: usize,
+    stats: &mut ThreadStats,
+    accesses: &mut Vec<Access>,
+    op: &O,
+) {
+    slot.neighborhood.clear();
+    let result = {
+        // Destructure for field-precise borrows: `item` stays shared while
+        // the context mutably borrows the scratch fields.
+        let Slot {
+            item,
+            neighborhood,
+            stash,
+            pushes,
+            ..
+        } = slot;
+        let item = item.as_ref().expect("slot carries a task");
+        let mut ctx = Ctx {
+            mode: Mode::Inspect,
+            mark_value: item.id + 1,
+            tid,
+            marks,
+            neighborhood,
+            pushes,
+            flags: Some(flags),
+            stash,
+            allow_stash: opts.continuation,
+            stats,
+            recorder: cfg.record_access.then_some(accesses),
+            past_failsafe: false,
+        };
+        op.run(&item.task, &mut ctx)
+    };
+    stats.inspected += 1;
+    debug_assert_ne!(
+        result,
+        Err(Abort::Conflict),
+        "inspect-phase acquire cannot conflict (writeMarksMax never fails)"
+    );
+    // Ok means the operator completed without a failsafe call (a read-only
+    // task); its pushes were discarded and the commit phase re-issues them.
+    slot.pushes.clear();
+}
+
+#[allow(clippy::too_many_arguments)]
+fn commit_slot<T: Send, O: Operator<T>>(
+    slot: &mut Slot<T>,
+    marks: &MarkTable,
+    flags: &AbortFlags,
+    cfg: &Executor,
+    tid: usize,
+    stats: &mut ThreadStats,
+    accesses: &mut Vec<Access>,
+    op: &O,
+) {
+    let task_id = slot.item().id;
+    let mark_value = task_id + 1;
+    if flags.get(task_id as usize) {
+        // A higher-priority neighbor in the interference graph owns part of
+        // this task's neighborhood; retry in a later round.
+        stats.aborted += 1;
+        slot.committed = false;
+        slot.stash = None;
+    } else {
+        {
+            let Slot {
+                item,
+                neighborhood,
+                stash,
+                pushes,
+                ..
+            } = slot;
+            let item = item.as_ref().expect("slot carries a task");
+            let mut ctx = Ctx {
+                mode: Mode::Commit,
+                mark_value,
+                tid,
+                marks,
+                neighborhood,
+                pushes,
+                flags: None,
+                stash,
+                allow_stash: false,
+                stats,
+                recorder: cfg.record_access.then_some(accesses),
+                past_failsafe: false,
+            };
+            op.run(&item.task, &mut ctx)
+                .expect("a selected task commits unconditionally");
+            ctx.record_neighborhood_writes();
+        }
+        // Key the created tasks deterministically here, on the worker, so
+        // the leader only moves whole buffers (§3.2 id assignment).
+        for (k, p) in slot.pushes.drain(..).enumerate() {
+            slot.pending_out.push(PendingItem {
+                task: p,
+                parent: task_id,
+                rank: k as u32,
+            });
+        }
+        stats.committed += 1;
+        slot.committed = true;
+    }
+    // Release the neighborhood: only the final owner's CAS takes effect, so
+    // the table is all-unowned once every task in the round has released.
+    for &loc in slot.neighborhood.iter() {
+        marks.release(loc, mark_value);
+    }
+    // Clear this task's abort flag for its next round (distributing the
+    // round cleanup across workers instead of serializing it on the leader).
+    flags.clear_ids([task_id as usize]);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::executor::{DetOptions, Executor, Schedule};
+    use crate::marks::MarkTable;
+    use crate::{Ctx, OpResult};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn det() -> Schedule {
+        Schedule::deterministic()
+    }
+
+    /// Order-sensitive reduction: tasks append their payload to a bucket
+    /// sequence; the final sequences expose the schedule.
+    fn trace_op(log: &Mutex<Vec<u64>>) -> impl Fn(&u64, &mut Ctx<'_, u64>) -> OpResult + Sync + '_ {
+        move |t: &u64, ctx: &mut Ctx<'_, u64>| {
+            ctx.acquire(0u32)?; // single shared location: total order
+            ctx.failsafe()?;
+            log.lock().unwrap().push(*t);
+            Ok(())
+        }
+    }
+    use std::sync::Mutex;
+
+    #[test]
+    fn single_shared_location_executes_in_id_order_per_round() {
+        // All tasks conflict; each round commits exactly the max id of its
+        // window... which means overall order is deterministic and identical
+        // across thread counts.
+        let reference: Option<Vec<u64>> = None;
+        let mut reference = reference;
+        for threads in [1usize, 2, 4] {
+            let log = Mutex::new(Vec::new());
+            let marks = MarkTable::new(1);
+            let op = trace_op(&log);
+            let report = Executor::new()
+                .threads(threads)
+                .schedule(det())
+                .run(&marks, (0..40u64).collect(), &op);
+            assert_eq!(report.stats.committed, 40);
+            assert!(report.stats.rounds >= 40, "all-conflicting tasks serialize");
+            drop(op);
+            let got = log.into_inner().unwrap();
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(&got, r, "threads={threads} changed the schedule"),
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_tasks_commit_in_one_round() {
+        let marks = MarkTable::new(64);
+        let hits = AtomicU64::new(0);
+        let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            ctx.acquire(*t as u32)?;
+            ctx.failsafe()?;
+            hits.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        };
+        let report = Executor::new()
+            .threads(2)
+            .schedule(det())
+            .run(&marks, (0..64u64).collect(), &op);
+        assert_eq!(report.stats.committed, 64);
+        assert_eq!(report.stats.aborted, 0);
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        // 64 disjoint tasks, initial window = 16 (pass/4), doubling: 16+32+16.
+        assert!(report.stats.rounds <= 4, "rounds = {}", report.stats.rounds);
+    }
+
+    #[test]
+    fn created_tasks_run_in_later_passes_deterministically() {
+        // Tree expansion: task t < 8 pushes 2t+1, 2t+2 into a shared counter
+        // cell; final count is the full tree size.
+        let marks = MarkTable::new(16);
+        let count = AtomicU64::new(0);
+        let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            ctx.acquire((*t % 16) as u32)?;
+            ctx.failsafe()?;
+            count.fetch_add(1, Ordering::Relaxed);
+            if *t < 8 {
+                ctx.push(2 * *t + 1);
+                ctx.push(2 * *t + 2);
+            }
+            Ok(())
+        };
+        let report = Executor::new()
+            .threads(3)
+            .schedule(det())
+            .run(&marks, vec![0], &op);
+        // Nodes reachable from 0 with t<8 expanding: 0,1,2,...: nodes 0..=7
+        // push children up to 16; total nodes = 0..=16 → but only those
+        // reachable: 0;1,2;3,4,5,6;7..14 from 3..6; 15,16 from 7. Count:
+        // 0,1,2,3,4,5,6 (expand) and 7..16 pushed w/ 7 expanding → 15,16.
+        assert_eq!(count.load(Ordering::Relaxed), 17);
+        assert_eq!(report.stats.committed, 17);
+    }
+
+    #[test]
+    fn output_identical_across_thread_counts_with_conflicts() {
+        // Chained neighborhood overlap: task i acquires {i, i+1}, appends to
+        // a per-location log. Heavy conflicts; output must be thread-count
+        // independent.
+        let run_with = |threads: usize| -> Vec<Vec<u64>> {
+            let logs: Vec<Mutex<Vec<u64>>> = (0..65).map(|_| Mutex::new(Vec::new())).collect();
+            let marks = MarkTable::new(65);
+            let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+                ctx.acquire(*t as u32)?;
+                ctx.acquire(*t as u32 + 1)?;
+                ctx.failsafe()?;
+                logs[*t as usize].lock().unwrap().push(*t);
+                logs[*t as usize + 1].lock().unwrap().push(*t);
+                Ok(())
+            };
+            Executor::new()
+                .threads(threads)
+                .schedule(det())
+                .run(&marks, (0..64u64).collect(), &op);
+            logs.into_iter().map(|l| l.into_inner().unwrap()).collect()
+        };
+        let a = run_with(1);
+        let b = run_with(2);
+        let c = run_with(5);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn continuation_checkpoint_skips_recompute() {
+        use std::sync::atomic::AtomicU64;
+        let marks = MarkTable::new(8);
+        let expensive_calls = AtomicU64::new(0);
+        let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            let value = match ctx.take::<u64>() {
+                Some(v) => v,
+                None => {
+                    ctx.acquire(*t as u32)?;
+                    expensive_calls.fetch_add(1, Ordering::Relaxed);
+                    ctx.checkpoint(*t * 10)?
+                }
+            };
+            assert_eq!(value, *t * 10);
+            Ok(())
+        };
+        let report = Executor::new()
+            .threads(1)
+            .schedule(det())
+            .run(&marks, (0..8u64).collect(), &op);
+        assert_eq!(report.stats.committed, 8);
+        // With continuations each committed task computes once (inspect);
+        // aborted attempts recompute on retry but these tasks are disjoint.
+        assert_eq!(expensive_calls.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn disabling_continuation_recomputes_prefix() {
+        let marks = MarkTable::new(8);
+        let expensive_calls = AtomicU64::new(0);
+        let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            let _value = match ctx.take::<u64>() {
+                Some(v) => v,
+                None => {
+                    ctx.acquire(*t as u32)?;
+                    expensive_calls.fetch_add(1, Ordering::Relaxed);
+                    ctx.checkpoint(*t * 10)?
+                }
+            };
+            Ok(())
+        };
+        let report = Executor::new()
+            .threads(1)
+            .schedule(Schedule::Deterministic(DetOptions {
+                continuation: false,
+                ..DetOptions::default()
+            }))
+            .run(&marks, (0..8u64).collect(), &op);
+        assert_eq!(report.stats.committed, 8);
+        // Baseline: inspect + commit each compute → exactly twice per task.
+        assert_eq!(expensive_calls.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn preassigned_ids_dedup_and_schedule() {
+        // Tasks are node ids 0..32 with duplicates; payload == id.
+        let marks = MarkTable::new(32);
+        let count = AtomicU64::new(0);
+        let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            ctx.acquire(*t as u32)?;
+            ctx.failsafe()?;
+            count.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        };
+        let mut tasks: Vec<u64> = (0..32).collect();
+        tasks.extend(0..16u64); // duplicates
+        let report = Executor::new()
+            .threads(2)
+            .schedule(det())
+            .run_with_ids(&marks, tasks, &op, |t| *t, 32);
+        assert_eq!(report.stats.committed, 32, "duplicates deduplicated");
+        assert_eq!(count.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn locality_spread_changes_schedule_but_not_totals() {
+        let run_spread = |spread: usize| {
+            let marks = MarkTable::new(65);
+            let count = AtomicU64::new(0);
+            let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+                ctx.acquire(*t as u32)?;
+                ctx.acquire(*t as u32 + 1)?;
+                ctx.failsafe()?;
+                count.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            };
+            let report = Executor::new()
+                .threads(2)
+                .schedule(Schedule::Deterministic(DetOptions {
+                    locality_spread: spread,
+                    ..DetOptions::default()
+                }))
+                .run(&marks, (0..64u64).collect(), &op);
+            (report.stats.committed, report.stats.aborted)
+        };
+        let (c1, a1) = run_spread(1);
+        let (c2, a2) = run_spread(16);
+        assert_eq!(c1, 64);
+        assert_eq!(c2, 64);
+        // Adjacent tasks conflict; spreading them across rounds reduces aborts.
+        assert!(a2 <= a1, "spread should not increase aborts ({a2} vs {a1})");
+    }
+
+    #[test]
+    fn rounds_counted_and_trace_recorded() {
+        let marks = MarkTable::new(4);
+        let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            ctx.acquire((*t % 4) as u32)?;
+            ctx.failsafe()?;
+            Ok(())
+        };
+        let report = Executor::new()
+            .threads(1)
+            .schedule(det())
+            .record_trace(true)
+            .run(&marks, (0..100u64).collect(), &op);
+        assert!(report.stats.rounds > 0);
+        match report.trace {
+            Some(galois_runtime::simtime::ExecTrace::Rounds(rounds)) => {
+                assert_eq!(rounds.len() as u64, report.stats.rounds);
+                let committed: u64 = rounds.iter().map(|r| r.commit.count).sum();
+                assert_eq!(committed, report.stats.committed);
+            }
+            other => panic!("expected rounds trace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_task_list_terminates() {
+        let marks = MarkTable::new(1);
+        let op = |_t: &u64, _ctx: &mut Ctx<'_, u64>| -> OpResult { Ok(()) };
+        let report = Executor::new()
+            .threads(2)
+            .schedule(det())
+            .run(&marks, vec![], &op);
+        assert_eq!(report.stats.committed, 0);
+        assert_eq!(report.stats.rounds, 0);
+    }
+}

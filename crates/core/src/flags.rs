@@ -1,0 +1,94 @@
+//! Per-round abort flags (§3.3, continuation-optimization protocol).
+//!
+//! During the inspect phase, when task `t` displaces task `u`'s mark (or
+//! loses to it), the event is recorded by setting the affected task's flag.
+//! At the end of the phase, a task's flag is clear **iff** every one of its
+//! neighborhood marks still holds its id — i.e. iff it belongs to the
+//! deterministic independent set. Checking one flag at commit time replaces
+//! re-reading the whole neighborhood.
+//!
+//! The flag outcome is order-insensitive: for any pair of conflicting tasks,
+//! either the lower-id task writes first and is later displaced (flagged by
+//! the displacer) or it arrives second and loses the max (flags itself); in
+//! both interleavings exactly the lower task ends up flagged.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A dense array of abort flags indexed by pass-local task id.
+#[derive(Debug)]
+pub struct AbortFlags {
+    flags: Box<[AtomicBool]>,
+}
+
+impl AbortFlags {
+    /// Creates `len` clear flags.
+    pub fn new(len: usize) -> Self {
+        let flags: Vec<AtomicBool> = (0..len).map(|_| AtomicBool::new(false)).collect();
+        AbortFlags {
+            flags: flags.into_boxed_slice(),
+        }
+    }
+
+    /// Number of flags.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Sets task `id`'s flag (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn set(&self, id: usize) {
+        self.flags[id].store(true, Ordering::Release);
+    }
+
+    /// Reads task `id`'s flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn get(&self, id: usize) -> bool {
+        self.flags[id].load(Ordering::Acquire)
+    }
+
+    /// Clears the flags of the given ids (round cleanup).
+    pub fn clear_ids(&self, ids: impl IntoIterator<Item = usize>) {
+        for id in ids {
+            self.flags[id].store(false, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let f = AbortFlags::new(4);
+        assert!(!f.get(2));
+        f.set(2);
+        assert!(f.get(2));
+        f.set(2);
+        assert!(f.get(2), "idempotent");
+        f.clear_ids([2usize]);
+        assert!(!f.get(2));
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let f = AbortFlags::new(1);
+        f.set(1);
+    }
+}

@@ -1,0 +1,272 @@
+//! Mark table: abstract locks over abstract locations.
+//!
+//! The Galois runtime synchronizes tasks by associating a **mark** with each
+//! abstract location (a graph node, a triangle, ...) rather than with concrete
+//! memory (§2 of the paper). A mark holds either 0 (unowned) or the id of the
+//! task that currently owns the location.
+//!
+//! Two protocols operate on marks:
+//!
+//! - [`MarkTable::try_acquire`]: the non-deterministic protocol of Figure 1b —
+//!   compare-and-set from 0, failing fast on conflict.
+//! - [`MarkTable::write_max`]: the deterministic `writeMarksMax` of Figure 3 —
+//!   an atomic maximum. Crucially it never "fails": every task attempts every
+//!   location of its neighborhood, because skipping locations would make the
+//!   computed maxima depend on scheduling order (§3.2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The id stored in an unowned mark. Less than every task id (§2.1).
+pub const UNOWNED: u64 = 0;
+
+/// An abstract location: an index into a [`MarkTable`].
+///
+/// Applications define the mapping from their abstract data items (nodes,
+/// triangles, array cells) to lock ids; the runtime never interprets them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub u32);
+
+impl From<u32> for LockId {
+    fn from(i: u32) -> Self {
+        LockId(i)
+    }
+}
+
+impl From<usize> for LockId {
+    fn from(i: usize) -> Self {
+        LockId(u32::try_from(i).expect("lock index exceeds u32"))
+    }
+}
+
+/// A table of marks, one `AtomicU64` per abstract location.
+///
+/// # Example
+///
+/// ```
+/// use galois_core::marks::{LockId, MarkTable, UNOWNED};
+///
+/// let marks = MarkTable::new(4);
+/// assert!(marks.try_acquire(LockId(2), 7));
+/// assert!(!marks.try_acquire(LockId(2), 9)); // owned by 7
+/// marks.release(LockId(2), 7);
+/// assert_eq!(marks.load(LockId(2)), UNOWNED);
+/// ```
+pub struct MarkTable {
+    slots: Box<[AtomicU64]>,
+}
+
+impl std::fmt::Debug for MarkTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MarkTable").field("len", &self.slots.len()).finish()
+    }
+}
+
+impl MarkTable {
+    /// Creates a table of `len` unowned marks.
+    pub fn new(len: usize) -> Self {
+        let slots: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(UNOWNED)).collect();
+        MarkTable {
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Number of abstract locations.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the table has no locations.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Current mark of `loc` (racy snapshot).
+    pub fn load(&self, loc: LockId) -> u64 {
+        self.slots[loc.0 as usize].load(Ordering::Acquire)
+    }
+
+    /// Non-deterministic acquisition (Figure 1b `writeMarks`).
+    ///
+    /// Atomically sets the mark from [`UNOWNED`] to `id`. Returns `true` if
+    /// the mark is now (or was already) owned by `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `id == UNOWNED`.
+    pub fn try_acquire(&self, loc: LockId, id: u64) -> bool {
+        debug_assert_ne!(id, UNOWNED);
+        let slot = &self.slots[loc.0 as usize];
+        match slot.compare_exchange(UNOWNED, id, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => true,
+            Err(current) => current == id,
+        }
+    }
+
+    /// Deterministic marking (Figure 3 `writeMarkMax`).
+    ///
+    /// Atomically raises the mark to `max(mark, id)` and returns the value
+    /// the mark held immediately before this call took effect:
+    ///
+    /// - returned value `< id`: this task now owns the mark (it displaced
+    ///   the returned previous owner, or [`UNOWNED`]);
+    /// - returned value `== id`: the task already owned it;
+    /// - returned value `> id`: a higher-priority task owns it; the mark is
+    ///   unchanged.
+    ///
+    /// Because max is order-insensitive, the final mark of every location is
+    /// independent of the interleaving of `write_max` calls — the property
+    /// that makes the implicit interference graph deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `id == UNOWNED`.
+    pub fn write_max(&self, loc: LockId, id: u64) -> u64 {
+        debug_assert_ne!(id, UNOWNED);
+        let slot = &self.slots[loc.0 as usize];
+        let mut current = slot.load(Ordering::Acquire);
+        loop {
+            if current >= id {
+                return current;
+            }
+            match slot.compare_exchange_weak(current, id, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(prev) => return prev,
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    /// Releases `loc` if it is owned by `id` (CAS `id → 0`).
+    ///
+    /// Deterministic rounds clear marks this way: every task releases its
+    /// whole neighborhood, but only the final (maximum-id) owner's release
+    /// takes effect, so the table returns to all-unowned without a race.
+    pub fn release(&self, loc: LockId, id: u64) {
+        let _ = self.slots[loc.0 as usize].compare_exchange(
+            id,
+            UNOWNED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Whether every mark is unowned — the executors' postcondition.
+    pub fn all_unowned(&self) -> bool {
+        self.slots.iter().all(|s| s.load(Ordering::Acquire) == UNOWNED)
+    }
+
+    /// Resets every mark to unowned (test/diagnostic helper).
+    pub fn clear(&self) {
+        for s in self.slots.iter() {
+            s.store(UNOWNED, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galois_runtime::run_on_threads;
+
+    #[test]
+    fn try_acquire_is_exclusive() {
+        let t = MarkTable::new(1);
+        assert!(t.try_acquire(LockId(0), 5));
+        assert!(t.try_acquire(LockId(0), 5), "reacquire by owner succeeds");
+        assert!(!t.try_acquire(LockId(0), 6));
+        t.release(LockId(0), 6); // wrong owner: no effect
+        assert_eq!(t.load(LockId(0)), 5);
+        t.release(LockId(0), 5);
+        assert!(t.try_acquire(LockId(0), 6));
+    }
+
+    #[test]
+    fn write_max_keeps_maximum() {
+        let t = MarkTable::new(1);
+        assert_eq!(t.write_max(LockId(0), 3), UNOWNED);
+        assert_eq!(t.write_max(LockId(0), 7), 3);
+        assert_eq!(t.write_max(LockId(0), 5), 7, "lower id loses");
+        assert_eq!(t.load(LockId(0)), 7);
+        assert_eq!(t.write_max(LockId(0), 7), 7, "same id is idempotent");
+    }
+
+    #[test]
+    fn write_max_result_independent_of_order() {
+        // All permutations of three writers leave the same final mark.
+        use std::collections::HashSet;
+        let ids = [2u64, 9, 4];
+        let mut finals = HashSet::new();
+        let perms = [
+            [0usize, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for perm in perms {
+            let t = MarkTable::new(1);
+            for &i in &perm {
+                t.write_max(LockId(0), ids[i]);
+            }
+            finals.insert(t.load(LockId(0)));
+        }
+        assert_eq!(finals.len(), 1);
+        assert!(finals.contains(&9));
+    }
+
+    #[test]
+    fn concurrent_write_max_settles_on_max() {
+        const THREADS: usize = 8;
+        const LOCS: usize = 128;
+        let t = MarkTable::new(LOCS);
+        run_on_threads(THREADS, |tid| {
+            for l in 0..LOCS {
+                t.write_max(LockId(l as u32), (tid as u64 + 1) * 10 + (l as u64 % 3));
+            }
+        });
+        for l in 0..LOCS {
+            assert_eq!(t.load(LockId(l as u32)), 80 + (l as u64 % 3));
+        }
+    }
+
+    #[test]
+    fn concurrent_try_acquire_has_one_winner() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let t = MarkTable::new(1);
+        let winners = AtomicU64::new(0);
+        run_on_threads(8, |tid| {
+            if t.try_acquire(LockId(0), tid as u64 + 1) {
+                winners.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn release_only_by_owner_then_all_unowned() {
+        let t = MarkTable::new(3);
+        t.write_max(LockId(0), 4);
+        t.write_max(LockId(1), 2);
+        // Every "task" releases its whole neighborhood.
+        for id in [2u64, 4] {
+            t.release(LockId(0), id);
+            t.release(LockId(1), id);
+        }
+        assert!(t.all_unowned());
+    }
+
+    #[test]
+    fn lock_id_conversions() {
+        assert_eq!(LockId::from(5u32), LockId(5));
+        assert_eq!(LockId::from(5usize), LockId(5));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = MarkTable::new(2);
+        t.try_acquire(LockId(0), 1);
+        t.try_acquire(LockId(1), 2);
+        t.clear();
+        assert!(t.all_unowned());
+    }
+}

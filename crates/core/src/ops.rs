@@ -1,0 +1,44 @@
+//! The operator abstraction.
+
+use crate::ctx::{Ctx, OpResult};
+
+/// A Galois operator: the body of the `foreach` loop of Figure 1a.
+///
+/// Operators must be **cautious**: all [`Ctx::acquire`] calls must precede
+/// [`Ctx::failsafe`], and all writes to shared state must follow it. The
+/// runtime relies on this to roll back conflicted tasks by releasing marks
+/// alone, and to stop inspect-phase execution at the failsafe point.
+///
+/// Implemented automatically by closures:
+///
+/// ```
+/// use galois_core::{Ctx, OpResult};
+///
+/// fn takes_operator(op: impl galois_core::Operator<u32>) {}
+///
+/// takes_operator(|task: &u32, ctx: &mut Ctx<'_, u32>| -> OpResult {
+///     ctx.acquire(*task)?;
+///     ctx.failsafe()?;
+///     Ok(())
+/// });
+/// ```
+pub trait Operator<T>: Sync {
+    /// Executes the operator on `task`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Abort`] when the runtime stops the invocation (a
+    /// speculative conflict, or the inspect phase reaching its failsafe
+    /// point). Operator code only ever produces these via `?` on `Ctx`
+    /// methods.
+    fn run(&self, task: &T, ctx: &mut Ctx<'_, T>) -> OpResult;
+}
+
+impl<T, F> Operator<T> for F
+where
+    F: Fn(&T, &mut Ctx<'_, T>) -> OpResult + Sync,
+{
+    fn run(&self, task: &T, ctx: &mut Ctx<'_, T>) -> OpResult {
+        self(task, ctx)
+    }
+}

@@ -1,0 +1,161 @@
+//! Adaptive window sizing (§3.2).
+//!
+//! "The performance of this scheduler depends critically on the window size,
+//! so we implemented an adaptive algorithm that grows and shrinks the window
+//! size each round depending on the number of tasks that successfully
+//! committed in the previous round."
+//!
+//! The policy consumes only *committed-task counts* — never the thread count
+//! or any timing — so the window sequence, and therefore the schedule and the
+//! program output, are identical on every machine (**portability**) and there
+//! is no user-facing knob whose value changes output (**parameter-freedom**;
+//! the constants below are fixed parts of the algorithm).
+
+/// Fixed constants of the adaptive policy.
+///
+/// These are deliberately not configurable at run time: per the paper's
+/// parameter-freedom requirement, anything that changes the schedule is part
+/// of the algorithm, not a tuning knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowPolicy {
+    /// Desired fraction of attempted tasks that commit per round.
+    pub target_commit_ratio: f64,
+    /// Window size floor.
+    pub min_window: usize,
+    /// Window size ceiling (bounds per-round memory).
+    pub max_window: usize,
+}
+
+impl Default for WindowPolicy {
+    fn default() -> Self {
+        WindowPolicy {
+            target_commit_ratio: 0.95,
+            min_window: 16,
+            max_window: 1 << 20,
+        }
+    }
+}
+
+/// Per-pass window state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveWindow {
+    policy: WindowPolicy,
+    size: usize,
+}
+
+impl AdaptiveWindow {
+    /// Initializes the window for a pass of `pass_size` tasks.
+    ///
+    /// The initial size is a fixed deterministic function of the pass size:
+    /// a quarter of the pass, clamped to the policy bounds. Too-large initial
+    /// windows self-correct within a round or two via `update`.
+    pub fn for_pass(policy: WindowPolicy, pass_size: usize) -> Self {
+        let initial = (pass_size / 4)
+            .clamp(policy.min_window, policy.max_window)
+            .max(1);
+        AdaptiveWindow {
+            policy,
+            size: initial,
+        }
+    }
+
+    /// Current window size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Adapts after a round in which `attempted` tasks were inspected and
+    /// `committed` of them committed (Figure 2 `calculateWindow`).
+    ///
+    /// Commit ratio below target: shrink proportionally (next window sized so
+    /// that, at the observed conflict density, roughly `target` of it
+    /// commits). At or above target: double.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `committed > attempted`.
+    pub fn update(&mut self, attempted: usize, committed: usize) {
+        debug_assert!(committed <= attempted);
+        if attempted == 0 {
+            return;
+        }
+        let ratio = committed as f64 / attempted as f64;
+        if ratio < self.policy.target_commit_ratio {
+            let scaled = (committed as f64 / self.policy.target_commit_ratio).floor() as usize;
+            self.size = scaled.clamp(self.policy.min_window, self.policy.max_window).max(1);
+        } else {
+            self.size = (self.size * 2).clamp(self.policy.min_window, self.policy.max_window).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(pass: usize) -> AdaptiveWindow {
+        AdaptiveWindow::for_pass(WindowPolicy::default(), pass)
+    }
+
+    #[test]
+    fn initial_size_scales_with_pass() {
+        assert_eq!(window(0).size(), 16, "floor applies");
+        assert_eq!(window(400).size(), 100);
+        assert_eq!(window(1 << 24).size(), 1 << 20, "ceiling applies");
+    }
+
+    #[test]
+    fn high_commit_ratio_doubles() {
+        let mut w = window(400);
+        let before = w.size();
+        w.update(before, before); // 100% commit
+        assert_eq!(w.size(), before * 2);
+    }
+
+    #[test]
+    fn low_commit_ratio_shrinks_proportionally() {
+        let mut w = window(40_000);
+        let before = w.size();
+        assert_eq!(before, 10_000);
+        w.update(before, 1_000); // 10% commit, far below 95%
+        // New window ≈ committed / target = 1052.
+        assert!(w.size() < before / 8, "window {} should shrink", w.size());
+        assert!(w.size() >= 1_000);
+    }
+
+    #[test]
+    fn never_below_one() {
+        let mut w = window(100);
+        for _ in 0..20 {
+            let s = w.size();
+            w.update(s, 0); // nothing commits
+        }
+        assert!(w.size() >= 1);
+        assert_eq!(w.size(), WindowPolicy::default().min_window);
+    }
+
+    #[test]
+    fn update_sequence_is_deterministic() {
+        // Same commit history ⇒ same window trajectory, regardless of when
+        // or where it runs — the portability property.
+        let drive = |history: &[(usize, usize)]| {
+            let mut w = window(10_000);
+            let mut sizes = vec![w.size()];
+            for &(a, c) in history {
+                w.update(a, c);
+                sizes.push(w.size());
+            }
+            sizes
+        };
+        let h = [(2500usize, 2500usize), (5000, 400), (421, 421), (842, 800)];
+        assert_eq!(drive(&h), drive(&h));
+    }
+
+    #[test]
+    fn empty_round_is_ignored() {
+        let mut w = window(1000);
+        let s = w.size();
+        w.update(0, 0);
+        assert_eq!(w.size(), s);
+    }
+}

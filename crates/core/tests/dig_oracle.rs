@@ -1,0 +1,187 @@
+//! A redundant sequential oracle of the DIG scheduler.
+//!
+//! This test reimplements the semantics of Figures 2–3 as a plain
+//! sequential simulation — windows carved with the same [`AdaptiveWindow`],
+//! interference resolved by per-location maxima, failed tasks prepended,
+//! created tasks sorted by `(parent, rank)` — and checks that the real
+//! parallel executor produces exactly the commit order the oracle predicts,
+//! per location, at several thread counts.
+//!
+//! Any divergence between `galois-core`'s optimized implementation (abort
+//! flags, slot recycling, per-thread output buffers) and the paper's
+//! abstract algorithm shows up here.
+
+use galois_core::window::{AdaptiveWindow, WindowPolicy};
+use galois_core::{Ctx, Executor, MarkTable, OpResult, Schedule};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+const LOCS: u64 = 12;
+
+/// The static neighborhood of a task (mirrored by the operator below).
+fn neighborhood(t: u64) -> Vec<u64> {
+    let a = t % LOCS;
+    let b = (t.wrapping_mul(7) + 3) % LOCS;
+    if a == b {
+        vec![a]
+    } else {
+        vec![a, b]
+    }
+}
+
+/// Whether the task creates a child, and which.
+fn child_of(t: u64) -> Option<u64> {
+    (t < 50).then_some(t + 1000)
+}
+
+/// Sequential simulation of the deterministic scheduler: returns the
+/// per-location commit logs.
+fn oracle(tasks: &[u64]) -> Vec<Vec<u64>> {
+    #[derive(Clone)]
+    struct Item {
+        task: u64,
+        id: u64,
+    }
+    let mut logs: Vec<Vec<u64>> = vec![Vec::new(); LOCS as usize];
+    // Pass 0: ids in input order.
+    let mut pending: VecDeque<Item> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| Item { task: t, id: i as u64 })
+        .collect();
+    loop {
+        if pending.is_empty() {
+            break;
+        }
+        let mut window = AdaptiveWindow::for_pass(WindowPolicy::default(), pending.len());
+        let mut todo: Vec<(u64, u32, u64)> = Vec::new(); // (parent, rank, task)
+        while !pending.is_empty() {
+            let w = window.size().min(pending.len());
+            let cur: Vec<Item> = pending.drain(..w).collect();
+            // Interference: per-location maximum id among cur.
+            let mut max_at = vec![None::<u64>; LOCS as usize];
+            for item in &cur {
+                for loc in neighborhood(item.task) {
+                    let slot = &mut max_at[loc as usize];
+                    *slot = Some(slot.map_or(item.id, |m: u64| m.max(item.id)));
+                }
+            }
+            // Select: a task commits iff it is the max everywhere it touches.
+            let mut committed = 0usize;
+            let mut failed: Vec<Item> = Vec::new();
+            for item in &cur {
+                let selected = neighborhood(item.task)
+                    .into_iter()
+                    .all(|loc| max_at[loc as usize] == Some(item.id));
+                if selected {
+                    committed += 1;
+                    for loc in neighborhood(item.task) {
+                        logs[loc as usize].push(item.task);
+                    }
+                    if let Some(c) = child_of(item.task) {
+                        todo.push((item.id, 0, c));
+                    }
+                } else {
+                    failed.push(item.clone());
+                }
+            }
+            window.update(w, committed);
+            for item in failed.into_iter().rev() {
+                pending.push_front(item);
+            }
+        }
+        // Pass boundary: sort created tasks by (parent, rank), renumber.
+        todo.sort_by_key(|&(parent, rank, _)| (parent, rank));
+        pending = todo
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, _, task))| Item { task, id: i as u64 })
+            .collect();
+    }
+    logs
+}
+
+/// Runs the real executor and collects the same per-location logs.
+fn real(tasks: &[u64], threads: usize) -> Vec<Vec<u64>> {
+    let logs: Vec<Mutex<Vec<u64>>> = (0..LOCS).map(|_| Mutex::new(Vec::new())).collect();
+    let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+        for loc in neighborhood(*t) {
+            ctx.acquire(loc as u32)?;
+        }
+        ctx.failsafe()?;
+        for loc in neighborhood(*t) {
+            logs[loc as usize].lock().unwrap().push(*t);
+        }
+        if let Some(c) = child_of(*t) {
+            ctx.push(c);
+        }
+        Ok(())
+    };
+    let marks = MarkTable::new(LOCS as usize);
+    Executor::new()
+        .threads(threads)
+        .schedule(Schedule::deterministic())
+        .run(&marks, tasks.to_vec(), &op);
+    logs.into_iter().map(|m| m.into_inner().unwrap()).collect()
+}
+
+#[test]
+fn executor_matches_sequential_oracle() {
+    let tasks: Vec<u64> = (0..120).collect();
+    let expect = oracle(&tasks);
+    for threads in [1usize, 2, 4] {
+        assert_eq!(real(&tasks, threads), expect, "threads = {threads}");
+    }
+}
+
+#[test]
+fn executor_matches_oracle_on_permuted_inputs() {
+    // A fixed pseudo-random permutation: initial ids follow input order, so
+    // the oracle must track it exactly.
+    let mut tasks: Vec<u64> = (0..90).collect();
+    for i in 0..tasks.len() {
+        let j = (i * 7919 + 13) % tasks.len();
+        tasks.swap(i, j);
+    }
+    let expect = oracle(&tasks);
+    for threads in [1usize, 3] {
+        assert_eq!(real(&tasks, threads), expect, "threads = {threads}");
+    }
+}
+
+#[test]
+fn executor_matches_oracle_with_duplicates() {
+    // Duplicate payloads are distinct tasks with distinct ids.
+    let tasks: Vec<u64> = (0..60).map(|i| i % 13).collect();
+    let expect = oracle(&tasks);
+    assert_eq!(real(&tasks, 2), expect);
+}
+
+#[test]
+fn oracle_and_executor_agree_on_tiny_inputs() {
+    for n in [0u64, 1, 2, 3, 7] {
+        let tasks: Vec<u64> = (0..n).collect();
+        let expect = oracle(&tasks);
+        assert_eq!(real(&tasks, 2), expect, "n = {n}");
+    }
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// For arbitrary task multisets, the parallel executor's
+        /// per-location commit order equals the sequential oracle's.
+        #[test]
+        fn oracle_agreement_on_arbitrary_inputs(
+            tasks in proptest::collection::vec(0u64..200, 0..100),
+            threads in 1usize..5,
+        ) {
+            let expect = oracle(&tasks);
+            prop_assert_eq!(real(&tasks, threads), expect);
+        }
+    }
+}

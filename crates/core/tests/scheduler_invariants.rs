@@ -1,0 +1,251 @@
+//! Invariants of the schedulers, tested through the public API.
+
+use galois_core::{
+    Ctx, DetOptions, Executor, MarkTable, OpResult, Schedule, WindowPolicy, WorklistPolicy,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Tasks contend on `locs` locations; half push one child each.
+fn contended_op<'a>(
+    locs: u64,
+    sum: &'a AtomicU64,
+) -> impl Fn(&u64, &mut Ctx<'_, u64>) -> OpResult + Sync + 'a {
+    move |t: &u64, ctx: &mut Ctx<'_, u64>| {
+        ctx.acquire((*t % locs) as u32)?;
+        ctx.acquire(((*t + 1) % locs) as u32)?;
+        ctx.failsafe()?;
+        sum.fetch_add(*t, Ordering::Relaxed);
+        if *t >= 1000 && *t < 1000 + locs / 2 {
+            ctx.push(*t - 1000);
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn det_inspected_equals_attempts_and_marks_end_clean() {
+    let locs = 32u64;
+    let sum = AtomicU64::new(0);
+    let marks = MarkTable::new(locs as usize);
+    let op = contended_op(locs, &sum);
+    let tasks: Vec<u64> = (1000..1000 + 2 * locs).collect();
+    let report = Executor::new()
+        .threads(3)
+        .schedule(Schedule::deterministic())
+        .run(&marks, tasks, &op);
+    // Every attempted task is inspected exactly once per round it appears in.
+    assert_eq!(
+        report.stats.inspected,
+        report.stats.committed + report.stats.aborted
+    );
+    assert!(marks.all_unowned(), "all marks released");
+    // 2*locs initial + locs/2 children.
+    assert_eq!(report.stats.committed, 2 * locs + locs / 2);
+}
+
+#[test]
+fn spec_commits_initial_plus_children() {
+    let locs = 32u64;
+    let sum = AtomicU64::new(0);
+    let marks = MarkTable::new(locs as usize);
+    let op = contended_op(locs, &sum);
+    let tasks: Vec<u64> = (1000..1000 + 2 * locs).collect();
+    let report = Executor::new()
+        .threads(4)
+        .schedule(Schedule::Speculative)
+        .run(&marks, tasks, &op);
+    assert_eq!(report.stats.committed, 2 * locs + locs / 2);
+    assert!(marks.all_unowned());
+}
+
+#[test]
+fn all_schedules_compute_the_same_commutative_sum() {
+    let locs = 16u64;
+    let tasks: Vec<u64> = (1000..1600).collect();
+    let mut sums = Vec::new();
+    for schedule in [Schedule::Serial, Schedule::Speculative, Schedule::deterministic()] {
+        let sum = AtomicU64::new(0);
+        let marks = MarkTable::new(locs as usize);
+        let op = contended_op(locs, &sum);
+        Executor::new()
+            .threads(2)
+            .schedule(schedule)
+            .run(&marks, tasks.clone(), &op);
+        sums.push(sum.load(Ordering::Relaxed));
+    }
+    assert_eq!(sums[0], sums[1]);
+    assert_eq!(sums[0], sums[2]);
+}
+
+#[test]
+fn every_round_commits_at_least_one_task() {
+    // All tasks share a single location: total serialization, so the round
+    // count equals the task count — and never exceeds it (progress).
+    let marks = MarkTable::new(1);
+    let log = Mutex::new(Vec::new());
+    let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+        ctx.acquire(0u32)?;
+        ctx.failsafe()?;
+        log.lock().unwrap().push(*t);
+        Ok(())
+    };
+    let n = 50u64;
+    let report = Executor::new()
+        .threads(2)
+        .schedule(Schedule::deterministic())
+        .run(&marks, (0..n).collect(), &op);
+    assert_eq!(report.stats.committed, n);
+    assert!(report.stats.rounds <= n, "progress guarantee");
+}
+
+#[test]
+fn tiny_window_policy_still_terminates_with_same_output() {
+    // The window constants are part of the algorithm; any valid constants
+    // must still terminate and commit everything (though the schedule — and
+    // for order-sensitive operators the output — may differ).
+    let run = |policy: WindowPolicy| {
+        let marks = MarkTable::new(8);
+        let count = AtomicU64::new(0);
+        let op = |_t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            ctx.acquire(0u32)?;
+            ctx.failsafe()?;
+            count.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        };
+        let report = Executor::new()
+            .schedule(Schedule::Deterministic(DetOptions {
+                window: policy,
+                ..Default::default()
+            }))
+            .run(&marks, (0..200u64).collect(), &op);
+        (count.load(Ordering::Relaxed), report.stats.committed, report.stats.rounds)
+    };
+    let tiny = run(WindowPolicy {
+        min_window: 1,
+        max_window: 2,
+        ..Default::default()
+    });
+    let huge = run(WindowPolicy {
+        min_window: 100_000,
+        max_window: 1 << 20,
+        ..Default::default()
+    });
+    assert_eq!(tiny.0, 200);
+    assert_eq!(huge.0, 200);
+    assert!(tiny.2 >= huge.2, "smaller windows mean at least as many rounds");
+}
+
+#[test]
+fn preassigned_ids_give_node_order_priority() {
+    // With pre-assigned ids and a single shared location, the LOWEST id
+    // never commits first... rather: each round the max id in the window
+    // commits. With window >= all tasks, order is highest-first.
+    let marks = MarkTable::new(1);
+    let log = Mutex::new(Vec::new());
+    let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+        ctx.acquire(0u32)?;
+        ctx.failsafe()?;
+        log.lock().unwrap().push(*t);
+        Ok(())
+    };
+    let report = Executor::new()
+        .schedule(Schedule::Deterministic(DetOptions {
+            window: WindowPolicy {
+                min_window: 64,
+                max_window: 64,
+                ..Default::default()
+            },
+            ..Default::default()
+        }))
+        .run_with_ids(&marks, (0..20u64).collect(), &op, |t| *t, 20);
+    assert_eq!(report.stats.committed, 20);
+    let order = log.into_inner().unwrap();
+    assert_eq!(
+        order,
+        (0..20u64).rev().collect::<Vec<_>>(),
+        "single-location contention commits the round's max id first"
+    );
+}
+
+#[test]
+fn worklist_policy_does_not_change_speculative_totals() {
+    for policy in [WorklistPolicy::Lifo, WorklistPolicy::Fifo] {
+        let marks = MarkTable::new(64);
+        let count = AtomicU64::new(0);
+        let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            ctx.acquire((*t % 64) as u32)?;
+            ctx.failsafe()?;
+            count.fetch_add(1, Ordering::Relaxed);
+            if *t < 100 {
+                ctx.push(*t + 1000);
+            }
+            Ok(())
+        };
+        let report = Executor::new()
+            .threads(3)
+            .schedule(Schedule::Speculative)
+            .worklist(policy)
+            .run(&marks, (0..100u64).collect(), &op);
+        assert_eq!(report.stats.committed, 200, "{policy:?}");
+        assert_eq!(count.load(Ordering::Relaxed), 200);
+    }
+}
+
+#[test]
+fn nested_generations_keep_deterministic_order() {
+    // Three generations of task creation with conflicts. Determinism is
+    // per-location: tasks sharing a location serialize in a deterministic
+    // order, so each location's commit log must be identical across thread
+    // counts. (A single global log would also record the *wall-clock*
+    // interleaving of independent tasks, which no scheduler specifies.)
+    let run = |threads: usize| {
+        let marks = MarkTable::new(4);
+        let logs: Vec<Mutex<Vec<u64>>> = (0..4).map(|_| Mutex::new(Vec::new())).collect();
+        let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            let l = (*t % 4) as u32;
+            ctx.acquire(l)?;
+            ctx.failsafe()?;
+            logs[l as usize].lock().unwrap().push(*t);
+            if *t < 100 {
+                ctx.push(*t + 100);
+                ctx.push(*t + 200);
+            } else if *t < 300 {
+                ctx.push(*t + 1000);
+            }
+            Ok(())
+        };
+        Executor::new()
+            .threads(threads)
+            .schedule(Schedule::deterministic())
+            .run(&marks, (0..20u64).collect(), &op);
+        logs.into_iter().map(|l| l.into_inner().unwrap()).collect::<Vec<_>>()
+    };
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a.iter().map(|l| l.len()).sum::<usize>(), 20 + 40 + 40);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn trace_and_access_recording_compose() {
+    let marks = MarkTable::new(8);
+    let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+        ctx.acquire((*t % 8) as u32)?;
+        ctx.failsafe()?;
+        Ok(())
+    };
+    let report = Executor::new()
+        .threads(2)
+        .schedule(Schedule::deterministic())
+        .record_trace(true)
+        .record_access(true)
+        .run(&marks, (0..64u64).collect(), &op);
+    assert!(report.trace.is_some());
+    let accesses = report.accesses.unwrap();
+    assert_eq!(accesses.len(), 2, "one stream per thread");
+    let total: usize = accesses.iter().map(|s| s.len()).sum();
+    // Each committed task records its location at inspect, commit-verify,
+    // and commit-write: at least 2 accesses per commit.
+    assert!(total >= 2 * 64, "recorded {total} accesses");
+}

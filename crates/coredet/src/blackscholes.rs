@@ -1,0 +1,194 @@
+//! The PARSEC blackscholes kernel, for real.
+//!
+//! blackscholes is the one PARSEC benchmark simple enough to reproduce
+//! outright: price a portfolio of European options with the closed-form
+//! Black–Scholes formula, split across threads in coarse chunks. It is the
+//! paper's example of a program deterministic schedulers handle well: tasks
+//! are hundreds of nanoseconds of pure arithmetic with essentially no
+//! synchronization (Figure 5), so CoreDet's serialization has nothing to
+//! serialize. Running it under [`crate::runtime::DetRuntime`] grounds the
+//! synthetic instruction streams of [`crate::kernels::Kernel::Blackscholes`].
+
+use crate::runtime::{DetRuntime, Mode, RunStats};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One European option.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Option_ {
+    /// Spot price.
+    pub spot: f64,
+    /// Strike price.
+    pub strike: f64,
+    /// Risk-free rate.
+    pub rate: f64,
+    /// Volatility.
+    pub volatility: f64,
+    /// Time to maturity, years.
+    pub time: f64,
+    /// Call (true) or put (false).
+    pub call: bool,
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun polynomial (the same
+/// approximation the PARSEC kernel uses).
+pub fn cndf(x: f64) -> f64 {
+    let neg = x < 0.0;
+    let x = x.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * x);
+    let poly = k
+        * (0.319381530
+            + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+    let pdf = (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let one_minus = pdf * poly;
+    if neg {
+        one_minus
+    } else {
+        1.0 - one_minus
+    }
+}
+
+/// Black–Scholes price of one option.
+pub fn price(o: &Option_) -> f64 {
+    let sqrt_t = o.time.sqrt();
+    let d1 = ((o.spot / o.strike).ln() + (o.rate + o.volatility * o.volatility / 2.0) * o.time)
+        / (o.volatility * sqrt_t);
+    let d2 = d1 - o.volatility * sqrt_t;
+    let discounted = o.strike * (-o.rate * o.time).exp();
+    if o.call {
+        o.spot * cndf(d1) - discounted * cndf(d2)
+    } else {
+        discounted * cndf(-d2) - o.spot * cndf(-d1)
+    }
+}
+
+/// Generates a deterministic random portfolio (the simlarge shape: 64k
+/// options at scale 1.0).
+pub fn portfolio(scale: f64, seed: u64) -> Vec<Option_> {
+    let n = ((65_536.0 * scale) as usize).max(64);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Option_ {
+            spot: rng.random_range(10.0..200.0),
+            strike: rng.random_range(10.0..200.0),
+            rate: rng.random_range(0.01..0.1),
+            volatility: rng.random_range(0.05..0.9),
+            time: rng.random_range(0.1..5.0),
+            call: rng.random_range(0..2u32) == 0,
+        })
+        .collect()
+}
+
+/// Result of a threaded pricing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PricingRun {
+    /// Sum of all option prices (the deterministic output checksum;
+    /// fixed-point accumulated so it is associative).
+    pub checksum: u64,
+    /// Runtime statistics.
+    pub stats: RunStats,
+}
+
+/// Prices the portfolio on `threads` threads under `mode`, reducing a
+/// fixed-point checksum through the (rare) synchronizing adds — one atomic
+/// per 4096-option chunk, the granularity the paper's Figure 5 reports.
+pub fn run_threaded(options: &[Option_], threads: usize, mode: Mode) -> PricingRun {
+    const CHUNK: usize = 4096;
+    let checksum = AtomicU64::new(0);
+    let stats = DetRuntime::run(threads, mode, |w| {
+        // Balanced chunk assignment: thread t takes chunks t, t+p, t+2p...
+        // and issues exactly ceil(nchunks/p) synchronizing adds (padding
+        // with zero-adds so CoreDet token turns stay balanced).
+        let nchunks = options.len().div_ceil(CHUNK);
+        let turns = nchunks.div_ceil(threads);
+        for k in 0..turns {
+            let chunk = k * threads + w.tid();
+            let mut local = 0u64;
+            if chunk < nchunks {
+                let lo = chunk * CHUNK;
+                let hi = (lo + CHUNK).min(options.len());
+                for o in &options[lo..hi] {
+                    // Fixed-point microcents: associative, so the checksum
+                    // is schedule-independent.
+                    local += (price(o).max(0.0) * 1e4) as u64;
+                }
+            }
+            w.fetch_add(&checksum, local);
+        }
+    });
+    PricingRun {
+        checksum: checksum.load(Ordering::Relaxed),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cndf_is_a_cdf() {
+        assert!((cndf(0.0) - 0.5).abs() < 1e-7);
+        assert!(cndf(-8.0) < 1e-9);
+        assert!(cndf(8.0) > 1.0 - 1e-9);
+        for i in -40..40 {
+            let x = i as f64 / 10.0;
+            assert!(cndf(x) <= cndf(x + 0.1), "monotone at {x}");
+        }
+    }
+
+    #[test]
+    fn put_call_parity() {
+        // C - P = S - K e^{-rT}
+        let base = Option_ {
+            spot: 100.0,
+            strike: 95.0,
+            rate: 0.05,
+            volatility: 0.3,
+            time: 1.0,
+            call: true,
+        };
+        let call = price(&base);
+        let put = price(&Option_ { call: false, ..base });
+        let parity = base.spot - base.strike * (-base.rate * base.time).exp();
+        assert!(
+            (call - put - parity).abs() < 1e-4,
+            "parity violated: {call} - {put} != {parity}"
+        );
+    }
+
+    #[test]
+    fn known_price() {
+        // Textbook example: S=42, K=40, r=10%, sigma=20%, T=0.5 → C ≈ 4.76.
+        let c = price(&Option_ {
+            spot: 42.0,
+            strike: 40.0,
+            rate: 0.1,
+            volatility: 0.2,
+            time: 0.5,
+            call: true,
+        });
+        assert!((c - 4.76).abs() < 0.01, "got {c}");
+    }
+
+    #[test]
+    fn threaded_checksum_matches_serial_and_is_deterministic() {
+        let opts = portfolio(0.02, 3);
+        let serial: u64 = opts.iter().map(|o| (price(o).max(0.0) * 1e4) as u64).sum();
+        let native = run_threaded(&opts, 4, Mode::Native);
+        assert_eq!(native.checksum, serial);
+        let det1 = run_threaded(&opts, 4, Mode::CoreDet { quantum: 10_000 });
+        let det2 = run_threaded(&opts, 4, Mode::CoreDet { quantum: 10_000 });
+        assert_eq!(det1.checksum, serial);
+        assert_eq!(det1.checksum, det2.checksum);
+    }
+
+    #[test]
+    fn sync_rate_is_low() {
+        // The Figure 5 point: ~1 atomic per 4096 options.
+        let opts = portfolio(0.05, 4);
+        let run = run_threaded(&opts, 2, Mode::Native);
+        assert!(run.stats.sync_ops as usize <= opts.len() / 1024);
+    }
+}

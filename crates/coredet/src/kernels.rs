@@ -1,0 +1,195 @@
+//! Instruction-stream generators for the Figure 6 benchmarks.
+//!
+//! Each generator splits a benchmark's total work across `p` threads and
+//! returns per-thread [`ThreadStream`]s whose work-per-synchronization
+//! ratios follow the paper's characterization (§5.1, Figure 5):
+//!
+//! - The PARSEC programs synchronize orders of magnitude less than the
+//!   irregular programs (blackscholes ≈ 1 atomic/µs *total* at 40 threads).
+//! - The irregular PBBS programs synchronize every few hundred nanoseconds
+//!   per thread (mis g-n ≈ 100 atomics/µs total).
+//!
+//! bodytrack and freqmine are synthetic stand-ins with matching granularity
+//! (DESIGN.md, substitution 3); blackscholes is modelled after the real
+//! kernel (a closed-form per-option computation).
+
+use crate::model::ThreadStream;
+
+/// A named Figure 6 benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// PARSEC blackscholes (simlarge: 64k options, coarse chunks).
+    Blackscholes,
+    /// bodytrack-like: frame loop with per-frame barriers.
+    Bodytrack,
+    /// freqmine-like: thread-private counting with occasional merges.
+    Freqmine,
+    /// PBBS non-deterministic BFS: one CAS per relaxed edge.
+    Bfs,
+    /// PBBS non-deterministic Delaunay mesh refinement.
+    Dmr,
+    /// PBBS non-deterministic Delaunay triangulation.
+    Dt,
+    /// PBBS (data-parallel) maximal independent set.
+    Mis,
+}
+
+impl Kernel {
+    /// All Figure 6 benchmarks, in the paper's order.
+    pub const ALL: [Kernel; 7] = [
+        Kernel::Blackscholes,
+        Kernel::Bodytrack,
+        Kernel::Freqmine,
+        Kernel::Bfs,
+        Kernel::Dmr,
+        Kernel::Dt,
+        Kernel::Mis,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Blackscholes => "blackscholes",
+            Kernel::Bodytrack => "bodytrack",
+            Kernel::Freqmine => "freqmine",
+            Kernel::Bfs => "bfs",
+            Kernel::Dmr => "dmr",
+            Kernel::Dt => "dt",
+            Kernel::Mis => "mis",
+        }
+    }
+
+    /// Whether this is one of the coarse-grain PARSEC benchmarks.
+    pub fn is_parsec(&self) -> bool {
+        matches!(
+            self,
+            Kernel::Blackscholes | Kernel::Bodytrack | Kernel::Freqmine
+        )
+    }
+
+    /// Generates per-thread streams for `p` threads at workload `scale`
+    /// (1.0 ≈ a tens-of-milliseconds run; scale multiplies task counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `scale <= 0`.
+    pub fn streams(&self, p: usize, scale: f64) -> Vec<ThreadStream> {
+        assert!(p > 0 && scale > 0.0);
+        // (tasks, work per task ns, syncs per task)
+        let (tasks, task_ns, syncs_per_task) = match self {
+            // 64k options × ~500ns; one atomic per 4096-option chunk.
+            Kernel::Blackscholes => (65_536.0, 500.0, 1.0 / 4096.0),
+            // Particle-weight tiles of ~29µs; a barrier/reduction op every
+            // ~7 tiles (per-frame synchronization amortized over tiles).
+            Kernel::Bodytrack => (3_970.0, 29_300.0, 1.0 / 13.0),
+            // Mining chunks of ~450µs with a merge atomic per chunk.
+            Kernel::Freqmine => (213.0, 452_000.0, 1.0),
+            // One CAS per relaxed edge, ~80ns of work per edge.
+            Kernel::Bfs => (500_000.0, 80.0, 1.0),
+            // ~3.8µs tasks (Fig. 4) with ~12 lock operations each.
+            Kernel::Dmr => (20_000.0, 3_800.0, 12.0),
+            // ~3µs tasks with ~10 lock operations each.
+            Kernel::Dt => (25_000.0, 3_000.0, 10.0),
+            // The data-parallel PBBS code: per-node flag updates are plain
+            // stores; synchronization is only the barrier at each of the
+            // few dozen bulk-synchronous rounds. This is why mis is the one
+            // irregular benchmark that survives CoreDet (§5.2).
+            Kernel::Mis => (400_000.0, 100.0, 1.0 / 4096.0),
+        };
+        let tasks = tasks * scale;
+        let per_thread_tasks = tasks / p as f64;
+        let work_per_thread = per_thread_tasks * task_ns;
+        let syncs_per_thread = (per_thread_tasks * syncs_per_task).round().max(0.0) as u64;
+        if syncs_per_thread == 0 {
+            return vec![
+                ThreadStream {
+                    n_gaps: 0,
+                    gap_ns: 0.0,
+                    tail_ns: work_per_thread,
+                };
+                p
+            ];
+        }
+        let gap_ns = work_per_thread / syncs_per_thread as f64;
+        vec![
+            ThreadStream {
+                n_gaps: syncs_per_thread,
+                gap_ns,
+                tail_ns: 0.0,
+            };
+            p
+        ]
+    }
+
+    /// Total atomic updates per microsecond of aggregate work — the Figure 5
+    /// characterization metric, computed analytically from the stream shape.
+    pub fn atomic_rate_per_us(&self, p: usize) -> f64 {
+        let streams = self.streams(p, 1.0);
+        let total_work_us: f64 = streams.iter().map(|s| s.work_ns()).sum::<f64>() / 1e3;
+        let total_syncs: u64 = streams.iter().map(|s| s.syncs()).sum();
+        // Rate against ideal parallel wall-clock (work/p).
+        total_syncs as f64 / (total_work_us / p as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{coredet_makespan_ns, native_makespan_ns};
+
+    #[test]
+    fn parsec_kernels_sync_orders_of_magnitude_less() {
+        // Figure 5: blackscholes ~1/µs vs the fine-grain irregular kernels.
+        let bs = Kernel::Blackscholes.atomic_rate_per_us(40);
+        let bfs = Kernel::Bfs.atomic_rate_per_us(40);
+        assert!(
+            bfs / bs > 1000.0,
+            "bfs {bfs:.2}/µs should dwarf blackscholes {bs:.4}/µs"
+        );
+    }
+
+    #[test]
+    fn mis_data_parallel_survives_coredet() {
+        let slowdown = |k: Kernel, p: usize| {
+            let s = k.streams(p, 0.2);
+            coredet_makespan_ns(&s, 50_000.0) / native_makespan_ns(&s)
+        };
+        assert!(slowdown(Kernel::Mis, 8) < slowdown(Kernel::Bfs, 8) / 2.0);
+    }
+
+    #[test]
+    fn figure6_shape_blackscholes_ok_bfs_collapses() {
+        let slowdown = |k: Kernel, p: usize| {
+            let s = k.streams(p, 0.2);
+            coredet_makespan_ns(&s, 50_000.0) / native_makespan_ns(&s)
+        };
+        let bs = slowdown(Kernel::Blackscholes, 8);
+        let bfs = slowdown(Kernel::Bfs, 8);
+        let dmr = slowdown(Kernel::Dmr, 8);
+        assert!(bs < 2.5, "blackscholes slowdown {bs:.2}");
+        assert!(bfs > 4.0, "bfs slowdown {bfs:.2}");
+        assert!(dmr > 3.0, "dmr slowdown {dmr:.2}");
+        assert!(bfs > bs && dmr > bs);
+    }
+
+    #[test]
+    fn streams_are_balanced_and_scaled() {
+        for k in Kernel::ALL {
+            let s = k.streams(4, 1.0);
+            assert_eq!(s.len(), 4);
+            assert!(s.iter().all(|x| x == &s[0]), "balanced threads");
+            let s2 = k.streams(4, 2.0);
+            let w1: f64 = s.iter().map(|x| x.work_ns()).sum();
+            let w2: f64 = s2.iter().map(|x| x.work_ns()).sum();
+            assert!((w2 / w1 - 2.0).abs() < 0.01, "{}: {w1} -> {w2}", k.name());
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = Kernel::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

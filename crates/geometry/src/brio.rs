@@ -1,0 +1,88 @@
+//! Biased randomized insertion order (BRIO).
+//!
+//! The Lonestar Delaunay triangulation reorders points online with BRIO
+//! (Amenta, Choi, Rote): points are assigned to rounds by repeatedly
+//! flipping a fair coin (round sizes roughly double), and each round is
+//! sorted along a space-filling curve. The order combines the O(n log n)
+//! expected behaviour of random insertion with spatial locality within
+//! rounds (§4.1 of the paper).
+
+use crate::point::Point;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Returns the indices of `points` in BRIO order, deterministically in
+/// `seed`.
+///
+/// # Example
+///
+/// ```
+/// use galois_geometry::{brio, point::random_points};
+/// let pts = random_points(100, 1);
+/// let order = brio::brio_order(&pts, 42);
+/// let mut sorted = order.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, (0..100).collect::<Vec<_>>(), "a permutation");
+/// ```
+pub fn brio_order(points: &[Point], seed: u64) -> Vec<usize> {
+    let n = points.len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Biased coin: each point lands in the last round with p=1/2, the
+    // one before with p=1/4, ... so later rounds are exponentially larger.
+    let mut round_of: Vec<u32> = Vec::with_capacity(n);
+    let max_round = (usize::BITS - n.leading_zeros()).max(1);
+    for _ in 0..n {
+        let mut r = max_round;
+        while r > 0 && rng.random_range(0..2u32) == 0 {
+            r -= 1;
+        }
+        round_of.push(r);
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    // Sort by (round, morton) — stable order, deterministic.
+    idx.sort_by_key(|&i| (round_of[i], points[i].morton(), i));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::random_points;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pts = random_points(500, 7);
+        assert_eq!(brio_order(&pts, 1), brio_order(&pts, 1));
+        assert_ne!(brio_order(&pts, 1), brio_order(&pts, 2));
+    }
+
+    #[test]
+    fn rounds_grow_and_are_locally_sorted() {
+        let pts = random_points(2000, 7);
+        let order = brio_order(&pts, 3);
+        // Later positions should predominantly be later rounds; check the
+        // coarse property that the last half contains at least half of all
+        // points whose morton ordering is locally monotone in stretches.
+        let mut monotone_pairs = 0;
+        let mut total_pairs = 0;
+        for w in order.windows(2) {
+            total_pairs += 1;
+            if pts[w[0]].morton() <= pts[w[1]].morton() {
+                monotone_pairs += 1;
+            }
+        }
+        // Within rounds the order is exactly morton-sorted, so a large
+        // majority of adjacent pairs are monotone.
+        assert!(
+            monotone_pairs * 10 >= total_pairs * 8,
+            "{monotone_pairs}/{total_pairs}"
+        );
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(brio_order(&[], 1).is_empty());
+        let one = random_points(1, 1);
+        assert_eq!(brio_order(&one, 1), vec![0]);
+    }
+}

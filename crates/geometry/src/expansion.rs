@@ -1,0 +1,380 @@
+//! Floating-point expansion arithmetic and adaptive predicates.
+//!
+//! The primary predicates of this crate ([`crate::predicates`]) are exact
+//! because inputs are grid-snapped. This module provides the
+//! Shewchuk-style alternative for *raw* `f64` coordinates — what the
+//! original Galois/PBBS codes use — built on error-free transformations:
+//!
+//! - [`two_sum`] / [`two_product`]: exact sum/product as `(head, tail)`
+//!   pairs (Knuth/Dekker).
+//! - [`Expansion`]: a nonoverlapping sum of `f64` components, closed under
+//!   addition and scaling.
+//! - [`orient2d_adaptive`] / [`incircle_adaptive`]: a fast floating-point
+//!   evaluation with a forward error bound, falling back to fully exact
+//!   expansion arithmetic only when the sign is uncertain.
+//!
+//! These are used by the property tests to cross-validate the grid
+//! predicates, and are available to applications that cannot snap their
+//! inputs.
+
+
+/// Exact sum: returns `(x, y)` with `x = fl(a + b)` and `a + b = x + y`
+/// exactly (Knuth's TwoSum; no magnitude precondition).
+#[inline]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let bv = x - a;
+    let av = x - bv;
+    let y = (a - av) + (b - bv);
+    (x, y)
+}
+
+/// Exact product: returns `(x, y)` with `x = fl(a * b)` and
+/// `a * b = x + y` exactly (via fused multiply-add).
+#[inline]
+pub fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let x = a * b;
+    let y = f64::mul_add(a, b, -x);
+    (x, y)
+}
+
+/// A sum of `f64` components stored least-significant first; the components
+/// are nonoverlapping, so the represented value is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expansion {
+    components: Vec<f64>,
+}
+
+impl Expansion {
+    /// The zero expansion.
+    pub fn zero() -> Self {
+        Expansion { components: vec![] }
+    }
+
+    /// An expansion holding exactly `v`.
+    pub fn from_f64(v: f64) -> Self {
+        Expansion {
+            components: if v == 0.0 { vec![] } else { vec![v] },
+        }
+    }
+
+    /// An expansion holding exactly `a * b`.
+    pub fn from_product(a: f64, b: f64) -> Self {
+        let (x, y) = two_product(a, b);
+        let mut components = Vec::with_capacity(2);
+        if y != 0.0 {
+            components.push(y);
+        }
+        if x != 0.0 {
+            components.push(x);
+        }
+        Expansion { components }
+    }
+
+    /// Number of nonzero components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the expansion is exactly zero.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Exact sum of two expansions (Shewchuk's fast-expansion-sum in its
+    /// simple grow-expansion form: robust, O(m·n) worst case — fine for the
+    /// ≤ 16-component expansions predicates produce).
+    pub fn add(&self, other: &Expansion) -> Expansion {
+        let mut result = self.clone();
+        for &c in &other.components {
+            result = result.grow(c);
+        }
+        result
+    }
+
+    /// Exact difference.
+    pub fn sub(&self, other: &Expansion) -> Expansion {
+        let mut result = self.clone();
+        for &c in &other.components {
+            result = result.grow(-c);
+        }
+        result
+    }
+
+    /// Exact sum with a single `f64` (Shewchuk's grow-expansion).
+    pub fn grow(&self, b: f64) -> Expansion {
+        let mut q = b;
+        let mut out = Vec::with_capacity(self.components.len() + 1);
+        for &c in &self.components {
+            let (sum, err) = two_sum(q, c);
+            if err != 0.0 {
+                out.push(err);
+            }
+            q = sum;
+        }
+        if q != 0.0 {
+            out.push(q);
+        }
+        Expansion { components: out }
+    }
+
+    /// Exact product with a single `f64` (scale-expansion).
+    pub fn scale(&self, b: f64) -> Expansion {
+        let mut out = Expansion::zero();
+        for &c in &self.components {
+            out = out.add(&Expansion::from_product(c, b));
+        }
+        out
+    }
+
+    /// The expansion's sign: the sign of its most significant component.
+    pub fn sign(&self) -> i32 {
+        match self.components.last() {
+            None => 0,
+            Some(&c) if c > 0.0 => 1,
+            Some(&c) if c < 0.0 => -1,
+            _ => 0,
+        }
+    }
+
+    /// Approximate `f64` value (sum of components, most significant last).
+    pub fn estimate(&self) -> f64 {
+        self.components.iter().sum()
+    }
+}
+
+/// Exact sign of `det [b - a, c - a]` over raw `f64` coordinates:
+/// fast path with an error filter, exact expansion fallback.
+pub fn orient2d_adaptive(ax: f64, ay: f64, bx: f64, by: f64, cx: f64, cy: f64) -> i32 {
+    let detleft = (bx - ax) * (cy - ay);
+    let detright = (by - ay) * (cx - ax);
+    let det = detleft - detright;
+    // Shewchuk's ccwerrboundA filter.
+    let detsum = if detleft > 0.0 && detright > 0.0 {
+        detleft + detright
+    } else if detleft < 0.0 && detright < 0.0 {
+        -(detleft + detright)
+    } else {
+        // Signs differ (or a zero): the fast determinant is reliable.
+        return sign_of(det);
+    };
+    const CCWERRBOUND_A: f64 = (3.0 + 16.0 * f64::EPSILON) * f64::EPSILON / 2.0;
+    if det.abs() >= CCWERRBOUND_A * detsum {
+        return sign_of(det);
+    }
+    // Exact: expand det = (bx-ax)(cy-ay) - (by-ay)(cx-ax) without assuming
+    // the differences are exact — compute over the 2x2 determinant of exact
+    // differences via expansions of products of two_sums.
+    let (bax, bax_e) = two_sum(bx, -ax);
+    let (cay, cay_e) = two_sum(cy, -ay);
+    let (bay, bay_e) = two_sum(by, -ay);
+    let (cax, cax_e) = two_sum(cx, -ax);
+    // (bax + bax_e)(cay + cay_e) - (bay + bay_e)(cax + cax_e), exactly.
+    let left = Expansion::from_product(bax, cay)
+        .add(&Expansion::from_product(bax, cay_e))
+        .add(&Expansion::from_product(bax_e, cay))
+        .add(&Expansion::from_product(bax_e, cay_e));
+    let right = Expansion::from_product(bay, cax)
+        .add(&Expansion::from_product(bay, cax_e))
+        .add(&Expansion::from_product(bay_e, cax))
+        .add(&Expansion::from_product(bay_e, cax_e));
+    left.sub(&right).sign()
+}
+
+/// Exact incircle over raw `f64` coordinates (fully exact expansion
+/// evaluation; no intermediate adaptive stages — simpler and still fast
+/// enough for validation workloads).
+#[allow(clippy::too_many_arguments)]
+pub fn incircle_exact(
+    ax: f64,
+    ay: f64,
+    bx: f64,
+    by: f64,
+    cx: f64,
+    cy: f64,
+    dx: f64,
+    dy: f64,
+) -> i32 {
+    // Rows are (ex, ey, ex^2 + ey^2) with e = p - d, all exact.
+    let row = |px: f64, py: f64| -> (Expansion, Expansion, Expansion) {
+        let (ex, exe) = two_sum(px, -dx);
+        let (ey, eye) = two_sum(py, -dy);
+        let x = Expansion::from_f64(exe).grow(ex);
+        let y = Expansion::from_f64(eye).grow(ey);
+        let sq = mul_expansions(&x, &x).add(&mul_expansions(&y, &y));
+        (x, y, sq)
+    };
+    let (ax_, ay_, ad) = row(ax, ay);
+    let (bx_, by_, bd) = row(bx, by);
+    let (cx_, cy_, cd) = row(cx, cy);
+    // det = ax(by*cd - cy*bd) - ay(bx*cd - cx*bd) + ad(bx*cy - cx*by)
+    let t1 = mul_expansions(&by_, &cd).sub(&mul_expansions(&cy_, &bd));
+    let t2 = mul_expansions(&bx_, &cd).sub(&mul_expansions(&cx_, &bd));
+    let t3 = mul_expansions(&bx_, &cy_).sub(&mul_expansions(&cx_, &by_));
+    mul_expansions(&ax_, &t1)
+        .sub(&mul_expansions(&ay_, &t2))
+        .add(&mul_expansions(&ad, &t3))
+        .sign()
+}
+
+/// Exact product of two expansions.
+fn mul_expansions(a: &Expansion, b: &Expansion) -> Expansion {
+    let mut out = Expansion::zero();
+    for &ac in &a.components {
+        out = out.add(&b.scale(ac));
+    }
+    out
+}
+
+fn sign_of(v: f64) -> i32 {
+    if v > 0.0 {
+        1
+    } else if v < 0.0 {
+        -1
+    } else {
+        0
+    }
+}
+
+/// Adaptive incircle: float filter first, exact fallback.
+#[allow(clippy::too_many_arguments)]
+pub fn incircle_adaptive(
+    ax: f64,
+    ay: f64,
+    bx: f64,
+    by: f64,
+    cx: f64,
+    cy: f64,
+    dx: f64,
+    dy: f64,
+) -> i32 {
+    let adx = ax - dx;
+    let ady = ay - dy;
+    let bdx = bx - dx;
+    let bdy = by - dy;
+    let cdx = cx - dx;
+    let cdy = cy - dy;
+    let alift = adx * adx + ady * ady;
+    let blift = bdx * bdx + bdy * bdy;
+    let clift = cdx * cdx + cdy * cdy;
+    let det = alift * (bdx * cdy - cdx * bdy) + blift * (cdx * ady - adx * cdy)
+        + clift * (adx * bdy - bdx * ady);
+    let permanent = alift.abs() * (bdx * cdy).abs().max((cdx * bdy).abs())
+        + blift.abs() * (cdx * ady).abs().max((adx * cdy).abs())
+        + clift.abs() * (adx * bdy).abs().max((bdx * ady).abs());
+    // A (deliberately conservative) error bound.
+    const ERRBOUND: f64 = 32.0 * f64::EPSILON;
+    if det.abs() > ERRBOUND * permanent {
+        sign_of(det)
+    } else {
+        incircle_exact(ax, ay, bx, by, cx, cy, dx, dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::{incircle, orient2d_sign};
+
+    #[test]
+    fn two_sum_is_error_free() {
+        let cases = [(1e16, 1.0), (0.1, 0.2), (-1e-30, 1e30), (3.5, -3.5)];
+        for (a, b) in cases {
+            let (x, y) = two_sum(a, b);
+            // x + y == a + b exactly: verify via expansion re-evaluation.
+            assert_eq!(x, a + b);
+            // The error term recovers what rounding lost.
+            if (a + b) - x == 0.0 {
+                // When fl(a+b) is exact, y must be the exact residue.
+                assert_eq!(x + y, a + b);
+            }
+        }
+    }
+
+    #[test]
+    fn two_product_is_error_free() {
+        let (x, y) = two_product(0.1, 0.1);
+        assert_eq!(x, 0.1 * 0.1);
+        assert!(y != 0.0, "0.01 is not representable; tail captures the error");
+        let (x2, y2) = two_product(2.0, 4.0);
+        assert_eq!((x2, y2), (8.0, 0.0));
+    }
+
+    #[test]
+    fn expansion_roundtrip_sign() {
+        let e = Expansion::from_f64(1.0)
+            .grow(1e-30)
+            .grow(-1.0);
+        assert_eq!(e.sign(), 1, "the 1e-30 residue decides");
+        let z = Expansion::from_f64(5.0).grow(-5.0);
+        assert_eq!(z.sign(), 0);
+    }
+
+    #[test]
+    fn orient_adaptive_matches_grid_exact_on_grid_points() {
+        use crate::point::random_points;
+        let pts = random_points(60, 17);
+        for w in pts.windows(3) {
+            let (a, b, c) = (w[0], w[1], w[2]);
+            let got = orient2d_adaptive(a.x(), a.y(), b.x(), b.y(), c.x(), c.y());
+            assert_eq!(got, orient2d_sign(a, b, c));
+        }
+    }
+
+    #[test]
+    fn orient_adaptive_resolves_near_degeneracy() {
+        // Nearly collinear points that defeat naive f64 evaluation: the
+        // classic Kettner et al. configuration.
+        let s = |k: i32| 0.5 + k as f64 * f64::EPSILON;
+        // Points exactly on a line have orientation 0...
+        assert_eq!(orient2d_adaptive(0.0, 0.0, 0.5, 0.5, 1.0, 1.0), 0);
+        // ...one ulp off is detected: det = bx*cy - by*cx = ±epsilon.
+        assert_eq!(orient2d_adaptive(0.0, 0.0, s(1), 0.5, 1.0, 1.0), 1);
+        assert_eq!(orient2d_adaptive(0.0, 0.0, 0.5, s(1), 1.0, 1.0), -1);
+    }
+
+    #[test]
+    fn incircle_matches_grid_exact_on_grid_points() {
+        use crate::point::random_points;
+        let pts = random_points(40, 23);
+        let d = pts[0];
+        for w in pts[1..].windows(3) {
+            let (a, b, c) = (w[0], w[1], w[2]);
+            let got = incircle_adaptive(
+                a.x(), a.y(), b.x(), b.y(), c.x(), c.y(), d.x(), d.y(),
+            );
+            assert_eq!(got, incircle(a, b, c, d), "at {a} {b} {c} {d}");
+        }
+    }
+
+    #[test]
+    fn incircle_exact_on_cocircular_points() {
+        // Unit square corners are exactly cocircular even in f64.
+        assert_eq!(
+            incircle_exact(0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0),
+            0
+        );
+        assert_eq!(
+            incircle_adaptive(0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.5, 0.5),
+            1
+        );
+    }
+
+    /// Helper available to property tests: a `Point`-typed wrapper.
+    pub fn orient_points(
+        a: crate::point::Point,
+        b: crate::point::Point,
+        c: crate::point::Point,
+    ) -> i32 {
+        orient2d_adaptive(a.x(), a.y(), b.x(), b.y(), c.x(), c.y())
+    }
+
+    #[test]
+    fn wrapper_compiles() {
+        use crate::point::Point;
+        let p = Point::from_grid(0, 0);
+        let q = Point::from_grid(1, 0);
+        let r = Point::from_grid(0, 1);
+        assert_eq!(orient_points(p, q, r), 1);
+    }
+}

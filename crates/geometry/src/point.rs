@@ -1,0 +1,164 @@
+//! Grid-snapped points.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Bits of the coordinate grid: coordinates are multiples of `2^-GRID_BITS`.
+pub const GRID_BITS: u32 = 26;
+
+/// Grid resolution (`2^GRID_BITS` cells per unit).
+pub const GRID_SCALE: f64 = (1u64 << GRID_BITS) as f64;
+
+/// A 2-D point whose coordinates are exact multiples of `2^-26`.
+///
+/// The invariant makes [`crate::predicates`] exact: `to_grid` coordinates are
+/// integers with at most ~28 significant bits (the working domain spans a few
+/// units around the unit square), so predicate determinants fit in `i128`.
+///
+/// # Example
+///
+/// ```
+/// use galois_geometry::Point;
+/// let p = Point::snapped(0.1234567890123, 0.5);
+/// let (gx, gy) = p.to_grid();
+/// assert_eq!(gx as f64 / galois_geometry::point::GRID_SCALE, p.x());
+/// assert_eq!(gy, (0.5 * galois_geometry::point::GRID_SCALE) as i64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    // Stored as grid integers; `x`/`y` accessors give the f64 view. Ordering
+    // derives lexicographically on (gx, gy), used for canonical output forms.
+    gx: i64,
+    gy: i64,
+}
+
+#[allow(clippy::len_without_is_empty)]
+impl Point {
+    /// Snaps `(x, y)` to the grid (round to nearest).
+    pub fn snapped(x: f64, y: f64) -> Self {
+        Point {
+            gx: (x * GRID_SCALE).round() as i64,
+            gy: (y * GRID_SCALE).round() as i64,
+        }
+    }
+
+    /// Builds a point directly from grid coordinates.
+    pub fn from_grid(gx: i64, gy: i64) -> Self {
+        Point { gx, gy }
+    }
+
+    /// Grid coordinates (exact integers).
+    pub fn to_grid(self) -> (i64, i64) {
+        (self.gx, self.gy)
+    }
+
+    /// The x coordinate as `f64` (exact).
+    pub fn x(self) -> f64 {
+        self.gx as f64 / GRID_SCALE
+    }
+
+    /// The y coordinate as `f64` (exact).
+    pub fn y(self) -> f64 {
+        self.gy as f64 / GRID_SCALE
+    }
+
+    /// Squared Euclidean distance to `other`, in grid units (exact for
+    /// points within the working domain).
+    pub fn dist2_grid(self, other: Point) -> i128 {
+        let dx = (self.gx - other.gx) as i128;
+        let dy = (self.gy - other.gy) as i128;
+        dx * dx + dy * dy
+    }
+
+    /// Z-order (Morton) code of the point, used by BRIO rounds. Coordinates
+    /// outside `[0, 2^26)` are clamped.
+    pub fn morton(self) -> u64 {
+        fn spread(mut v: u64) -> u64 {
+            v &= (1 << 26) - 1;
+            v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+            v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+            v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+            v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+            v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+            v
+        }
+        let cx = self.gx.clamp(0, (1 << 26) - 1) as u64;
+        let cy = self.gy.clamp(0, (1 << 26) - 1) as u64;
+        spread(cx) | (spread(cy) << 1)
+    }
+}
+
+/// A `Point` paired with its `x`/`y` view, convenient for printing.
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.8}, {:.8})", self.x(), self.y())
+    }
+}
+
+/// Generates `n` distinct random points in the unit square, snapped to the
+/// grid, deterministically in `seed` (the paper's dt/dmr inputs, §4.2).
+pub fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n * 2);
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let p = Point::from_grid(
+            rng.random_range(0..(1i64 << GRID_BITS)),
+            rng.random_range(0..(1i64 << GRID_BITS)),
+        );
+        if seen.insert(p) {
+            pts.push(p);
+        }
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapping_is_exact_roundtrip() {
+        let p = Point::snapped(0.333333333333, 0.77777777);
+        let q = Point::snapped(p.x(), p.y());
+        assert_eq!(p, q, "snapped coordinates are fixed points of snapping");
+    }
+
+    #[test]
+    fn grid_coordinates_are_integers() {
+        let p = Point::snapped(0.5, 0.25);
+        assert_eq!(p.to_grid(), (1 << 25, 1 << 24));
+    }
+
+    #[test]
+    fn random_points_distinct_and_deterministic() {
+        let a = random_points(1000, 9);
+        let b = random_points(1000, 9);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 1000);
+        for p in &a {
+            assert!((0.0..1.0).contains(&p.x()));
+            assert!((0.0..1.0).contains(&p.y()));
+        }
+    }
+
+    #[test]
+    fn morton_orders_quadrants() {
+        let half = 1i64 << 25;
+        let sw = Point::from_grid(0, 0);
+        let se = Point::from_grid(half, 0);
+        let nw = Point::from_grid(0, half);
+        let ne = Point::from_grid(half, half);
+        let mut v = [ne, sw, nw, se];
+        v.sort_by_key(|p| p.morton());
+        assert_eq!(v, [sw, se, nw, ne]);
+    }
+
+    #[test]
+    fn dist2_exact() {
+        let a = Point::from_grid(0, 0);
+        let b = Point::from_grid(3, 4);
+        assert_eq!(a.dist2_grid(b), 25);
+    }
+}

@@ -1,0 +1,178 @@
+//! Exact geometric predicates over grid-snapped points.
+//!
+//! With coordinates on the `2^26` grid (extended a few units for the
+//! super-triangle, so grid integers stay below `2^30`), the `orient2d`
+//! determinant is bounded by `2^61` and the `incircle` determinant by
+//! `2^124` — both within `i128`. No floating-point rounding is involved, so
+//! every predicate is exact and deterministic.
+
+use crate::point::Point;
+
+/// Result of an orientation test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// `a → b → c` turns left (counter-clockwise).
+    CounterClockwise,
+    /// `a → b → c` turns right (clockwise).
+    Clockwise,
+    /// The three points are collinear.
+    Collinear,
+}
+
+/// Exact 2-D orientation: the sign of `det [b-a, c-a]`.
+///
+/// # Example
+///
+/// ```
+/// use galois_geometry::{orient2d, Orientation, Point};
+/// let a = Point::from_grid(0, 0);
+/// let b = Point::from_grid(10, 0);
+/// let c = Point::from_grid(0, 10);
+/// assert_eq!(orient2d(a, b, c), Orientation::CounterClockwise);
+/// assert_eq!(orient2d(a, c, b), Orientation::Clockwise);
+/// assert_eq!(orient2d(a, b, Point::from_grid(20, 0)), Orientation::Collinear);
+/// ```
+pub fn orient2d(a: Point, b: Point, c: Point) -> Orientation {
+    match orient2d_sign(a, b, c) {
+        s if s > 0 => Orientation::CounterClockwise,
+        s if s < 0 => Orientation::Clockwise,
+        _ => Orientation::Collinear,
+    }
+}
+
+/// Sign of the orientation determinant: `+1` CCW, `-1` CW, `0` collinear.
+pub fn orient2d_sign(a: Point, b: Point, c: Point) -> i32 {
+    let (ax, ay) = a.to_grid();
+    let (bx, by) = b.to_grid();
+    let (cx, cy) = c.to_grid();
+    let det = ((bx - ax) as i128) * ((cy - ay) as i128)
+        - ((by - ay) as i128) * ((cx - ax) as i128);
+    det.signum() as i32
+}
+
+/// Exact incircle test.
+///
+/// For `a, b, c` in counter-clockwise order, returns `+1` if `d` lies
+/// strictly inside their circumcircle, `-1` strictly outside, `0` on it.
+/// (For clockwise `a, b, c` the sign flips, per the standard determinant
+/// formulation.)
+///
+/// # Example
+///
+/// ```
+/// use galois_geometry::{incircle, Point};
+/// let a = Point::from_grid(0, 0);
+/// let b = Point::from_grid(4, 0);
+/// let c = Point::from_grid(0, 4);
+/// assert_eq!(incircle(a, b, c, Point::from_grid(1, 1)), 1); // inside
+/// assert_eq!(incircle(a, b, c, Point::from_grid(100, 100)), -1); // outside
+/// assert_eq!(incircle(a, b, c, Point::from_grid(4, 4)), 0); // cocircular
+/// ```
+pub fn incircle(a: Point, b: Point, c: Point, d: Point) -> i32 {
+    let (dx, dy) = d.to_grid();
+    let row = |p: Point| {
+        let (px, py) = p.to_grid();
+        let ex = (px - dx) as i128;
+        let ey = (py - dy) as i128;
+        (ex, ey, ex * ex + ey * ey)
+    };
+    let (ax, ay, ad) = row(a);
+    let (bx, by, bd) = row(b);
+    let (cx, cy, cd) = row(c);
+    // 3x3 determinant by cofactor expansion. Terms bounded well inside i128
+    // for grid coordinates below 2^30.
+    let det = ax * (by * cd - cy * bd) - ay * (bx * cd - cx * bd) + ad * (bx * cy - cx * by);
+    det.signum() as i32
+}
+
+/// Whether point `p` lies inside or on the boundary of CCW triangle
+/// `(a, b, c)`.
+pub fn in_triangle(a: Point, b: Point, c: Point, p: Point) -> bool {
+    debug_assert_eq!(orient2d_sign(a, b, c), 1, "triangle must be CCW");
+    orient2d_sign(a, b, p) >= 0 && orient2d_sign(b, c, p) >= 0 && orient2d_sign(c, a, p) >= 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::random_points;
+
+    /// Brute-force check against rational arithmetic via f64 on tiny
+    /// coordinates (exact there).
+    fn orient_ref(a: Point, b: Point, c: Point) -> i32 {
+        let v = (b.x() - a.x()) * (c.y() - a.y()) - (b.y() - a.y()) * (c.x() - a.x());
+        if v > 0.0 {
+            1
+        } else if v < 0.0 {
+            -1
+        } else {
+            0
+        }
+    }
+
+    #[test]
+    fn orientation_matches_reference_on_small_points() {
+        let pts: Vec<Point> = (0..8)
+            .flat_map(|x| (0..8).map(move |y| Point::from_grid(x, y)))
+            .collect();
+        for &a in &pts {
+            for &b in &pts {
+                for &c in pts.iter().step_by(3) {
+                    assert_eq!(orient2d_sign(a, b, c), orient_ref(a, b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incircle_antisymmetry_and_rotation() {
+        let pts = random_points(40, 3);
+        let d = pts[0];
+        for w in pts[1..].windows(3) {
+            let (a, b, c) = (w[0], w[1], w[2]);
+            if orient2d_sign(a, b, c) == 0 {
+                continue;
+            }
+            // Rotating the first three arguments preserves the sign.
+            assert_eq!(incircle(a, b, c, d), incircle(b, c, a, d));
+            assert_eq!(incircle(a, b, c, d), incircle(c, a, b, d));
+            // Swapping two flips it.
+            assert_eq!(incircle(a, b, c, d), -incircle(b, a, c, d));
+        }
+    }
+
+    #[test]
+    fn incircle_known_values() {
+        // Unit-square corners are cocircular.
+        let a = Point::from_grid(0, 0);
+        let b = Point::from_grid(2, 0);
+        let c = Point::from_grid(2, 2);
+        let d = Point::from_grid(0, 2);
+        assert_eq!(incircle(a, b, c, d), 0);
+        assert_eq!(incircle(a, b, c, Point::from_grid(1, 1)), 1);
+        assert_eq!(incircle(a, b, c, Point::from_grid(3, 3)), -1);
+    }
+
+    #[test]
+    fn in_triangle_boundary_counts() {
+        let a = Point::from_grid(0, 0);
+        let b = Point::from_grid(4, 0);
+        let c = Point::from_grid(0, 4);
+        assert!(in_triangle(a, b, c, Point::from_grid(1, 1)));
+        assert!(in_triangle(a, b, c, Point::from_grid(2, 0)), "on edge");
+        assert!(in_triangle(a, b, c, a), "vertex");
+        assert!(!in_triangle(a, b, c, Point::from_grid(3, 3)));
+    }
+
+    #[test]
+    fn no_overflow_at_super_triangle_scale() {
+        // Super-triangle vertices live a few units outside the grid square.
+        let far = 4 * (1i64 << 26);
+        let a = Point::from_grid(-far, -far);
+        let b = Point::from_grid(far, -far);
+        let c = Point::from_grid(0, far);
+        let d = Point::from_grid(1, 1);
+        assert_eq!(orient2d_sign(a, b, c), 1);
+        assert_eq!(incircle(a, b, c, d), 1, "interior point is inside");
+    }
+}

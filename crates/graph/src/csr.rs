@@ -1,0 +1,204 @@
+//! Compressed sparse row graphs.
+
+/// A node id. Graphs in this suite are bounded to `u32::MAX` nodes, matching
+//  the scaled-down inputs (DESIGN.md substitution 5).
+pub type NodeId = u32;
+
+/// An immutable directed graph in compressed sparse row form.
+///
+/// `offsets[v]..offsets[v+1]` indexes `targets` with `v`'s out-neighbors.
+/// Neighbor order is the insertion order of the edge list, which makes graph
+/// construction deterministic for deterministic inputs.
+///
+/// # Example
+///
+/// ```
+/// use galois_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2), (2, 0)]);
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.neighbors(0), &[1, 2]);
+/// assert_eq!(g.neighbors(1), &[] as &[u32]);
+/// assert_eq!(g.out_degree(2), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `n` nodes from a directed edge list.
+    ///
+    /// Edges keep their relative order within each source node (counting
+    /// sort), so construction is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut degree = vec![0u64; n];
+        for &(s, t) in edges {
+            assert!((s as usize) < n, "source {s} out of range");
+            assert!((t as usize) < n, "target {t} out of range");
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![0 as NodeId; edges.len()];
+        for &(s, t) in edges {
+            let c = &mut cursor[s as usize];
+            targets[*c as usize] = t;
+            *c += 1;
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Builds the undirected (symmetrized) version of an edge list: both
+    /// directions are present and duplicate edges are removed.
+    pub fn symmetrized(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut both: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len() * 2);
+        for &(s, t) in edges {
+            if s != t {
+                both.push((s, t));
+                both.push((t, s));
+            }
+        }
+        both.sort_unstable();
+        both.dedup();
+        Self::from_edges(n, &both)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Out-neighbors of `v`, in edge-insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Single-source shortest hop distances by sequential BFS;
+    /// `u32::MAX` marks unreachable nodes. Reference implementation for
+    /// validating the parallel variants.
+    pub fn bfs_distances(&self, source: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.num_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source as usize] = 0;
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v as usize];
+            for &w in self.neighbors(v) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = d + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether the CSR arrays are structurally consistent (diagnostic).
+    pub fn validate(&self) -> bool {
+        if self.offsets.is_empty() || self.offsets[0] != 0 {
+            return false;
+        }
+        if *self.offsets.last().unwrap() != self.targets.len() as u64 {
+            return false;
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        let n = self.num_nodes() as NodeId;
+        self.targets.iter().all(|&t| t < n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn neighbor_order_is_insertion_order() {
+        let g = CsrGraph::from_edges(4, &[(1, 3), (0, 2), (1, 0), (1, 2)]);
+        assert_eq!(g.neighbors(1), &[3, 0, 2]);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn symmetrized_has_both_directions_no_dups() {
+        let g = CsrGraph::symmetrized(4, &[(0, 1), (1, 0), (2, 3), (3, 3)]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.neighbors(3), &[2], "self-loop removed");
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.bfs_distances(0), vec![0, 1, 2, 3, u32::MAX]);
+    }
+
+    #[test]
+    fn bfs_distances_on_cycle() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.bfs_distances(2), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_endpoint_panics() {
+        let _ = CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn degrees_sum_to_edges() {
+        let edges = [(0u32, 1u32), (0, 0), (2, 1), (2, 0), (2, 2)];
+        let g = CsrGraph::from_edges(3, &edges);
+        let total: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        assert_eq!(total, edges.len());
+    }
+}

@@ -1,0 +1,174 @@
+//! Seeded graph generators for the paper's inputs (§4.2).
+//!
+//! - bfs / mis: "a random graph of 10 million nodes where each node is
+//!   connected to five randomly selected nodes" — [`uniform_random`].
+//! - pfp: "a random graph of 2^23 nodes with each node connected to 4 random
+//!   neighbors" — [`uniform_random`] plus capacities in [`crate::flow`].
+//! - Extra shapes for tests and ablations: [`grid2d`], [`rmat`].
+//!
+//! All generators are deterministic in their seed.
+
+use crate::csr::{CsrGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Directed edge list where each node points to `degree` uniformly random
+/// distinct-from-self targets (duplicates between targets allowed, matching
+/// the PBBS generator).
+pub fn uniform_random_edges(n: usize, degree: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    assert!(n >= 2 || degree == 0, "need at least two nodes for edges");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * degree);
+    for s in 0..n as NodeId {
+        for _ in 0..degree {
+            let mut t = rng.random_range(0..n as NodeId);
+            if t == s {
+                t = (t + 1) % n as NodeId;
+            }
+            edges.push((s, t));
+        }
+    }
+    edges
+}
+
+/// The paper's random k-out graph, as a CSR graph.
+pub fn uniform_random(n: usize, degree: usize, seed: u64) -> CsrGraph {
+    CsrGraph::from_edges(n, &uniform_random_edges(n, degree, seed))
+}
+
+/// Undirected (symmetrized) random k-out graph — the mis input.
+pub fn uniform_random_undirected(n: usize, degree: usize, seed: u64) -> CsrGraph {
+    CsrGraph::symmetrized(n, &uniform_random_edges(n, degree, seed))
+}
+
+/// A `w × h` 4-neighbor grid, undirected. High-locality topology used by the
+/// locality ablations.
+pub fn grid2d(w: usize, h: usize) -> CsrGraph {
+    let n = w * h;
+    let id = |x: usize, y: usize| (y * w + x) as NodeId;
+    let mut edges = Vec::with_capacity(4 * n);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < h {
+                edges.push((id(x, y), id(x, y + 1)));
+            }
+        }
+    }
+    CsrGraph::symmetrized(n, &edges)
+}
+
+/// RMAT-style power-law graph (Chakrabarti et al. parameters `a,b,c`;
+/// `d = 1 - a - b - c`). Node count is rounded up to a power of two.
+///
+/// # Panics
+///
+/// Panics if `a + b + c > 1`.
+pub fn rmat(n: usize, num_edges: usize, a: f64, b: f64, c: f64, seed: u64) -> CsrGraph {
+    assert!(a + b + c <= 1.0 + 1e-9, "rmat probabilities exceed 1");
+    let scale = (n.max(2) as f64).log2().ceil() as u32;
+    let size = 1usize << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let (mut x0, mut x1) = (0usize, size);
+        let (mut y0, mut y1) = (0usize, size);
+        while x1 - x0 > 1 {
+            let r: f64 = rng.random();
+            let (dx, dy) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (1, 0)
+            } else if r < a + b + c {
+                (0, 1)
+            } else {
+                (1, 1)
+            };
+            let mx = (x0 + x1) / 2;
+            let my = (y0 + y1) / 2;
+            if dx == 0 {
+                x1 = mx;
+            } else {
+                x0 = mx;
+            }
+            if dy == 0 {
+                y1 = my;
+            } else {
+                y0 = my;
+            }
+        }
+        if x0 != y0 {
+            edges.push((x0 as NodeId, y0 as NodeId));
+        }
+    }
+    CsrGraph::from_edges(size, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_random_shape() {
+        let g = uniform_random(100, 5, 42);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 500);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 5);
+            assert!(g.neighbors(v).iter().all(|&t| t != v), "no self loops");
+        }
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = uniform_random(200, 4, 7);
+        let b = uniform_random(200, 4, 7);
+        let c = uniform_random(200, 4, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn undirected_is_symmetric() {
+        let g = uniform_random_undirected(64, 3, 1);
+        for v in g.nodes() {
+            for &w in g.neighbors(v) {
+                assert!(g.neighbors(w).contains(&v), "missing reverse {w}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid2d(3, 3);
+        assert_eq!(g.num_nodes(), 9);
+        // Corners 2, edges 3, center 4.
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(1), 3);
+        assert_eq!(g.out_degree(4), 4);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn grid_is_connected() {
+        let g = grid2d(7, 5);
+        let d = g.bfs_distances(0);
+        assert!(d.iter().all(|&x| x != u32::MAX));
+        assert_eq!(d[34], 6 + 4); // opposite corner: manhattan distance
+    }
+
+    #[test]
+    fn rmat_generates_skewed_degrees() {
+        let g = rmat(1 << 10, 8 * (1 << 10), 0.57, 0.19, 0.19, 3);
+        assert!(g.validate());
+        let max_deg = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
+        let avg = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(
+            max_deg as f64 > 4.0 * avg,
+            "power-law graph should have hubs (max {max_deg}, avg {avg:.1})"
+        );
+    }
+}

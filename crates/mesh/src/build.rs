@@ -1,0 +1,229 @@
+//! Sequential incremental Delaunay construction.
+//!
+//! Triangulation happens inside an explicit **square domain**: the mesh
+//! starts as the four unit-square corners and two triangles, and every
+//! inserted point must lie inside the square. This avoids the classic
+//! super-triangle artifact (near-boundary points whose huge flat
+//! circumcircles reach artificial far-away vertices and corrupt the hull)
+//! without symbolic infinite-vertex predicates: the domain boundary is part
+//! of the input, hull edges are always axis-aligned sub-segments of the
+//! square sides, and no post-pass removal is needed. The dt benchmark is
+//! therefore the Delaunay triangulation of the random points *plus the four
+//! corners* (see DESIGN.md).
+
+use crate::cavity::{grow, locate, retriangulate, LocateOutcome};
+use crate::mesh::Mesh;
+use galois_geometry::point::GRID_BITS;
+use galois_geometry::Point;
+use std::convert::Infallible;
+
+/// Number of domain-corner vertices (always ids `0..4`).
+pub const CORNER_VERTS: u32 = 4;
+
+/// Creates the square-domain start mesh: corners `(0,0), (g,0), (g,g),
+/// (0,g)` as vertices `0..4` and two CCW triangles, with capacity for
+/// `max_points` insertions plus the given extra headroom.
+pub fn square_mesh(max_points: usize, extra_verts: usize, extra_tris: usize) -> Mesh {
+    // Each insertion kills ~k and creates ~k+2 triangle slots, k ≈ 4–6
+    // expected; 12 slots per point is comfortably above.
+    let mesh = Mesh::with_capacity(
+        max_points + CORNER_VERTS as usize + extra_verts,
+        12 * max_points + extra_tris + 64,
+    );
+    let g = 1i64 << GRID_BITS;
+    let v0 = mesh.add_vertex(Point::from_grid(0, 0));
+    let v1 = mesh.add_vertex(Point::from_grid(g, 0));
+    let v2 = mesh.add_vertex(Point::from_grid(g, g));
+    let v3 = mesh.add_vertex(Point::from_grid(0, g));
+    let t0 = mesh.create_tri([v0, v1, v2]);
+    let t1 = mesh.create_tri([v0, v2, v3]);
+    mesh.set_neighbor(t0, 2, t1); // edge (v2, v0)
+    mesh.set_neighbor(t1, 0, t0); // edge (v0, v2)
+    mesh
+}
+
+/// Sequential Bowyer–Watson builder over the square domain.
+#[derive(Debug)]
+pub struct SeqBuilder {
+    mesh: Mesh,
+    hint: u32,
+    inserted: usize,
+}
+
+impl SeqBuilder {
+    /// Creates a builder able to insert up to `max_points` points.
+    pub fn new(max_points: usize) -> Self {
+        Self::with_headroom(max_points, 0, 0)
+    }
+
+    /// Creates a builder with extra vertex and triangle slots beyond what
+    /// triangulating `max_points` needs — headroom for later refinement of
+    /// the same mesh (dmr adds Steiner vertices and triangles in place).
+    pub fn with_headroom(max_points: usize, extra_verts: usize, extra_tris: usize) -> Self {
+        SeqBuilder {
+            mesh: square_mesh(max_points, extra_verts, extra_tris),
+            hint: 0,
+            inserted: 0,
+        }
+    }
+
+    /// Access to the mesh under construction.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Number of successfully inserted points.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Inserts `p`, returning its vertex id, or `None` if `p` duplicates an
+    /// existing vertex (including the corners).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` lies outside the square domain.
+    pub fn insert(&mut self, p: Point) -> Option<u32> {
+        let mut nofail = |_: u32| -> Result<(), Infallible> { Ok(()) };
+        let start = if self.mesh.alive(self.hint) {
+            self.hint
+        } else {
+            first_alive(&self.mesh)
+        };
+        let outcome = match locate(&self.mesh, p, start, &mut nofail) {
+            Ok(o) => o,
+            Err(never) => match never {},
+        };
+        match outcome {
+            LocateOutcome::OnVertex { .. } => None,
+            LocateOutcome::OutsideBoundary { .. } => {
+                panic!("point {p} lies outside the square domain")
+            }
+            LocateOutcome::Found(seed) => {
+                let cavity = match grow(&self.mesh, p, seed, &mut nofail) {
+                    Ok(c) => c,
+                    Err(never) => match never {},
+                };
+                let v = self.mesh.add_vertex(p);
+                let created = retriangulate(&self.mesh, &cavity, v);
+                self.hint = created[0];
+                self.inserted += 1;
+                Some(v)
+            }
+        }
+    }
+
+    /// Finishes construction and returns the mesh.
+    pub fn into_mesh(self) -> Mesh {
+        self.mesh
+    }
+}
+
+/// First alive triangle by slot scan (walk-hint fallback).
+///
+/// # Panics
+///
+/// Panics if the mesh has no alive triangles.
+pub fn first_alive(mesh: &Mesh) -> u32 {
+    mesh.alive_tris().next().expect("mesh has no alive triangles")
+}
+
+/// Convenience: triangulate `points` (plus the domain corners)
+/// sequentially, in the given order.
+pub fn triangulate(points: &[Point]) -> Mesh {
+    let mut b = SeqBuilder::new(points.len());
+    for &p in points {
+        b.insert(p);
+    }
+    b.into_mesh()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+    use crate::mesh::INVALID;
+    use galois_geometry::point::random_points;
+
+    #[test]
+    fn empty_input_is_the_two_corner_triangles() {
+        let mesh = triangulate(&[]);
+        assert_eq!(mesh.num_tris_alive(), 2);
+        check::validate(&mesh).unwrap();
+        check::check_delaunay(&mesh).unwrap();
+    }
+
+    #[test]
+    fn duplicate_points_are_skipped() {
+        let pts = [
+            Point::from_grid(10, 10),
+            Point::from_grid(900, 80),
+            Point::from_grid(10, 10), // dup
+            Point::from_grid(0, 0),   // corner dup
+            Point::from_grid(400, 900),
+        ];
+        let mut b = SeqBuilder::new(5);
+        assert!(b.insert(pts[0]).is_some());
+        assert!(b.insert(pts[1]).is_some());
+        assert!(b.insert(pts[2]).is_none());
+        assert!(b.insert(pts[3]).is_none());
+        assert!(b.insert(pts[4]).is_some());
+        assert_eq!(b.inserted(), 3);
+    }
+
+    #[test]
+    fn random_triangulation_is_delaunay() {
+        let pts = random_points(300, 5);
+        let mesh = triangulate(&pts);
+        check::validate(&mesh).unwrap();
+        check::check_delaunay(&mesh).unwrap();
+        // Euler: triangles = 2·(n + corners) − 2 − hull. Hull is the square
+        // (4 corners plus any points that landed exactly on the sides).
+        let alive = mesh.num_tris_alive();
+        assert!(
+            (560..=620).contains(&alive),
+            "plausible triangle count, got {alive}"
+        );
+        check::check_contains_vertices(&mesh, 4 + 300).unwrap();
+    }
+
+    #[test]
+    fn hull_edges_are_axis_aligned() {
+        let pts = random_points(400, 11);
+        let mesh = triangulate(&pts);
+        for t in mesh.alive_tris() {
+            let d = mesh.tri(t);
+            for i in 0..3 {
+                if d.n[i] == INVALID {
+                    let a = mesh.vertex(d.v[i]).to_grid();
+                    let b = mesh.vertex(d.v[(i + 1) % 3]).to_grid();
+                    assert!(
+                        a.0 == b.0 || a.1 == b.1,
+                        "hull edge {a:?}->{b:?} is not axis-aligned"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_canonical_output() {
+        let pts = random_points(120, 8);
+        let mesh_a = triangulate(&pts);
+        let mut rev = pts.clone();
+        rev.reverse();
+        let mesh_b = triangulate(&rev);
+        assert_eq!(
+            check::canonical_triangles(&mesh_a),
+            check::canonical_triangles(&mesh_b),
+            "Delaunay triangulation of points in general position is unique"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the square domain")]
+    fn outside_point_panics() {
+        let mut b = SeqBuilder::new(1);
+        b.insert(Point::from_grid(-5, 10));
+    }
+}

@@ -1,0 +1,350 @@
+//! Point location, cavity growth, and retriangulation (Bowyer–Watson).
+//!
+//! These routines are shared verbatim by the sequential builder and the
+//! parallel variants; the `visit` hook is called on every triangle *before*
+//! it is read, which is where parallel operators acquire abstract locks
+//! (making the walk path and cavity part of the task's neighborhood, as in
+//! the original Galois dt/dmr — §3.2 "the only way to get the neighborhood
+//! of a task is to execute the task"). The sequential builder passes an
+//! infallible no-op.
+//!
+//! All iteration is in **connectivity order** (edge index order, FIFO
+//! discovery), never in slot-id order; this keeps the geometric evolution of
+//! the mesh identical across runs even though slot ids are allocated
+//! concurrently (see DESIGN.md on determinism up to arena renaming).
+
+use crate::mesh::{Mesh, INVALID};
+use galois_geometry::predicates::{incircle, orient2d_sign};
+use galois_geometry::Point;
+
+/// Where a point-location walk ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocateOutcome {
+    /// `p` lies inside (or on the boundary of) this alive triangle.
+    Found(u32),
+    /// `p` coincides exactly with an existing vertex.
+    OnVertex {
+        /// The triangle that contains the vertex.
+        tri: u32,
+        /// The coincident vertex id.
+        vertex: u32,
+    },
+    /// The walk crossed hull edge `edge` of triangle `tri`; `p` lies outside
+    /// the mesh.
+    OutsideBoundary {
+        /// Boundary triangle.
+        tri: u32,
+        /// Its hull edge index.
+        edge: usize,
+    },
+}
+
+/// Walks from `start` toward `p`.
+///
+/// `visit` is called on every triangle before its data is read, including
+/// `start`. Under speculative execution `start` may have died between the
+/// caller's liveness check and this call; the visit hook is where such
+/// staleness is detected (lock, then check liveness, and return a conflict)
+/// — with an infallible hook the caller must guarantee `start` is alive.
+/// With exact predicates on a Delaunay mesh the straight visibility walk
+/// terminates; a step cap guards against protocol misuse.
+///
+/// # Errors
+///
+/// Propagates the first `visit` error (a lock conflict in speculative
+/// executions).
+///
+/// # Panics
+///
+/// Panics if the step cap is exceeded (broken mesh or dead `start` with an
+/// infallible visit hook).
+pub fn locate<E>(
+    mesh: &Mesh,
+    p: Point,
+    start: u32,
+    visit: &mut impl FnMut(u32) -> Result<(), E>,
+) -> Result<LocateOutcome, E> {
+    let mut cur = start;
+    let cap = 4 * mesh.num_tris_allocated() + 16;
+    let mut steps = 0;
+    'walk: loop {
+        steps += 1;
+        assert!(steps < cap, "locate walk exceeded step cap (broken mesh?)");
+        visit(cur)?;
+        let d = mesh.tri(cur);
+        let pts = [
+            mesh.vertex(d.v[0]),
+            mesh.vertex(d.v[1]),
+            mesh.vertex(d.v[2]),
+        ];
+        for (k, &pk) in pts.iter().enumerate() {
+            if pk == p {
+                return Ok(LocateOutcome::OnVertex {
+                    tri: cur,
+                    vertex: d.v[k],
+                });
+            }
+        }
+        for i in 0..3 {
+            // Edge i runs pts[i] → pts[(i+1)%3]; p strictly right of it
+            // means the walk leaves through this edge.
+            if orient2d_sign(pts[i], pts[(i + 1) % 3], p) < 0 {
+                let nb = d.n[i];
+                if nb == INVALID {
+                    return Ok(LocateOutcome::OutsideBoundary { tri: cur, edge: i });
+                }
+                cur = nb;
+                continue 'walk;
+            }
+        }
+        return Ok(LocateOutcome::Found(cur));
+    }
+}
+
+/// One edge of a cavity boundary: the directed edge `a → b` (cavity on the
+/// left) and the surviving triangle on the other side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundaryEdge {
+    /// Edge start vertex.
+    pub a: u32,
+    /// Edge end vertex.
+    pub b: u32,
+    /// Triangle across the edge ([`INVALID`] on the hull).
+    pub outer: u32,
+    /// The edge index in `outer` that points back into the cavity.
+    pub outer_edge: usize,
+}
+
+/// A Bowyer–Watson cavity: the triangles whose circumcircle strictly
+/// contains the new point, plus the directed boundary cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cavity {
+    /// Doomed triangles, in FIFO discovery order from the seed.
+    pub tris: Vec<u32>,
+    /// Boundary edges, in discovery order (a subsequence of a directed
+    /// cycle around the cavity).
+    pub boundary: Vec<BoundaryEdge>,
+}
+
+/// Grows the cavity of `p` from `seed` (the triangle containing `p`, which
+/// the caller has already visited/locked).
+///
+/// # Errors
+///
+/// Propagates the first `visit` error.
+pub fn grow<E>(
+    mesh: &Mesh,
+    p: Point,
+    seed: u32,
+    visit: &mut impl FnMut(u32) -> Result<(), E>,
+) -> Result<Cavity, E> {
+    let mut tris = vec![seed];
+    let mut boundary = Vec::new();
+    let mut qi = 0;
+    while qi < tris.len() {
+        let t = tris[qi];
+        qi += 1;
+        let d = mesh.tri(t);
+        for i in 0..3 {
+            let (a, b) = (d.v[i], d.v[(i + 1) % 3]);
+            let nb = d.n[i];
+            if nb == INVALID {
+                boundary.push(BoundaryEdge {
+                    a,
+                    b,
+                    outer: INVALID,
+                    outer_edge: 0,
+                });
+                continue;
+            }
+            if tris.contains(&nb) {
+                continue;
+            }
+            visit(nb)?;
+            let nd = mesh.tri(nb);
+            let npts = [
+                mesh.vertex(nd.v[0]),
+                mesh.vertex(nd.v[1]),
+                mesh.vertex(nd.v[2]),
+            ];
+            if incircle(npts[0], npts[1], npts[2], p) > 0 {
+                tris.push(nb);
+            } else {
+                let outer_edge = mesh
+                    .neighbor_index(nb, t)
+                    .expect("neighbor pointers must be symmetric");
+                boundary.push(BoundaryEdge {
+                    a,
+                    b,
+                    outer: nb,
+                    outer_edge,
+                });
+            }
+        }
+    }
+    Ok(Cavity { tris, boundary })
+}
+
+/// Replaces the cavity with the star of `new_vertex`: kills the doomed
+/// triangles, creates one triangle per (non-degenerate) boundary edge, and
+/// stitches all neighbor pointers — including those of the locked outer
+/// triangles.
+///
+/// Returns the created triangle ids in boundary-discovery order (the
+/// deterministic order used for `(parent, rank)` task creation in dmr).
+///
+/// Degenerate boundary edges — where `new_vertex` lies exactly on the edge,
+/// which happens when splitting a hull edge — are skipped; the two adjacent
+/// fan triangles then expose hull edges through the split point.
+pub fn retriangulate(mesh: &Mesh, cavity: &Cavity, new_vertex: u32) -> Vec<u32> {
+    let p = mesh.vertex(new_vertex);
+    for &t in &cavity.tris {
+        mesh.kill(t);
+    }
+    // Create the fan.
+    let mut created: Vec<(u32, u32, u32)> = Vec::with_capacity(cavity.boundary.len());
+    for be in &cavity.boundary {
+        let pa = mesh.vertex(be.a);
+        let pb = mesh.vertex(be.b);
+        let orient = orient2d_sign(pa, pb, p);
+        debug_assert!(orient >= 0, "cavity boundary must see the point on its left");
+        if orient <= 0 {
+            // p lies on this boundary edge: the edge splits in two; the
+            // adjacent fan triangles carry the halves as hull edges. Detach
+            // the outer triangle so it sees the hull.
+            if be.outer != INVALID {
+                mesh.set_neighbor(be.outer, be.outer_edge, INVALID);
+            }
+            continue;
+        }
+        let t = mesh.create_tri([be.a, be.b, new_vertex]);
+        mesh.set_neighbor(t, 0, be.outer);
+        if be.outer != INVALID {
+            mesh.set_neighbor(be.outer, be.outer_edge, t);
+        }
+        created.push((t, be.a, be.b));
+    }
+    // Stitch fan-internal edges: triangle (a,b,p) has edge 1 = (b,p) and
+    // edge 2 = (p,a). Edge 1 of the triangle starting at `a` matches edge 2
+    // of the triangle whose start vertex is `b`.
+    let by_start: std::collections::HashMap<u32, u32> =
+        created.iter().map(|&(t, a, _)| (a, t)).collect();
+    for &(t, _a, b) in &created {
+        if let Some(&u) = by_start.get(&b) {
+            mesh.set_neighbor(t, 1, u);
+            mesh.set_neighbor(u, 2, t);
+        }
+    }
+    created.into_iter().map(|(t, _, _)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    fn no_visit() -> impl FnMut(u32) -> Result<(), Infallible> {
+        |_| Ok(())
+    }
+
+    /// Two triangles sharing an edge: (0,1,2) and (1,3,2).
+    fn two_tri_mesh() -> Mesh {
+        let m = Mesh::with_capacity(8, 16);
+        m.add_vertex(Point::from_grid(0, 0)); // 0
+        m.add_vertex(Point::from_grid(100, 0)); // 1
+        m.add_vertex(Point::from_grid(0, 100)); // 2
+        m.add_vertex(Point::from_grid(100, 100)); // 3
+        let t0 = m.create_tri([0, 1, 2]);
+        let t1 = m.create_tri([1, 3, 2]);
+        m.set_neighbor(t0, 1, t1); // edge (1,2)
+        m.set_neighbor(t1, 2, t0); // edge (2,1)
+        m
+    }
+
+    #[test]
+    fn locate_finds_containing_triangle() {
+        let m = two_tri_mesh();
+        let r = locate(&m, Point::from_grid(10, 10), 0, &mut no_visit()).unwrap();
+        assert_eq!(r, LocateOutcome::Found(0));
+        let r = locate(&m, Point::from_grid(90, 90), 0, &mut no_visit()).unwrap();
+        assert_eq!(r, LocateOutcome::Found(1));
+    }
+
+    #[test]
+    fn locate_reports_vertices_and_outside() {
+        let m = two_tri_mesh();
+        let r = locate(&m, Point::from_grid(100, 0), 1, &mut no_visit()).unwrap();
+        assert!(matches!(r, LocateOutcome::OnVertex { vertex: 1, .. }));
+        let r = locate(&m, Point::from_grid(-50, 10), 1, &mut no_visit()).unwrap();
+        assert!(matches!(r, LocateOutcome::OutsideBoundary { .. }));
+    }
+
+    #[test]
+    fn locate_propagates_visit_error() {
+        let m = two_tri_mesh();
+        let mut visits = 0;
+        let r = locate(&m, Point::from_grid(90, 90), 0, &mut |_t: u32| {
+            visits += 1;
+            if visits > 1 {
+                Err("conflict")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(r, Err("conflict"));
+    }
+
+    /// Mesh where t1 = (100,0),(300,300),(0,100): circumcenter (170,170),
+    /// r^2 = 33800, so (5,5) is outside it but (50,50) is inside.
+    fn wide_mesh() -> Mesh {
+        let m = Mesh::with_capacity(8, 16);
+        m.add_vertex(Point::from_grid(0, 0));
+        m.add_vertex(Point::from_grid(100, 0));
+        m.add_vertex(Point::from_grid(0, 100));
+        m.add_vertex(Point::from_grid(300, 300));
+        let t0 = m.create_tri([0, 1, 2]);
+        let t1 = m.create_tri([1, 3, 2]);
+        m.set_neighbor(t0, 1, t1);
+        m.set_neighbor(t1, 2, t0);
+        m
+    }
+
+    #[test]
+    fn grow_and_retriangulate_single_triangle_cavity() {
+        let m = wide_mesh();
+        let p = Point::from_grid(5, 5); // outside t1's circumcircle
+        let cavity = grow(&m, p, 0, &mut no_visit()).unwrap();
+        assert_eq!(cavity.tris, vec![0]);
+        assert_eq!(cavity.boundary.len(), 3);
+        let v = m.add_vertex(p);
+        let created = retriangulate(&m, &cavity, v);
+        assert_eq!(created.len(), 3);
+        assert!(!m.alive(0));
+        assert!(m.alive(1));
+        // Every created triangle is CCW and wired symmetrically.
+        for &t in &created {
+            let pts = m.tri_points(t);
+            assert_eq!(orient2d_sign(pts[0], pts[1], pts[2]), 1);
+            let d = m.tri(t);
+            for e in 0..3 {
+                if d.n[e] != INVALID && m.alive(d.n[e]) {
+                    assert!(m.neighbor_index(d.n[e], t).is_some(), "asymmetric link");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grow_absorbs_neighbor_inside_circumcircle() {
+        let m = wide_mesh();
+        let p = Point::from_grid(50, 50); // inside both circumcircles
+        let cavity = grow(&m, p, 0, &mut no_visit()).unwrap();
+        assert_eq!(cavity.tris, vec![0, 1], "neighbor absorbed");
+        assert_eq!(cavity.boundary.len(), 4);
+        let v = m.add_vertex(p);
+        let created = retriangulate(&m, &cavity, v);
+        assert_eq!(created.len(), 4);
+        crate::check::validate(&m).unwrap();
+        crate::check::check_delaunay(&m).unwrap();
+    }
+}

@@ -1,0 +1,120 @@
+//! Mesh export for visualization and interchange.
+//!
+//! Writes the alive triangles of a [`crate::Mesh`] as Wavefront OBJ or
+//! Geomview OFF — enough to drop a triangulated / refined mesh into any
+//! standard viewer when debugging geometry.
+
+use crate::mesh::Mesh;
+use std::io::Write;
+
+/// Collects alive triangles with a dense vertex remapping (dead vertices
+/// and slots are skipped).
+fn collect(mesh: &Mesh) -> (Vec<(f64, f64)>, Vec<[usize; 3]>) {
+    let mut vert_map = vec![usize::MAX; mesh.num_verts()];
+    let mut verts: Vec<(f64, f64)> = Vec::new();
+    let mut tris: Vec<[usize; 3]> = Vec::new();
+    for t in mesh.alive_tris() {
+        let d = mesh.tri(t);
+        let mut idx = [0usize; 3];
+        for (k, &v) in d.v.iter().enumerate() {
+            if vert_map[v as usize] == usize::MAX {
+                vert_map[v as usize] = verts.len();
+                let p = mesh.vertex(v);
+                verts.push((p.x(), p.y()));
+            }
+            idx[k] = vert_map[v as usize];
+        }
+        tris.push(idx);
+    }
+    (verts, tris)
+}
+
+/// Writes the mesh as Wavefront OBJ (1-indexed faces, z = 0).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_obj<W: Write>(mesh: &Mesh, mut w: W) -> std::io::Result<()> {
+    let (verts, tris) = collect(mesh);
+    writeln!(w, "# deterministic-galois mesh: {} vertices, {} triangles", verts.len(), tris.len())?;
+    for (x, y) in &verts {
+        writeln!(w, "v {x} {y} 0")?;
+    }
+    for t in &tris {
+        writeln!(w, "f {} {} {}", t[0] + 1, t[1] + 1, t[2] + 1)?;
+    }
+    Ok(())
+}
+
+/// Writes the mesh as Geomview OFF.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_off<W: Write>(mesh: &Mesh, mut w: W) -> std::io::Result<()> {
+    let (verts, tris) = collect(mesh);
+    writeln!(w, "OFF")?;
+    writeln!(w, "{} {} 0", verts.len(), tris.len())?;
+    for (x, y) in &verts {
+        writeln!(w, "{x} {y} 0")?;
+    }
+    for t in &tris {
+        writeln!(w, "3 {} {} {}", t[0], t[1], t[2])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::triangulate;
+    use galois_geometry::point::random_points;
+
+    #[test]
+    fn obj_has_all_faces_and_valid_indices() {
+        let mesh = triangulate(&random_points(60, 4));
+        let mut buf = Vec::new();
+        write_obj(&mesh, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let nv = text.lines().filter(|l| l.starts_with("v ")).count();
+        let nf = text.lines().filter(|l| l.starts_with("f ")).count();
+        assert_eq!(nf, mesh.num_tris_alive());
+        for line in text.lines().filter(|l| l.starts_with("f ")) {
+            for tok in line.split_whitespace().skip(1) {
+                let i: usize = tok.parse().unwrap();
+                assert!(i >= 1 && i <= nv, "face index {i} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn off_header_is_consistent() {
+        let mesh = triangulate(&random_points(25, 6));
+        let mut buf = Vec::new();
+        write_off(&mesh, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("OFF"));
+        let header: Vec<usize> = lines
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), header[0] + header[1]);
+        assert_eq!(header[1], mesh.num_tris_alive());
+    }
+
+    #[test]
+    fn dead_triangles_are_excluded() {
+        let mesh = triangulate(&random_points(30, 7));
+        let victim = mesh.alive_tris().next().unwrap();
+        mesh.kill(victim);
+        let mut buf = Vec::new();
+        write_obj(&mesh, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let nf = text.lines().filter(|l| l.starts_with("f ")).count();
+        assert_eq!(nf, mesh.num_tris_alive());
+    }
+}

@@ -1,0 +1,129 @@
+//! Spatial walk-hint grid for point location.
+//!
+//! A jump-and-walk locate from a fixed start triangle costs O(√n) steps;
+//! over n insertions that is O(n√n) — the dominant cost for parallel dt
+//! variants that cannot keep the sequential builder's last-insertion hint.
+//! [`GridLocator`] maps the unit square onto a coarse grid; committed
+//! insertions record a nearby triangle per cell, and later walks start from
+//! the closest recorded triangle.
+//!
+//! Hints are *best-effort*: they may be stale (dead triangles are skipped)
+//! and their racy update order is non-deterministic. That only perturbs
+//! walk paths, i.e. scheduling; for dt the output (the unique Delaunay
+//! triangulation) is unaffected, which is why the deterministic variant may
+//! use it too (see DESIGN.md on determinism up to arena renaming).
+
+use crate::mesh::{Mesh, INVALID};
+use galois_geometry::point::GRID_BITS;
+use galois_geometry::Point;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A `res × res` grid of triangle hints over the unit square.
+pub struct GridLocator {
+    cells: Vec<AtomicU32>,
+    res: usize,
+    shift: u32,
+}
+
+impl std::fmt::Debug for GridLocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GridLocator").field("res", &self.res).finish()
+    }
+}
+
+impl GridLocator {
+    /// Creates an empty locator with `res × res` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `res` is a power of two no larger than `2^GRID_BITS`.
+    pub fn new(res: usize) -> Self {
+        assert!(res.is_power_of_two() && res <= (1 << GRID_BITS));
+        GridLocator {
+            cells: (0..res * res).map(|_| AtomicU32::new(INVALID)).collect(),
+            res,
+            shift: GRID_BITS - res.trailing_zeros(),
+        }
+    }
+
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let (gx, gy) = p.to_grid();
+        let cx = (gx.clamp(0, (1 << GRID_BITS) - 1) >> self.shift) as usize;
+        let cy = (gy.clamp(0, (1 << GRID_BITS) - 1) >> self.shift) as usize;
+        (cx.min(self.res - 1), cy.min(self.res - 1))
+    }
+
+    /// Records `tri` as a hint near `p` (typically a freshly committed
+    /// triangle).
+    pub fn update(&self, p: Point, tri: u32) {
+        let (cx, cy) = self.cell_of(p);
+        self.cells[cy * self.res + cx].store(tri, Ordering::Relaxed);
+    }
+
+    /// An *alive* triangle near `p`, searching outward up to two rings of
+    /// cells; `None` if no live hint is nearby.
+    pub fn hint(&self, mesh: &Mesh, p: Point) -> Option<u32> {
+        let (cx, cy) = self.cell_of(p);
+        for ring in 0..3i64 {
+            for dy in -ring..=ring {
+                for dx in -ring..=ring {
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue; // interior of the ring already checked
+                    }
+                    let x = cx as i64 + dx;
+                    let y = cy as i64 + dy;
+                    if x < 0 || y < 0 || x >= self.res as i64 || y >= self.res as i64 {
+                        continue;
+                    }
+                    let t = self.cells[y as usize * self.res + x as usize].load(Ordering::Relaxed);
+                    if t != INVALID && mesh.alive(t) {
+                        return Some(t);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::triangulate;
+    use galois_geometry::point::random_points;
+
+    #[test]
+    fn hint_returns_alive_nearby_triangle() {
+        let pts = random_points(200, 4);
+        let mesh = triangulate(&pts);
+        let loc = GridLocator::new(16);
+        // Record a hint for every alive triangle at its first vertex.
+        for t in mesh.alive_tris() {
+            loc.update(mesh.tri_points(t)[0], t);
+        }
+        for &p in pts.iter().take(50) {
+            let h = loc.hint(&mesh, p).expect("dense mesh: hint nearby");
+            assert!(mesh.alive(h));
+        }
+    }
+
+    #[test]
+    fn dead_hints_are_skipped() {
+        let pts = random_points(50, 5);
+        let mesh = triangulate(&pts);
+        let loc = GridLocator::new(8);
+        let t = mesh.alive_tris().next().unwrap();
+        let p = mesh.tri_points(t)[0];
+        loc.update(p, t);
+        mesh.kill(t);
+        // Either finds some other recorded (none) or returns None.
+        assert_eq!(loc.hint(&mesh, p), None);
+    }
+
+    #[test]
+    fn empty_locator_returns_none() {
+        let mesh = triangulate(&random_points(10, 1));
+        let loc = GridLocator::new(4);
+        assert_eq!(loc.hint(&mesh, Point::from_grid(5, 5)), None);
+    }
+}

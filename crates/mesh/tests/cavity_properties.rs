@@ -1,0 +1,100 @@
+//! Property-based tests of the Bowyer–Watson machinery: arbitrary insertion
+//! sequences must preserve every structural and geometric invariant.
+
+use galois_geometry::Point;
+use galois_mesh::build::SeqBuilder;
+use galois_mesh::cavity::{grow, locate, LocateOutcome};
+use galois_mesh::check;
+use proptest::prelude::*;
+use std::convert::Infallible;
+
+fn grid_points() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::btree_set((1i64..1023, 1i64..1023), 1..50).prop_map(|set| {
+        set.into_iter()
+            // Spread over the full domain so triangles are not degenerate.
+            .map(|(x, y)| Point::from_grid(x << 16, y << 16))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every single insertion the mesh is valid and Delaunay.
+    #[test]
+    fn every_insertion_preserves_invariants(pts in grid_points()) {
+        let mut b = SeqBuilder::new(pts.len());
+        for (i, &p) in pts.iter().enumerate() {
+            b.insert(p);
+            if i % 7 == 0 || i + 1 == pts.len() {
+                check::validate(b.mesh()).map_err(TestCaseError::fail)?;
+                check::check_delaunay(b.mesh()).map_err(TestCaseError::fail)?;
+            }
+        }
+        // Triangle count obeys Euler's formula: T = 2(n+4) - 2 - hull.
+        let mesh = b.into_mesh();
+        let n = mesh.num_verts();
+        let alive = mesh.num_tris_alive();
+        prop_assert!(alive <= 2 * n);
+        check::check_contains_vertices(&mesh, n).map_err(TestCaseError::fail)?;
+    }
+
+    /// locate() finds a triangle that actually contains the query point.
+    #[test]
+    fn locate_is_correct(pts in grid_points(), qx in 0i64..1024, qy in 0i64..1024) {
+        let mut b = SeqBuilder::new(pts.len());
+        for &p in &pts {
+            b.insert(p);
+        }
+        let mesh = b.into_mesh();
+        let q = Point::from_grid(qx << 16, qy << 16);
+        let start = galois_mesh::build::first_alive(&mesh);
+        let mut nofail = |_t: u32| -> Result<(), Infallible> { Ok(()) };
+        match locate(&mesh, q, start, &mut nofail).unwrap() {
+            LocateOutcome::Found(t) => {
+                let [a, b2, c] = mesh.tri_points(t);
+                prop_assert!(
+                    galois_geometry::predicates::in_triangle(a, b2, c, q),
+                    "triangle {t} does not contain {q}"
+                );
+            }
+            LocateOutcome::OnVertex { vertex, .. } => {
+                prop_assert_eq!(mesh.vertex(vertex), q);
+            }
+            LocateOutcome::OutsideBoundary { .. } => {
+                // Query within the square domain can never be outside.
+                prop_assert!(false, "query inside the domain reported outside");
+            }
+        }
+    }
+
+    /// Cavities are internally consistent: every boundary edge's outer
+    /// triangle is alive and not in the cavity; the cavity contains the seed.
+    #[test]
+    fn cavities_are_well_formed(pts in grid_points(), qx in 1i64..1023, qy in 1i64..1023) {
+        let mut b = SeqBuilder::new(pts.len());
+        for &p in &pts {
+            b.insert(p);
+        }
+        let mesh = b.into_mesh();
+        let q = Point::from_grid(qx << 16, qy << 16);
+        let start = galois_mesh::build::first_alive(&mesh);
+        let mut nofail = |_t: u32| -> Result<(), Infallible> { Ok(()) };
+        let seed = match locate(&mesh, q, start, &mut nofail).unwrap() {
+            LocateOutcome::Found(t) => t,
+            _ => return Ok(()), // on a vertex: nothing to grow
+        };
+        let cavity = grow(&mesh, q, seed, &mut nofail).unwrap();
+        prop_assert!(cavity.tris.contains(&seed));
+        for be in &cavity.boundary {
+            if be.outer != galois_mesh::INVALID {
+                prop_assert!(mesh.alive(be.outer));
+                prop_assert!(!cavity.tris.contains(&be.outer));
+            }
+            prop_assert_ne!(be.a, be.b);
+        }
+        // Boundary edge count: a planar cavity of k triangles with its
+        // boundary forming a closed walk has at least 3 boundary edges.
+        prop_assert!(cavity.boundary.len() >= 3);
+    }
+}

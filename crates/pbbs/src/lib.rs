@@ -1,0 +1,30 @@
+//! Determinism-by-construction building blocks in the style of the Problem
+//! Based Benchmark Suite (PBBS).
+//!
+//! The paper compares DIG scheduling against *handwritten* deterministic
+//! programs from PBBS (§4.1). Those programs are built from two idioms,
+//! reproduced here:
+//!
+//! - **Priority writes** ([`Reservations`], [`crate::priority::write_min`]):
+//!   an atomic min over item indices. The winner is the smallest index
+//!   regardless of interleaving, so the result is deterministic.
+//! - **Deterministic reservations** ([`speculative_for`]): a
+//!   bulk-synchronous speculative loop. Each round, a prefix of the
+//!   remaining items *reserves* the resources it needs with priority writes,
+//!   then items whose reservations all held *commit*; losers retry in later
+//!   rounds. With commits keyed on item index, the execution is equivalent
+//!   to the sequential loop in index order — determinism by construction.
+//!
+//! Unlike DIG scheduling, the prefix size here is a per-application tuning
+//! parameter (the paper calls this out: PBBS programs are *not*
+//! parameter-free; see §6).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod priority;
+pub mod reservations;
+pub mod spec_for;
+
+pub use reservations::Reservations;
+pub use spec_for::{speculative_for, SpecForStats, Step};

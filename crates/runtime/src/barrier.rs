@@ -1,0 +1,156 @@
+//! Sense-reversing centralized barrier.
+//!
+//! The deterministic scheduler of the paper (Figure 2) separates each round
+//! into phases with global barriers. `std::sync::Barrier` would work, but the
+//! Galois runtime uses a spinning sense-reversing barrier because rounds are
+//! short (microseconds) and futex wake-ups would dominate. This implementation
+//! spins briefly and then yields, which behaves sensibly both on dedicated
+//! cores and on the oversubscribed single-core host used for testing.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable barrier for a fixed set of threads.
+///
+/// Unlike [`std::sync::Barrier`], waiting threads spin (with exponential
+/// yielding) instead of blocking, and the barrier reports which thread was the
+/// last to arrive, which phase-based executors use to run serial pivot work.
+///
+/// # Example
+///
+/// ```
+/// use galois_runtime::SenseBarrier;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let barrier = SenseBarrier::new(4);
+/// let phase1 = AtomicUsize::new(0);
+/// galois_runtime::run_on_threads(4, |_tid| {
+///     phase1.fetch_add(1, Ordering::Relaxed);
+///     barrier.wait();
+///     // Every thread observes all four phase-1 increments.
+///     assert_eq!(phase1.load(Ordering::Relaxed), 4);
+/// });
+/// ```
+pub struct SenseBarrier {
+    count: AtomicUsize,
+    sense: AtomicBool,
+    total: usize,
+}
+
+impl std::fmt::Debug for SenseBarrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SenseBarrier")
+            .field("total", &self.total)
+            .field("arrived", &self.count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SenseBarrier {
+    /// Creates a barrier for `total` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`.
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "barrier needs at least one participant");
+        SenseBarrier {
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            total,
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn participants(&self) -> usize {
+        self.total
+    }
+
+    /// Blocks until all `total` threads have called `wait`.
+    ///
+    /// Returns `true` on exactly one thread per phase (the last arriver),
+    /// mirroring [`std::sync::BarrierWaitResult::is_leader`].
+    pub fn wait(&self) -> bool {
+        if self.total == 1 {
+            return true;
+        }
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.total {
+            // Last arriver: reset the count and flip the sense to release.
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    // On oversubscribed hosts the releasing thread may not be
+                    // scheduled; yield so it can run.
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::run_on_threads;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn single_thread_is_leader() {
+        let b = SenseBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+    }
+
+    #[test]
+    fn exactly_one_leader_per_phase() {
+        let b = SenseBarrier::new(4);
+        let leaders = AtomicU64::new(0);
+        run_on_threads(4, |_| {
+            for _ in 0..100 {
+                if b.wait() {
+                    leaders.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn phases_are_synchronized() {
+        // Classic check: a counter incremented before the barrier must be
+        // fully visible after it, for many consecutive phases.
+        const THREADS: usize = 4;
+        const PHASES: u64 = 200;
+        let b = SenseBarrier::new(THREADS);
+        let counter = AtomicU64::new(0);
+        run_on_threads(THREADS, |_| {
+            for phase in 1..=PHASES {
+                counter.fetch_add(1, Ordering::Relaxed);
+                b.wait();
+                assert_eq!(counter.load(Ordering::Relaxed), phase * THREADS as u64);
+                b.wait();
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_participants_panics() {
+        let _ = SenseBarrier::new(0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let b = SenseBarrier::new(2);
+        assert!(format!("{b:?}").contains("SenseBarrier"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Parallel runtime substrate for the Deterministic Galois reproduction.
+//!
+//! This crate provides the low-level machinery that the Galois executors in
+//! `galois-core` are built on, mirroring the runtime layer of the original
+//! C++ Galois system:
+//!
+//! - [`pool`]: a scoped thread pool that runs one worker closure per thread.
+//! - [`barrier`]: a sense-reversing centralized barrier.
+//! - [`worklist`]: concurrent chunked work bags with per-thread locality.
+//! - [`padded`]: cache-line padded cells and per-thread counter arrays.
+//! - [`stats`]: mergeable per-thread execution statistics.
+//! - [`sort`]: a parallel stable merge sort used for deterministic task-id
+//!   assignment.
+//! - [`simtime`]: a virtual-time scheduling model that replays recorded task
+//!   traces on *p* simulated workers. On a single-core host this substitutes
+//!   for the paper's multi-socket machines (see `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use galois_runtime::pool::run_on_threads;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let hits = AtomicUsize::new(0);
+//! run_on_threads(4, |tid| {
+//!     assert!(tid < 4);
+//!     hits.fetch_add(1, Ordering::Relaxed);
+//! });
+//! assert_eq!(hits.load(Ordering::Relaxed), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod barrier;
+pub mod padded;
+pub mod pool;
+pub mod shared;
+pub mod simtime;
+pub mod sort;
+pub mod stats;
+pub mod worklist;
+
+pub use barrier::SenseBarrier;
+pub use pool::run_on_threads;
+pub use stats::ExecStats;

@@ -1,0 +1,136 @@
+//! Scoped thread pool.
+//!
+//! The Galois executors are bulk-synchronous: a parallel phase consists of the
+//! same worker closure running once on every thread, with the thread id
+//! (`tid`) selecting that thread's share of the work. [`run_on_threads`] is
+//! the only primitive needed; it is a thin wrapper over [`std::thread::scope`]
+//! so workers may borrow from the caller's stack.
+
+/// Runs `f(tid)` once on each of `threads` threads and waits for all of them.
+///
+/// Thread ids are `0..threads`. With `threads == 1` the closure runs on the
+/// calling thread, which keeps single-threaded runs free of spawn overhead
+/// (and makes them easy to profile and trace).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates the first worker panic after all
+/// workers have been joined (via [`std::thread::scope`] semantics).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// let sum = AtomicU64::new(0);
+/// galois_runtime::pool::run_on_threads(3, |tid| {
+///     sum.fetch_add(tid as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 0 + 1 + 2);
+/// ```
+pub fn run_on_threads<F>(threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(threads > 0, "thread count must be positive");
+    if threads == 1 {
+        f(0);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for tid in 1..threads {
+            let f = &f;
+            scope.spawn(move || f(tid));
+        }
+        f(0);
+    });
+}
+
+/// Splits `0..len` into `threads` near-equal contiguous ranges and returns the
+/// range owned by `tid`.
+///
+/// The first `len % threads` ranges are one element longer, so the ranges
+/// partition `0..len` exactly. This is the standard static work division used
+/// by the bulk-synchronous phases of the deterministic executor; determinism
+/// does not depend on it (any partition works), but static division keeps
+/// single-thread traces reproducible.
+///
+/// # Example
+///
+/// ```
+/// use galois_runtime::pool::chunk_range;
+/// assert_eq!(chunk_range(10, 3, 0), 0..4);
+/// assert_eq!(chunk_range(10, 3, 1), 4..7);
+/// assert_eq!(chunk_range(10, 3, 2), 7..10);
+/// ```
+pub fn chunk_range(len: usize, threads: usize, tid: usize) -> std::ops::Range<usize> {
+    assert!(tid < threads, "tid {tid} out of range for {threads} threads");
+    let base = len / threads;
+    let extra = len % threads;
+    let start = tid * base + tid.min(extra);
+    let size = base + usize::from(tid < extra);
+    start..(start + size).min(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_each_tid_once() {
+        let seen = [const { AtomicUsize::new(0) }; 8];
+        run_on_threads(8, |tid| {
+            seen[tid].fetch_add(1, Ordering::Relaxed);
+        });
+        for s in &seen {
+            assert_eq!(s.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let here = std::thread::current().id();
+        run_on_threads(1, |tid| {
+            assert_eq!(tid, 0);
+            assert_eq!(std::thread::current().id(), here);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threads_panics() {
+        run_on_threads(0, |_| {});
+    }
+
+    #[test]
+    fn chunks_partition_exactly() {
+        for len in [0usize, 1, 5, 16, 17, 1000] {
+            for threads in 1..=9 {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for tid in 0..threads {
+                    let r = chunk_range(len, threads, tid);
+                    assert_eq!(r.start, prev_end, "ranges must be contiguous");
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(prev_end, len);
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced() {
+        for len in [10usize, 100, 101, 7] {
+            for threads in 1..=8 {
+                let sizes: Vec<_> = (0..threads)
+                    .map(|tid| chunk_range(len, threads, tid).len())
+                    .collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "len={len} threads={threads}: {sizes:?}");
+            }
+        }
+    }
+}

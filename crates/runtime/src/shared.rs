@@ -1,0 +1,101 @@
+//! Shared mutable slices with caller-guaranteed disjoint access.
+//!
+//! Bulk-synchronous executors partition a slice of per-task slots among
+//! threads each phase; every slot is touched by exactly one thread per phase.
+//! [`SharedSlice`] exposes that pattern with a single documented unsafe
+//! accessor instead of scattering raw-pointer arithmetic through executor
+//! code.
+
+use std::cell::UnsafeCell;
+
+/// A `&mut [T]` that may be shared across threads, with unsafe per-index
+/// access. The *caller* guarantees that no index is accessed concurrently
+/// from two threads.
+pub struct SharedSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: access is mediated by `get_mut`, whose contract requires external
+// synchronization per index. `T: Send` is required because elements are
+// mutated from arbitrary threads.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<T> std::fmt::Debug for SharedSlice<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSlice").field("len", &self.len()).finish()
+    }
+}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps an exclusive slice for shared distribution.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`, and we hold the
+        // unique borrow of the slice for 'a, so reinterpreting is sound.
+        let data = unsafe {
+            std::slice::from_raw_parts(slice.as_ptr() as *const UnsafeCell<T>, slice.len())
+        };
+        SharedSlice { data }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Exclusive access to element `i`.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may access index `i` for the lifetime of the returned
+    /// reference. The usual pattern is an atomic claim counter or a static
+    /// partition of indices, with a barrier before reassignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        unsafe { &mut *self.data[i].get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{chunk_range, run_on_threads};
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut v = vec![0u64; 1000];
+        {
+            let shared = SharedSlice::new(&mut v);
+            let sharedr = &shared;
+            run_on_threads(4, |tid| {
+                for i in chunk_range(sharedr.len(), 4, tid) {
+                    // SAFETY: chunk ranges are disjoint across tids.
+                    unsafe { *sharedr.get_mut(i) = i as u64 * 2 };
+                }
+            });
+        }
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut v = vec![1u8; 3];
+        let s = SharedSlice::new(&mut v);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let mut e: Vec<u8> = vec![];
+        let s2 = SharedSlice::new(&mut e);
+        assert!(s2.is_empty());
+    }
+}

@@ -1,0 +1,556 @@
+//! Concurrent chunked work bags.
+//!
+//! The non-deterministic Galois executor pulls tasks from an *unordered* pool
+//! (Figure 1a of the paper: "a pool of tasks that can be performed in any
+//! order"). The classic Galois worklist is a **chunked bag**: each thread
+//! pushes and pops 64-task chunks LIFO for locality, and spills or refills
+//! whole chunks through a shared list. Moving work chunk-at-a-time amortizes
+//! synchronization to one lock operation per 64 tasks, which matters for the
+//! microsecond-scale tasks of irregular applications (§5.1).
+
+use parking_lot::Mutex;
+
+use crate::padded::{CachePadded, PerThread};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const CHUNK_CAPACITY: usize = 64;
+
+#[derive(Debug)]
+struct Chunk<T> {
+    items: Vec<T>,
+}
+
+impl<T> Chunk<T> {
+    fn new() -> Self {
+        Chunk {
+            items: Vec::with_capacity(CHUNK_CAPACITY),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Local<T> {
+    /// Chunk currently being filled by pushes.
+    push: Chunk<T>,
+    /// Chunk currently being drained by pops.
+    pop: Chunk<T>,
+}
+
+/// An unordered concurrent task pool with per-thread chunk caching.
+///
+/// Each thread owns a private push chunk and pop chunk; full chunks spill to a
+/// shared lock-protected list, and empty threads refill from it. Ordering is
+/// deliberately unspecified — this is the pool `P` of the non-deterministic
+/// programming model.
+///
+/// # Example
+///
+/// ```
+/// use galois_runtime::worklist::ChunkedBag;
+///
+/// let bag: ChunkedBag<u32> = ChunkedBag::new(2);
+/// bag.push(0, 10);
+/// bag.push(0, 20);
+/// let mut seen = vec![bag.pop(1).unwrap(), bag.pop(1).unwrap()];
+/// seen.sort();
+/// assert_eq!(seen, vec![10, 20]);
+/// assert!(bag.pop(0).is_none());
+/// ```
+pub struct ChunkedBag<T> {
+    locals: PerThread<Mutex<Local<T>>>,
+    shared: CachePadded<Mutex<Vec<Chunk<T>>>>,
+    /// Approximate number of items, used only for sizing hints.
+    approx_len: AtomicUsize,
+}
+
+impl<T> std::fmt::Debug for ChunkedBag<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkedBag")
+            .field("threads", &self.locals.len())
+            .field("approx_len", &self.approx_len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T: Send> ChunkedBag<T> {
+    /// Creates an empty bag for `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        ChunkedBag {
+            locals: PerThread::new(threads, |_| {
+                Mutex::new(Local {
+                    push: Chunk::new(),
+                    pop: Chunk::new(),
+                })
+            }),
+            shared: CachePadded::new(Mutex::new(Vec::new())),
+            approx_len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Inserts `item` from thread `tid`.
+    pub fn push(&self, tid: usize, item: T) {
+        self.approx_len.fetch_add(1, Ordering::Relaxed);
+        let mut local = self.locals.get(tid).lock();
+        if local.push.items.len() == CHUNK_CAPACITY {
+            let full = std::mem::replace(&mut local.push, Chunk::new());
+            self.shared.lock().push(full);
+        }
+        local.push.items.push(item);
+    }
+
+    /// Bulk-inserts items from thread `tid`.
+    pub fn push_all(&self, tid: usize, items: impl IntoIterator<Item = T>) {
+        for item in items {
+            self.push(tid, item);
+        }
+    }
+
+    /// Removes some item, preferring thread `tid`'s local chunks.
+    ///
+    /// Returns `None` only when the bag appeared empty; in a concurrent
+    /// setting the caller must combine this with a termination detector
+    /// (see [`crate::worklist::Terminator`]).
+    pub fn pop(&self, tid: usize) -> Option<T> {
+        {
+            let mut local = self.locals.get(tid).lock();
+            if let Some(item) = local.pop.items.pop() {
+                self.approx_len.fetch_sub(1, Ordering::Relaxed);
+                return Some(item);
+            }
+            if let Some(item) = local.push.items.pop() {
+                self.approx_len.fetch_sub(1, Ordering::Relaxed);
+                return Some(item);
+            }
+            if let Some(chunk) = self.shared.lock().pop() {
+                local.pop = chunk;
+                let item = local.pop.items.pop();
+                if item.is_some() {
+                    self.approx_len.fetch_sub(1, Ordering::Relaxed);
+                }
+                return item;
+            }
+        }
+        // Steal: scan other threads' chunks.
+        let threads = self.locals.len();
+        for victim in (tid + 1..threads).chain(0..tid) {
+            let mut other = match self.locals.get(victim).try_lock() {
+                Some(guard) => guard,
+                None => continue,
+            };
+            if let Some(item) = other.push.items.pop() {
+                self.approx_len.fetch_sub(1, Ordering::Relaxed);
+                return Some(item);
+            }
+            if let Some(item) = other.pop.items.pop() {
+                self.approx_len.fetch_sub(1, Ordering::Relaxed);
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Approximate number of items (racy; for sizing hints only).
+    pub fn approx_len(&self) -> usize {
+        self.approx_len.load(Ordering::Relaxed)
+    }
+}
+
+/// A roughly-FIFO concurrent task pool.
+///
+/// Like [`ChunkedBag`] but chunks drain oldest-first, giving breadth-first
+/// processing order. Data-driven label-correcting algorithms (bfs, sssp)
+/// need this: LIFO order explores deep stale paths first and multiplies the
+/// work by orders of magnitude. This mirrors the original Galois system's
+/// selectable worklist policies.
+pub struct ChunkedFifo<T> {
+    locals: PerThread<Mutex<Local<T>>>,
+    shared: CachePadded<Mutex<std::collections::VecDeque<Chunk<T>>>>,
+    approx_len: AtomicUsize,
+}
+
+impl<T> std::fmt::Debug for ChunkedFifo<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkedFifo")
+            .field("threads", &self.locals.len())
+            .field("approx_len", &self.approx_len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T: Send> ChunkedFifo<T> {
+    /// Creates an empty queue for `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        ChunkedFifo {
+            locals: PerThread::new(threads, |_| {
+                Mutex::new(Local {
+                    push: Chunk::new(),
+                    pop: Chunk::new(),
+                })
+            }),
+            shared: CachePadded::new(Mutex::new(std::collections::VecDeque::new())),
+            approx_len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Inserts `item` from thread `tid`.
+    pub fn push(&self, tid: usize, item: T) {
+        self.approx_len.fetch_add(1, Ordering::Relaxed);
+        let mut local = self.locals.get(tid).lock();
+        local.push.items.push(item);
+        if local.push.items.len() == CHUNK_CAPACITY {
+            let full = std::mem::replace(&mut local.push, Chunk::new());
+            self.shared.lock().push_back(full);
+        }
+    }
+
+    /// Removes an item in roughly-FIFO order.
+    pub fn pop(&self, tid: usize) -> Option<T> {
+        let mut local = self.locals.get(tid).lock();
+        loop {
+            if !local.pop.items.is_empty() {
+                // Chunks were filled front-to-back; drain front-to-back by
+                // reversing once at refill time (items are stored reversed).
+                let item = local.pop.items.pop();
+                if item.is_some() {
+                    self.approx_len.fetch_sub(1, Ordering::Relaxed);
+                }
+                return item;
+            }
+            if let Some(mut chunk) = self.shared.lock().pop_front() {
+                chunk.items.reverse();
+                local.pop = chunk;
+                continue;
+            }
+            // Fall back to this thread's partially filled push chunk.
+            if !local.push.items.is_empty() {
+                let mut chunk = std::mem::replace(&mut local.push, Chunk::new());
+                chunk.items.reverse();
+                local.pop = chunk;
+                continue;
+            }
+            drop(local);
+            // Steal a partially filled chunk from another thread.
+            let threads = self.locals.len();
+            for victim in (tid + 1..threads).chain(0..tid) {
+                let mut other = match self.locals.get(victim).try_lock() {
+                    Some(g) => g,
+                    None => continue,
+                };
+                if let Some(item) = other.pop.items.pop() {
+                    self.approx_len.fetch_sub(1, Ordering::Relaxed);
+                    return Some(item);
+                }
+                if !other.push.items.is_empty() {
+                    let item = other.push.items.remove(0);
+                    self.approx_len.fetch_sub(1, Ordering::Relaxed);
+                    return Some(item);
+                }
+            }
+            return None;
+        }
+    }
+
+    /// Approximate number of items (racy; for sizing hints only).
+    pub fn approx_len(&self) -> usize {
+        self.approx_len.load(Ordering::Relaxed)
+    }
+}
+
+/// A bucketed priority worklist (a simplified OBIM, the "ordered by
+/// integer metric" scheduler of the Galois runtime).
+///
+/// Tasks carry a small integer priority; pops prefer the lowest non-empty
+/// bucket. Priorities are *scheduling hints*, not ordering guarantees:
+/// under concurrency a pop may return work from a slightly higher bucket —
+/// exactly OBIM's contract, and why label-correcting algorithms (sssp,
+/// bfs-by-level) run near their sequential work bound without determinism.
+pub struct BucketedQueue<T> {
+    buckets: Vec<ChunkedFifo<T>>,
+    /// Lower bound on the first non-empty bucket (monotone hint).
+    cursor: AtomicUsize,
+}
+
+impl<T> std::fmt::Debug for BucketedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BucketedQueue")
+            .field("buckets", &self.buckets.len())
+            .finish()
+    }
+}
+
+impl<T: Send> BucketedQueue<T> {
+    /// Creates a queue with `buckets` priority levels for `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`.
+    pub fn new(threads: usize, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        BucketedQueue {
+            buckets: (0..buckets).map(|_| ChunkedFifo::new(threads)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of priority levels.
+    pub fn levels(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Inserts `item` at `priority` (clamped to the last bucket).
+    pub fn push(&self, tid: usize, priority: usize, item: T) {
+        let b = priority.min(self.buckets.len() - 1);
+        self.buckets[b].push(tid, item);
+        // Lower the cursor hint if we pushed below it.
+        let mut cur = self.cursor.load(Ordering::Relaxed);
+        while b < cur {
+            match self.cursor.compare_exchange_weak(
+                cur,
+                b,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Removes an item from the lowest non-empty bucket found.
+    pub fn pop(&self, tid: usize) -> Option<T> {
+        let start = self.cursor.load(Ordering::Relaxed).min(self.buckets.len() - 1);
+        for b in start..self.buckets.len() {
+            if let Some(item) = self.buckets[b].pop(tid) {
+                // Advance the hint past drained buckets (racy; a lower push
+                // will pull it back down).
+                if b > start {
+                    let _ = self.cursor.compare_exchange(
+                        start,
+                        b,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                }
+                return Some(item);
+            }
+        }
+        // The hint may have skipped buckets that were refilled below it.
+        for b in 0..start {
+            if let Some(item) = self.buckets[b].pop(tid) {
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+/// Termination detection for speculative executors.
+///
+/// Tracks the number of *uncommitted* tasks: a task is registered when pushed
+/// and deregistered only when it commits. Conflicted tasks are re-pushed
+/// without deregistering, so the count reaches zero exactly when every task
+/// has committed — the termination condition of Figure 1a.
+///
+/// # Example
+///
+/// ```
+/// use galois_runtime::worklist::Terminator;
+/// let t = Terminator::new();
+/// t.register(2);
+/// t.finish_one();
+/// assert!(!t.is_done());
+/// t.finish_one();
+/// assert!(t.is_done());
+/// ```
+#[derive(Debug, Default)]
+pub struct Terminator {
+    pending: AtomicUsize,
+}
+
+impl Terminator {
+    /// Creates a detector with zero pending tasks.
+    pub fn new() -> Self {
+        Terminator::default()
+    }
+
+    /// Records `n` new pending tasks.
+    pub fn register(&self, n: usize) {
+        self.pending.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Records one committed task.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if there was no pending task.
+    pub fn finish_one(&self) {
+        let prev = self.pending.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "finish_one without matching register");
+    }
+
+    /// Whether all registered tasks have committed.
+    pub fn is_done(&self) -> bool {
+        self.pending.load(Ordering::Acquire) == 0
+    }
+
+    /// Current number of uncommitted tasks (racy snapshot).
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::run_on_threads;
+    use std::collections::HashSet;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn push_pop_round_trips_all_items() {
+        let bag: ChunkedBag<usize> = ChunkedBag::new(1);
+        for i in 0..1000 {
+            bag.push(0, i);
+        }
+        let mut seen = HashSet::new();
+        while let Some(x) = bag.pop(0) {
+            assert!(seen.insert(x), "duplicate item {x}");
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+
+    #[test]
+    fn cross_thread_stealing_finds_items() {
+        let bag: ChunkedBag<usize> = ChunkedBag::new(4);
+        // All pushed from thread 0, popped from thread 3.
+        for i in 0..200 {
+            bag.push(0, i);
+        }
+        let mut n = 0;
+        while bag.pop(3).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 200);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 500;
+        let bag: ChunkedBag<usize> = ChunkedBag::new(THREADS);
+        let seen = StdMutex::new(HashSet::new());
+        run_on_threads(THREADS, |tid| {
+            for i in 0..PER_THREAD {
+                bag.push(tid, tid * PER_THREAD + i);
+            }
+            // Everyone also consumes.
+            while let Some(x) = bag.pop(tid) {
+                assert!(seen.lock().unwrap().insert(x));
+            }
+        });
+        // Drain any remainder left by racy pops returning None early.
+        while let Some(x) = bag.pop(0) {
+            assert!(seen.lock().unwrap().insert(x));
+        }
+        assert_eq!(seen.lock().unwrap().len(), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn approx_len_tracks_roughly() {
+        let bag: ChunkedBag<u8> = ChunkedBag::new(1);
+        assert_eq!(bag.approx_len(), 0);
+        bag.push_all(0, [1, 2, 3]);
+        assert_eq!(bag.approx_len(), 3);
+        bag.pop(0);
+        assert_eq!(bag.approx_len(), 2);
+    }
+
+    #[test]
+    fn fifo_preserves_rough_order_single_thread() {
+        let q: ChunkedFifo<usize> = ChunkedFifo::new(1);
+        for i in 0..300 {
+            q.push(0, i);
+        }
+        let mut out = Vec::new();
+        while let Some(x) = q.pop(0) {
+            out.push(x);
+        }
+        assert_eq!(out.len(), 300);
+        // Exactly FIFO for a single producer/consumer.
+        assert_eq!(out, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fifo_concurrent_loses_nothing() {
+        const THREADS: usize = 4;
+        let q: ChunkedFifo<usize> = ChunkedFifo::new(THREADS);
+        let seen = StdMutex::new(HashSet::new());
+        run_on_threads(THREADS, |tid| {
+            for i in 0..500 {
+                q.push(tid, tid * 500 + i);
+            }
+            while let Some(x) = q.pop(tid) {
+                assert!(seen.lock().unwrap().insert(x));
+            }
+        });
+        while let Some(x) = q.pop(0) {
+            assert!(seen.lock().unwrap().insert(x));
+        }
+        assert_eq!(seen.lock().unwrap().len(), THREADS * 500);
+    }
+
+    #[test]
+    fn bucketed_prefers_low_priorities() {
+        let q: BucketedQueue<u32> = BucketedQueue::new(1, 8);
+        q.push(0, 5, 50);
+        q.push(0, 1, 10);
+        q.push(0, 3, 30);
+        assert_eq!(q.pop(0), Some(10));
+        assert_eq!(q.pop(0), Some(30));
+        assert_eq!(q.pop(0), Some(50));
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn bucketed_clamps_and_refills_below_cursor() {
+        let q: BucketedQueue<u32> = BucketedQueue::new(1, 4);
+        q.push(0, 99, 1); // clamped to bucket 3
+        assert_eq!(q.pop(0), Some(1));
+        // Cursor advanced; a new low-priority push must still be found.
+        q.push(0, 0, 2);
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.levels(), 4);
+    }
+
+    #[test]
+    fn bucketed_concurrent_drains_everything() {
+        const THREADS: usize = 4;
+        let q: BucketedQueue<usize> = BucketedQueue::new(THREADS, 16);
+        let seen = StdMutex::new(HashSet::new());
+        run_on_threads(THREADS, |tid| {
+            for i in 0..400 {
+                q.push(tid, i % 16, tid * 400 + i);
+            }
+            while let Some(x) = q.pop(tid) {
+                assert!(seen.lock().unwrap().insert(x));
+            }
+        });
+        while let Some(x) = q.pop(0) {
+            assert!(seen.lock().unwrap().insert(x));
+        }
+        assert_eq!(seen.lock().unwrap().len(), THREADS * 400);
+    }
+
+    #[test]
+    fn terminator_lifecycle() {
+        let t = Terminator::new();
+        assert!(t.is_done());
+        t.register(3);
+        assert_eq!(t.pending(), 3);
+        t.finish_one();
+        t.finish_one();
+        assert!(!t.is_done());
+        t.finish_one();
+        assert!(t.is_done());
+    }
+}

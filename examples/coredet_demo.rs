@@ -1,0 +1,61 @@
+//! CoreDet-style determinism-by-scheduling, and what it costs.
+//!
+//! A racy threaded program — every thread observes a shared counter — runs
+//! under the native scheduler and under the DMP-O-style deterministic
+//! scheduler of `coredet-sim`. Native runs may interleave differently every
+//! time; CoreDet runs are bit-identical. The virtual-time model then shows
+//! the paper's Figure 6 point: this kind of determinism collapses on
+//! synchronization-heavy irregular programs.
+//!
+//! ```text
+//! cargo run --release --example coredet_demo
+//! ```
+
+use deterministic_galois::coredet::kernels::Kernel;
+use deterministic_galois::coredet::model::{coredet_makespan_ns, native_makespan_ns};
+use deterministic_galois::coredet::{DetRuntime, Mode};
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+
+fn observations(mode: Mode) -> Vec<Vec<u64>> {
+    const THREADS: usize = 4;
+    let counter = AtomicU64::new(0);
+    let seen: Vec<Mutex<Vec<u64>>> = (0..THREADS).map(|_| Mutex::new(Vec::new())).collect();
+    DetRuntime::run(THREADS, mode, |w| {
+        for _ in 0..20 {
+            w.work(500);
+            let prev = w.fetch_add(&counter, 1);
+            seen[w.tid()].lock().unwrap().push(prev);
+        }
+    });
+    seen.into_iter().map(|m| m.into_inner().unwrap()).collect()
+}
+
+fn main() {
+    println!("racy program, native scheduling (two runs):");
+    let a = observations(Mode::Native);
+    let b = observations(Mode::Native);
+    println!("  run 1, thread 0 saw: {:?}...", &a[0][..8.min(a[0].len())]);
+    println!("  run 2, thread 0 saw: {:?}...", &b[0][..8.min(b[0].len())]);
+    println!("  identical: {}  (may be true by luck on an idle machine)", a == b);
+
+    let mode = Mode::CoreDet { quantum: 2_000 };
+    let c = observations(mode);
+    let d = observations(mode);
+    println!("\nsame program under CoreDet-style scheduling (two runs):");
+    println!("  run 1, thread 0 saw: {:?}...", &c[0][..8]);
+    println!("  run 2, thread 0 saw: {:?}...", &d[0][..8]);
+    assert_eq!(c, d, "deterministic by construction");
+    println!("  identical: true (guaranteed)");
+
+    println!("\nand what it costs (DMP-O model, 8 virtual threads):");
+    for k in Kernel::ALL {
+        let streams = k.streams(8, 0.2);
+        let slowdown = coredet_makespan_ns(&streams, 50_000.0) / native_makespan_ns(&streams);
+        println!("  {:<14} {slowdown:>6.2}x slowdown", k.name());
+    }
+    println!(
+        "\ncoarse-grain PARSEC kernels tolerate it; fine-grain irregular\n\
+         programs (bfs/dmr/dt) serialize — the paper's Figure 6."
+    );
+}

@@ -1,0 +1,85 @@
+//! Why determinism: reproducible debugging.
+//!
+//! The paper's opening motivation is that non-determinism makes debugging
+//! difficult. This example stages that story with an *order-sensitive*
+//! operator: each task folds its id into its cell with a non-commutative
+//! update, so the final state depends on the order in which conflicting
+//! tasks committed — the classic "results differ run to run" situation.
+//!
+//! - speculatively, the checksum typically changes between runs and thread
+//!   counts: a heisenbug hunt;
+//! - deterministically, every run — at any thread count — produces the
+//!   identical checksum, so a failing outcome reproduces under a debugger
+//!   and can be bisected.
+//!
+//! ```text
+//! cargo run --release --example determinism_debugging
+//! ```
+
+use deterministic_galois::core::{Ctx, Executor, MarkTable, OpResult, Schedule};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const CELLS: usize = 16;
+const TASKS: u64 = 20_000;
+
+/// Runs the order-sensitive workload and returns its checksum. The operator
+/// is properly cautious (it acquires everything it touches); its *output*
+/// is still schedule-dependent because the per-cell update does not
+/// commute — exactly the kind of program the paper's scheduler makes
+/// reproducible on demand.
+fn run(schedule: Schedule, threads: usize) -> u64 {
+    let cells: Vec<AtomicU64> = (0..CELLS).map(|_| AtomicU64::new(0)).collect();
+    let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+        let c = (*t % CELLS as u64) as u32;
+        ctx.acquire(c)?;
+        ctx.failsafe()?;
+        let cell = &cells[c as usize];
+        // Non-commutative fold: order of conflicting tasks is visible.
+        let prev = cell.load(Ordering::Relaxed);
+        cell.store(prev.wrapping_mul(31).wrapping_add(*t), Ordering::Relaxed);
+        Ok(())
+    };
+    let marks = MarkTable::new(CELLS);
+    Executor::new()
+        .threads(threads)
+        .schedule(schedule)
+        .run(&marks, (0..TASKS).collect(), &op);
+    cells
+        .iter()
+        .fold(0u64, |acc, c| acc.rotate_left(7) ^ c.load(Ordering::Relaxed))
+}
+
+fn main() {
+    println!("hunting an order-sensitive result (non-commutative per-cell fold)\n");
+
+    println!("speculative executor, 4 threads, five runs:");
+    let mut spec = Vec::new();
+    for i in 0..5 {
+        let sum = run(Schedule::Speculative, 4);
+        println!("  run {i}: checksum {sum:#018x}");
+        spec.push(sum);
+    }
+    let spec_stable = spec.windows(2).all(|w| w[0] == w[1]);
+    println!("  stable: {spec_stable}   <- typically false: a heisenbug\n");
+
+    println!("deterministic executor, five runs across thread counts:");
+    let mut det = Vec::new();
+    for (i, threads) in [1usize, 2, 4, 3, 4].into_iter().enumerate() {
+        let sum = run(Schedule::deterministic(), threads);
+        println!("  run {i} ({threads} threads): checksum {sum:#018x}");
+        det.push(sum);
+    }
+    assert!(
+        det.windows(2).all(|w| w[0] == w[1]),
+        "deterministic runs must agree"
+    );
+    println!("  stable: true (guaranteed)\n");
+
+    println!(
+        "under DIG scheduling the order-sensitive program repeats exactly at\n\
+         any thread count, so a bad outcome reproduces on every run and under\n\
+         a debugger — the paper's case for on-demand determinism during\n\
+         development. Flip the schedule back to Speculative for production\n\
+         speed once the bug is fixed."
+    );
+}

@@ -1,0 +1,242 @@
+//! `galois` — command-line driver for the benchmark applications.
+//!
+//! Mirrors how the paper's artifact is used: pick an application, an input
+//! size, a thread count, and — the point of the paper — a scheduler, on the
+//! command line.
+//!
+//! ```text
+//! galois <app> [--variant seq|g-n|g-d|pbbs] [--threads N] [--size N] [--seed N] [--verify]
+//!
+//! apps: bfs, mis, dt, dmr, pfp
+//! ```
+
+use deterministic_galois::apps::{bfs, dmr, dt, mis, mm, pfp};
+use deterministic_galois::core::{DetOptions, Executor, Schedule, WorklistPolicy};
+use deterministic_galois::geometry::point::random_points;
+use deterministic_galois::graph::{gen, FlowNetwork};
+use deterministic_galois::mesh::check;
+use std::process::exit;
+
+#[derive(Debug)]
+struct Args {
+    app: String,
+    variant: String,
+    threads: usize,
+    size: usize,
+    seed: u64,
+    verify: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: galois <bfs|mis|mm|dt|dmr|pfp> [--variant seq|g-n|g-d|pbbs] \
+         [--threads N] [--size N] [--seed N] [--verify]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        app: String::new(),
+        variant: "g-d".into(),
+        threads: 2,
+        size: 0,
+        seed: 42,
+        verify: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let Some(app) = it.next() else { usage() };
+    args.app = app;
+    while let Some(flag) = it.next() {
+        let mut val = |a: &mut dyn FnMut(String)| match it.next() {
+            Some(v) => a(v),
+            None => usage(),
+        };
+        match flag.as_str() {
+            "--variant" => val(&mut |v| args.variant = v),
+            "--threads" => val(&mut |v| args.threads = v.parse().unwrap_or_else(|_| usage())),
+            "--size" => val(&mut |v| args.size = v.parse().unwrap_or_else(|_| usage())),
+            "--seed" => val(&mut |v| args.seed = v.parse().unwrap_or_else(|_| usage())),
+            "--verify" => args.verify = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn executor(args: &Args, spread: usize, fifo: bool) -> Executor {
+    let schedule = match args.variant.as_str() {
+        "seq" => Schedule::Serial,
+        "g-n" => Schedule::Speculative,
+        "g-d" => Schedule::Deterministic(DetOptions {
+            locality_spread: spread,
+            ..Default::default()
+        }),
+        other => {
+            eprintln!("variant {other} is not executor-based here");
+            exit(2);
+        }
+    };
+    Executor::new()
+        .threads(args.threads)
+        .schedule(schedule)
+        .worklist(if fifo { WorklistPolicy::Fifo } else { WorklistPolicy::Lifo })
+}
+
+fn main() {
+    let args = parse_args();
+    let t0 = std::time::Instant::now();
+    match args.app.as_str() {
+        "bfs" => {
+            let n = if args.size == 0 { 200_000 } else { args.size };
+            let g = gen::uniform_random(n, 5, args.seed);
+            println!("bfs: {n} nodes x 5 edges, variant {}", args.variant);
+            let (dist, stats) = match args.variant.as_str() {
+                "pbbs" => {
+                    let (d, _, s) = bfs::pbbs(&g, 0, args.threads, false);
+                    (d, format!("rounds={} atomics={}", s.rounds, s.atomic_updates))
+                }
+                _ => {
+                    let exec = executor(&args, 1, true);
+                    let (d, r) = bfs::galois(&g, 0, &exec);
+                    (d, r.stats.to_string())
+                }
+            };
+            println!("done in {:?} ({stats})", t0.elapsed());
+            if args.verify {
+                bfs::verify(&g, 0, &dist).expect("bfs verification");
+                println!("verified: distances exact");
+            }
+        }
+        "mis" => {
+            let n = if args.size == 0 { 200_000 } else { args.size };
+            let g = gen::uniform_random_undirected(n, 4, args.seed);
+            println!("mis: {n} nodes, variant {}", args.variant);
+            let (flags, stats) = match args.variant.as_str() {
+                "pbbs" => {
+                    let (f, s) = mis::pbbs(&g, args.threads, false);
+                    (f, format!("rounds={} committed={}", s.rounds, s.committed))
+                }
+                _ => {
+                    let exec = executor(&args, 1, false);
+                    let (f, r) = mis::galois(&g, &exec);
+                    (f, r.stats.to_string())
+                }
+            };
+            let in_count = flags.iter().filter(|&&f| f == mis::state::IN).count();
+            println!("done in {:?}: |MIS| = {in_count} ({stats})", t0.elapsed());
+            if args.verify {
+                mis::verify(&g, &flags).expect("mis verification");
+                println!("verified: independent and maximal");
+            }
+        }
+        "dt" => {
+            let n = if args.size == 0 { 25_000 } else { args.size };
+            let pts = random_points(n, args.seed);
+            println!("dt: {n} points, variant {}", args.variant);
+            let (mesh, stats) = match args.variant.as_str() {
+                "pbbs" => {
+                    let (m, s) = dt::pbbs(&pts, args.seed, args.threads, false);
+                    (m, format!("rounds={} aborted={}", s.rounds, s.aborted))
+                }
+                "seq" => (dt::seq(&pts, args.seed), "sequential".to_string()),
+                _ => {
+                    let exec = executor(&args, 16, false);
+                    let (m, r) = dt::galois(&pts, args.seed, &exec);
+                    (m, r.stats.to_string())
+                }
+            };
+            println!(
+                "done in {:?}: {} triangles ({stats})",
+                t0.elapsed(),
+                mesh.num_tris_alive()
+            );
+            if args.verify {
+                check::validate(&mesh).expect("structure");
+                check::check_delaunay(&mesh).expect("Delaunay property");
+                println!("verified: valid Delaunay triangulation");
+            }
+        }
+        "dmr" => {
+            let n = if args.size == 0 { 3_000 } else { args.size };
+            println!("dmr: mesh of {n} points, variant {}", args.variant);
+            let mesh = dmr::make_input(n, args.seed);
+            let before = check::quality(&mesh);
+            let stats = match args.variant.as_str() {
+                "pbbs" => {
+                    let s = dmr::pbbs(&mesh, args.threads, false);
+                    format!("rounds={} committed={}", s.rounds, s.committed)
+                }
+                _ => {
+                    let exec = executor(&args, 16, false);
+                    let r = dmr::galois(&mesh, &exec);
+                    r.stats.to_string()
+                }
+            };
+            let after = check::quality(&mesh);
+            println!(
+                "done in {:?}: {} -> {} triangles, bad {} -> {} ({stats})",
+                t0.elapsed(),
+                before.triangles,
+                after.triangles,
+                before.bad,
+                after.bad
+            );
+            if args.verify {
+                check::validate(&mesh).expect("structure");
+                check::check_delaunay(&mesh).expect("Delaunay property");
+                assert_eq!(after.bad, 0);
+                println!("verified: conforming refined Delaunay mesh");
+            }
+        }
+        "mm" => {
+            let n = if args.size == 0 { 200_000 } else { args.size };
+            let g = gen::uniform_random_undirected(n, 4, args.seed);
+            println!("mm: {n} nodes, variant {}", args.variant);
+            let (mate, stats) = match args.variant.as_str() {
+                "seq" => (mm::seq(&g), "sequential".to_string()),
+                "pbbs" => {
+                    let (m, s) = mm::pbbs(&g, args.threads, false);
+                    (m, format!("rounds={} committed={}", s.rounds, s.committed))
+                }
+                _ => {
+                    let exec = executor(&args, 1, false);
+                    let (m, r) = mm::galois(&g, &exec);
+                    (m, r.stats.to_string())
+                }
+            };
+            let matched = mate.iter().filter(|&&m| m != mm::UNMATCHED).count() / 2;
+            println!("done in {:?}: |M| = {matched} ({stats})", t0.elapsed());
+            if args.verify {
+                mm::verify(&g, &mate).expect("matching verification");
+                println!("verified: valid maximal matching");
+            }
+        }
+        "pfp" => {
+            let n = if args.size == 0 { 8_192 } else { args.size };
+            let net = FlowNetwork::random(n, 4, 1_000, args.seed);
+            println!("pfp: {n} nodes x 4 edges, variant {}", args.variant);
+            let (flow, stats) = match args.variant.as_str() {
+                "seq" => {
+                    let (f, s) = pfp::seq(&net);
+                    (f, format!("pushes={} relabels={}", s.pushes, s.relabels))
+                }
+                "pbbs" => {
+                    eprintln!("pfp has no PBBS variant (§4.1)");
+                    exit(2);
+                }
+                _ => {
+                    let exec = executor(&args, 1, true);
+                    let (f, r) = pfp::galois(&net, &exec);
+                    (f, format!("bouts={} {}", r.bouts, r.stats))
+                }
+            };
+            println!("done in {:?}: max flow = {flow} ({stats})", t0.elapsed());
+            if args.verify {
+                net.verify_flow().expect("flow conservation");
+                println!("verified: valid flow assignment");
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-crate pipeline and system-level behavior tests.
+
+use deterministic_galois::apps::dmr;
+use deterministic_galois::cachesim::{CacheConfig, Hierarchy, HierarchyConfig};
+use deterministic_galois::core::{Executor, Schedule};
+use deterministic_galois::coredet::kernels::Kernel;
+use deterministic_galois::coredet::model::{coredet_makespan_ns, native_makespan_ns};
+use deterministic_galois::mesh::check;
+use deterministic_galois::runtime::simtime::MachineProfile;
+
+#[test]
+fn dt_then_dmr_pipeline_end_to_end() {
+    // Build the refinement input via sequential triangulation (as the
+    // paper's offline input generation does), refine deterministically, and
+    // verify the full chain.
+    let mesh = dmr::make_input(200, 31);
+    check::validate(&mesh).unwrap();
+    check::check_delaunay(&mesh).unwrap();
+    let before = check::quality(&mesh);
+    assert!(before.bad > 0);
+
+    let exec = Executor::new().threads(2).schedule(Schedule::deterministic());
+    let report = dmr::galois(&mesh, &exec);
+    assert!(report.stats.committed >= before.bad as u64);
+
+    let after = check::quality(&mesh);
+    assert_eq!(after.bad, 0);
+    assert!(after.triangles > before.triangles);
+    check::validate(&mesh).unwrap();
+    check::check_delaunay(&mesh).unwrap();
+}
+
+#[test]
+fn deterministic_scheduling_costs_more_memory_traffic() {
+    // The §5.4 locality claim, end to end: record access streams for the
+    // same app under both schedulers and replay them through the cache
+    // model. The deterministic run must reach DRAM more.
+    use deterministic_galois::apps::mis;
+    use deterministic_galois::graph::gen;
+
+    let g = gen::uniform_random_undirected(4_000, 4, 32);
+    // Small caches so reuse distance (not compulsory misses) dominates —
+    // equivalent to the paper's full-size inputs on real caches.
+    let small = HierarchyConfig {
+        l1: CacheConfig { sets: 8, ways: 4, line_bytes: 64 },
+        l2: CacheConfig { sets: 32, ways: 4, line_bytes: 64 },
+        l3: CacheConfig { sets: 128, ways: 8, line_bytes: 64 },
+    };
+    let run = |schedule: Schedule| {
+        let exec = Executor::new()
+            .threads(2)
+            .schedule(schedule)
+            .record_access(true);
+        let (_, report) = mis::galois(&g, &exec);
+        let streams: Vec<Vec<u32>> = report
+            .accesses
+            .unwrap()
+            .into_iter()
+            .map(|v| v.into_iter().map(|a| a.loc).collect())
+            .collect();
+        let mut h = Hierarchy::new(streams.len(), small);
+        h.replay(&streams)
+    };
+    let nondet = run(Schedule::Speculative);
+    let det = run(Schedule::deterministic());
+    // A task's inspect and commit accesses are separated by a window of
+    // other tasks, so the deterministic run misses to DRAM more — in total
+    // and per access.
+    assert!(
+        det.dram > nondet.dram,
+        "deterministic scheduling must cost DRAM traffic: {det:?} vs {nondet:?}"
+    );
+    assert!(
+        det.dram_rate() > nondet.dram_rate(),
+        "and a higher miss *rate*: {det:?} vs {nondet:?}"
+    );
+}
+
+#[test]
+fn virtual_time_model_reproduces_scaling_ordering() {
+    // g-n traces must out-scale g-d traces for a conflict-light workload.
+    use deterministic_galois::apps::mis;
+    use deterministic_galois::graph::gen;
+
+    let g = gen::uniform_random_undirected(4_000, 4, 33);
+    let trace_of = |schedule: Schedule| {
+        let exec = Executor::new().threads(1).schedule(schedule).record_trace(true);
+        let (_, report) = mis::galois(&g, &exec);
+        report.trace.unwrap()
+    };
+    let m = MachineProfile::M4X10;
+    let gn = trace_of(Schedule::Speculative);
+    let gd = trace_of(Schedule::deterministic());
+    let gn_scaling = gn.makespan_ns(&m, 1) / gn.makespan_ns(&m, 40);
+    let gd_scaling = gd.makespan_ns(&m, 1) / gd.makespan_ns(&m, 40);
+    assert!(
+        gn_scaling > gd_scaling,
+        "g-n must scale better: {gn_scaling:.1}x vs {gd_scaling:.1}x"
+    );
+}
+
+#[test]
+fn coredet_model_matches_paper_shape() {
+    let slowdown = |k: Kernel| {
+        let s = k.streams(40, 0.1);
+        coredet_makespan_ns(&s, 50_000.0) / native_makespan_ns(&s)
+    };
+    // blackscholes tolerates CoreDet; the irregular non-data-parallel
+    // programs collapse; mis (data-parallel) survives.
+    assert!(slowdown(Kernel::Blackscholes) < 3.0);
+    assert!(slowdown(Kernel::Bfs) > 10.0);
+    assert!(slowdown(Kernel::Dt) > 10.0);
+    assert!(slowdown(Kernel::Mis) < 5.0);
+}
