@@ -213,7 +213,9 @@ mod tests {
     fn galois_speculative_matches_sequential() {
         let g = graph();
         for threads in [1usize, 4] {
-            let exec = Executor::new().threads(threads).schedule(Schedule::Speculative);
+            let exec = Executor::new()
+                .threads(threads)
+                .schedule(Schedule::Speculative);
             let (dist, report) = galois(&g, 0, &exec);
             verify(&g, 0, &dist).unwrap();
             assert!(report.stats.committed >= 500);
@@ -225,7 +227,9 @@ mod tests {
         let g = graph();
         let mut prev: Option<(Vec<u32>, u64)> = None;
         for threads in [1usize, 2, 4] {
-            let exec = Executor::new().threads(threads).schedule(Schedule::deterministic());
+            let exec = Executor::new()
+                .threads(threads)
+                .schedule(Schedule::deterministic());
             let (dist, report) = galois(&g, 0, &exec);
             verify(&g, 0, &dist).unwrap();
             // Portability: identical schedule statistics at every thread count.

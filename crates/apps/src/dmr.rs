@@ -34,7 +34,11 @@ pub fn make_input(n: usize, seed: u64) -> Mesh {
     // observed growth factor is ~16x vertices at n=2000 and falls with n.
     // The affine bound below covers small inputs, where grading between a
     // sparse point set and the fixed square boundary dominates.
-    let mut b = SeqBuilder::with_headroom(pts.len(), 30 * pts.len() + 60_000, 250 * pts.len() + 500_000);
+    let mut b = SeqBuilder::with_headroom(
+        pts.len(),
+        30 * pts.len() + 60_000,
+        250 * pts.len() + 500_000,
+    );
     for &p in &pts {
         b.insert(p);
     }
@@ -174,16 +178,24 @@ pub fn pbbs(mesh: &Mesh, threads: usize, record_trace: bool) -> PbbsDmrStats {
         use rand::SeedableRng;
         let mut v = check::bad_triangles(mesh);
         v.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(0x9bb5));
-        v.into_iter().enumerate().map(|(i, t)| (i as u64, t)).collect()
+        v.into_iter()
+            .enumerate()
+            .map(|(i, t)| (i as u64, t))
+            .collect()
     };
     let mut next_priority = worklist.len() as u64;
     const PREFIX_DIVISOR: usize = 96;
+    // The floor keeps endgame rounds from degenerating to one task. It must
+    // be a constant, NOT `threads`: the prefix determines round composition
+    // and hence the final geometry, so any thread-count input here breaks
+    // the portability guarantee this function documents.
+    const PREFIX_FLOOR: usize = 8;
 
     while !worklist.is_empty() {
         let prefix = worklist
             .len()
             .div_ceil(PREFIX_DIVISOR)
-            .max(threads.min(worklist.len()))
+            .max(PREFIX_FLOOR)
             .min(worklist.len());
         let cur = &worklist[..prefix];
         // (cavity, insertion point, reserved lock set) per in-flight item.
@@ -225,7 +237,8 @@ pub fn pbbs(mesh: &Mesh, threads: usize, record_trace: bool) -> PbbsDmrStats {
         // Commit phase; per-slot created lists keep the append order
         // deterministic (flattened in worklist order afterwards).
         let failed_flags: Vec<AtomicU32> = (0..prefix).map(|_| AtomicU32::new(0)).collect();
-        let created_per: Vec<Mutex<Vec<u32>>> = (0..prefix).map(|_| Mutex::new(Vec::new())).collect();
+        let created_per: Vec<Mutex<Vec<u32>>> =
+            (0..prefix).map(|_| Mutex::new(Vec::new())).collect();
         run_on_threads(threads, |tid| {
             for k in chunk_range(prefix, threads, tid) {
                 let (idx, _t) = cur[k];
@@ -285,16 +298,15 @@ pub fn pbbs(mesh: &Mesh, threads: usize, record_trace: bool) -> PbbsDmrStats {
         stats.aborted += failed_round;
         stats.atomic_updates += atomics.load(Ordering::Relaxed);
         if let (Some(r), Some(c)) = (reserve_ns, commit_ns) {
-            stats.round_traces.push(galois_runtime::simtime::RoundTrace {
-                inspect: galois_runtime::simtime::PhaseTrace::uniform(r, prefix as u64),
-                commit: galois_runtime::simtime::PhaseTrace::uniform(
-                    c,
-                    committed_round.max(1),
-                ),
-                serial_ns: 0.0,
-                sched_par_ns: t2.map(|t| t.elapsed().as_nanos() as f64).unwrap_or(0.0),
-                barriers: 2,
-            });
+            stats
+                .round_traces
+                .push(galois_runtime::simtime::RoundTrace {
+                    inspect: galois_runtime::simtime::PhaseTrace::uniform(r, prefix as u64),
+                    commit: galois_runtime::simtime::PhaseTrace::uniform(c, committed_round.max(1)),
+                    serial_ns: 0.0,
+                    sched_par_ns: t2.map(|t| t.elapsed().as_nanos() as f64).unwrap_or(0.0),
+                    barriers: 2,
+                });
         }
     }
     stats
@@ -327,7 +339,9 @@ mod tests {
     fn speculative_refinement_valid_any_threads() {
         for threads in [1usize, 4] {
             let mesh = make_input(120, 3);
-            let exec = Executor::new().threads(threads).schedule(Schedule::Speculative);
+            let exec = Executor::new()
+                .threads(threads)
+                .schedule(Schedule::Speculative);
             galois(&mesh, &exec);
             refined_ok(&mesh);
         }
@@ -338,7 +352,9 @@ mod tests {
         let mut canon: Option<Vec<[(i64, i64); 3]>> = None;
         for threads in [1usize, 2, 4] {
             let mesh = make_input(120, 3);
-            let exec = Executor::new().threads(threads).schedule(Schedule::deterministic());
+            let exec = Executor::new()
+                .threads(threads)
+                .schedule(Schedule::deterministic());
             galois(&mesh, &exec);
             refined_ok(&mesh);
             let c = check::canonical_triangles(&mesh);
@@ -393,6 +409,10 @@ mod growth_probe {
         let report = galois(&mesh, &exec);
         let q1 = check::quality(&mesh);
         eprintln!("before: {q0:?} verts={v0}");
-        eprintln!("after: {q1:?} verts={} committed={}", mesh.num_verts(), report.stats.committed);
+        eprintln!(
+            "after: {q1:?} verts={} committed={}",
+            mesh.num_verts(),
+            report.stats.committed
+        );
     }
 }

@@ -68,7 +68,9 @@ pub fn galois(points: &[Point], brio_seed: u64, exec: &Executor) -> (Mesh, RunRe
                         Err(Abort::Conflict)
                     }
                 };
-                let start = locator.hint(&mesh, *p).unwrap_or_else(|| first_alive(&mesh));
+                let start = locator
+                    .hint(&mesh, *p)
+                    .unwrap_or_else(|| first_alive(&mesh));
                 let seed = match locate(&mesh, *p, start, &mut visit)? {
                     LocateOutcome::Found(t) => t,
                     LocateOutcome::OnVertex { .. } => return Ok(()), // duplicate point
@@ -133,8 +135,11 @@ pub fn pbbs(
     let locator = GridLocator::new(pow2_at_least(locator_resolution(points.len())));
     let mut stats = PbbsDtStats::default();
 
-    let mut remaining: Vec<(u64, Point)> =
-        tasks.into_iter().enumerate().map(|(i, p)| (i as u64, p)).collect();
+    let mut remaining: Vec<(u64, Point)> = tasks
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, p))
+        .collect();
     // PBBS prefix factor (a tuned constant — exactly the kind of
     // performance parameter the paper notes these codes have, §6). Larger
     // divisors mean smaller rounds: fewer intra-round cavity conflicts at
@@ -232,16 +237,15 @@ pub fn pbbs(
         stats.aborted += failed_round;
         stats.atomic_updates += atomics.load(Ordering::Relaxed);
         if let (Some(r), Some(c)) = (reserve_ns, commit_ns) {
-            stats.round_traces.push(galois_runtime::simtime::RoundTrace {
-                inspect: galois_runtime::simtime::PhaseTrace::uniform(r, prefix as u64),
-                commit: galois_runtime::simtime::PhaseTrace::uniform(
-                    c,
-                    committed_round.max(1),
-                ),
-                serial_ns: 0.0,
-                sched_par_ns: t2.map(|t| t.elapsed().as_nanos() as f64).unwrap_or(0.0),
-                barriers: 2,
-            });
+            stats
+                .round_traces
+                .push(galois_runtime::simtime::RoundTrace {
+                    inspect: galois_runtime::simtime::PhaseTrace::uniform(r, prefix as u64),
+                    commit: galois_runtime::simtime::PhaseTrace::uniform(c, committed_round.max(1)),
+                    serial_ns: 0.0,
+                    sched_par_ns: t2.map(|t| t.elapsed().as_nanos() as f64).unwrap_or(0.0),
+                    barriers: 2,
+                });
         }
     }
 
@@ -276,11 +280,17 @@ mod tests {
         let pts = pts();
         let expect = check::canonical_triangles(&seq(&pts, 5));
         for threads in [1usize, 4] {
-            let exec = Executor::new().threads(threads).schedule(Schedule::Speculative);
+            let exec = Executor::new()
+                .threads(threads)
+                .schedule(Schedule::Speculative);
             let (mesh, report) = galois(&pts, 5, &exec);
             check::validate(&mesh).unwrap();
             check::check_delaunay(&mesh).unwrap();
-            assert_eq!(check::canonical_triangles(&mesh), expect, "threads={threads}");
+            assert_eq!(
+                check::canonical_triangles(&mesh),
+                expect,
+                "threads={threads}"
+            );
             assert_eq!(report.stats.committed, 250);
         }
     }
@@ -290,11 +300,17 @@ mod tests {
         let pts = pts();
         let expect = check::canonical_triangles(&seq(&pts, 5));
         for threads in [1usize, 2, 4] {
-            let exec = Executor::new().threads(threads).schedule(Schedule::deterministic());
+            let exec = Executor::new()
+                .threads(threads)
+                .schedule(Schedule::deterministic());
             let (mesh, report) = galois(&pts, 5, &exec);
             check::validate(&mesh).unwrap();
             check::check_delaunay(&mesh).unwrap();
-            assert_eq!(check::canonical_triangles(&mesh), expect, "threads={threads}");
+            assert_eq!(
+                check::canonical_triangles(&mesh),
+                expect,
+                "threads={threads}"
+            );
             assert_eq!(report.stats.committed, 250);
             assert!(report.stats.rounds > 0);
         }
@@ -308,7 +324,11 @@ mod tests {
             let (mesh, stats) = pbbs(&pts, 5, threads, false);
             check::validate(&mesh).unwrap();
             check::check_delaunay(&mesh).unwrap();
-            assert_eq!(check::canonical_triangles(&mesh), expect, "threads={threads}");
+            assert_eq!(
+                check::canonical_triangles(&mesh),
+                expect,
+                "threads={threads}"
+            );
             assert_eq!(stats.committed, 250);
         }
     }
@@ -325,7 +345,9 @@ mod tests {
         // sides, so all 6 vertices are on the hull: 2*6 - 2 - 6 = 4.
         assert_eq!(mesh.num_tris_alive(), 4);
         galois_mesh::check::validate(&mesh).unwrap();
-        let exec = Executor::new().threads(2).schedule(Schedule::deterministic());
+        let exec = Executor::new()
+            .threads(2)
+            .schedule(Schedule::deterministic());
         let (mesh2, _) = galois(&three, 1, &exec);
         assert_eq!(
             check::canonical_triangles(&mesh),

@@ -59,10 +59,7 @@ pub fn galois(g: &CsrGraph, exec: &Executor) -> (Vec<u32>, RunReport) {
             .neighbors(v)
             .iter()
             .any(|&w| flags.get(w as usize) == state::IN);
-        flags.set(
-            v as usize,
-            if any_in { state::OUT } else { state::IN },
-        );
+        flags.set(v as usize, if any_in { state::OUT } else { state::IN });
         Ok(())
     };
     let tasks: Vec<NodeId> = g.nodes().collect();
@@ -161,7 +158,9 @@ mod tests {
     fn speculative_is_valid_any_thread_count() {
         let g = graph();
         for threads in [1usize, 4] {
-            let exec = Executor::new().threads(threads).schedule(Schedule::Speculative);
+            let exec = Executor::new()
+                .threads(threads)
+                .schedule(Schedule::Speculative);
             let (flags, report) = galois(&g, &exec);
             verify(&g, &flags).unwrap();
             assert_eq!(report.stats.committed, 400);
@@ -173,11 +172,16 @@ mod tests {
         let g = graph();
         let mut prev: Option<Vec<u32>> = None;
         for threads in [1usize, 2, 4] {
-            let exec = Executor::new().threads(threads).schedule(Schedule::deterministic());
+            let exec = Executor::new()
+                .threads(threads)
+                .schedule(Schedule::deterministic());
             let (flags, _) = galois(&g, &exec);
             verify(&g, &flags).unwrap();
             if let Some(p) = &prev {
-                assert_eq!(&flags, p, "deterministic MIS changed with {threads} threads");
+                assert_eq!(
+                    &flags, p,
+                    "deterministic MIS changed with {threads} threads"
+                );
             }
             prev = Some(flags);
         }

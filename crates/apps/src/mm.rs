@@ -162,7 +162,9 @@ mod tests {
     fn speculative_valid_any_threads() {
         let g = graph();
         for threads in [1usize, 4] {
-            let exec = Executor::new().threads(threads).schedule(Schedule::Speculative);
+            let exec = Executor::new()
+                .threads(threads)
+                .schedule(Schedule::Speculative);
             let (mate, report) = galois(&g, &exec);
             verify(&g, &mate).unwrap();
             assert_eq!(report.stats.committed as usize, edge_list(&g).len());
@@ -174,7 +176,9 @@ mod tests {
         let g = graph();
         let mut prev: Option<Vec<u32>> = None;
         for threads in [1usize, 2, 4] {
-            let exec = Executor::new().threads(threads).schedule(Schedule::deterministic());
+            let exec = Executor::new()
+                .threads(threads)
+                .schedule(Schedule::deterministic());
             let (mate, _) = galois(&g, &exec);
             verify(&g, &mate).unwrap();
             if let Some(p) = &prev {

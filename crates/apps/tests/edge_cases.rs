@@ -18,7 +18,9 @@ fn all_schedules() -> Vec<(&'static str, Executor)> {
         ),
         (
             "det",
-            Executor::new().threads(3).schedule(Schedule::deterministic()),
+            Executor::new()
+                .threads(3)
+                .schedule(Schedule::deterministic()),
         ),
     ]
 }
@@ -141,7 +143,9 @@ fn dmr_refines_boundary_heavy_mesh() {
         b.insert(p);
     }
     let mesh = b.into_mesh();
-    let exec = Executor::new().threads(2).schedule(Schedule::deterministic());
+    let exec = Executor::new()
+        .threads(2)
+        .schedule(Schedule::deterministic());
     dmr::galois(&mesh, &exec);
     check::validate(&mesh).unwrap();
     check::check_delaunay(&mesh).unwrap();
@@ -166,15 +170,12 @@ fn pfp_rmf_all_schedules_agree() {
 #[test]
 fn pfp_saturated_single_path() {
     // A path network: flow = min capacity along the path.
-    let net = FlowNetwork::from_edges(
-        5,
-        &[(0, 1, 9), (1, 2, 3), (2, 3, 7), (3, 4, 5)],
-        0,
-        4,
-    );
+    let net = FlowNetwork::from_edges(5, &[(0, 1, 9), (1, 2, 3), (2, 3, 7), (3, 4, 5)], 0, 4);
     let (flow, _) = pfp::seq(&net);
     assert_eq!(flow, 3);
-    let exec = Executor::new().threads(2).schedule(Schedule::deterministic());
+    let exec = Executor::new()
+        .threads(2)
+        .schedule(Schedule::deterministic());
     let (flow, _) = pfp::galois(&net, &exec);
     assert_eq!(flow, 3);
 }

@@ -16,7 +16,9 @@ const THREADS: usize = 16;
 
 fn main() {
     let scale = galois_bench::scale();
-    println!("== Ablation: CoreDet quantum, fixed vs adaptive ({THREADS} threads, scale {scale}) ==\n");
+    println!(
+        "== Ablation: CoreDet quantum, fixed vs adaptive ({THREADS} threads, scale {scale}) ==\n"
+    );
     let quanta = [5_000.0f64, 50_000.0, 500_000.0];
     let mut table = Table::new(&[
         "program",

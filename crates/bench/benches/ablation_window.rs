@@ -61,7 +61,11 @@ fn main() {
         let spread = if app == "dmr" { 16 } else { 1 };
         run(app, "adaptive", &det_with(WindowPolicy::default(), spread));
         for size in [64usize, 1024, 16 * 1024, 256 * 1024] {
-            run(app, &format!("fixed {size}"), &det_with(fixed(size), spread));
+            run(
+                app,
+                &format!("fixed {size}"),
+                &det_with(fixed(size), spread),
+            );
         }
     }
     println!("{}", table.render());

@@ -19,7 +19,10 @@ fn main() {
     let g = inputs::bfs_graph(scale * 0.1);
     let mut table = Table::new(&["policy", "time-ms", "committed tasks", "work blowup"]);
     let mut baseline = None;
-    for (name, policy) in [("fifo", WorklistPolicy::Fifo), ("lifo", WorklistPolicy::Lifo)] {
+    for (name, policy) in [
+        ("fifo", WorklistPolicy::Fifo),
+        ("lifo", WorklistPolicy::Lifo),
+    ] {
         let exec = Executor::new()
             .threads(galois_bench::max_threads())
             .schedule(Schedule::Speculative)

@@ -16,7 +16,9 @@ use galois_bench::{max_threads, measure, scale, App, Variant};
 fn main() {
     let scale = scale();
     let threads = max_threads();
-    println!("== Figure 11: DRAM requests by variant ({threads}-thread streams, scale {scale}) ==\n");
+    println!(
+        "== Figure 11: DRAM requests by variant ({threads}-thread streams, scale {scale}) ==\n"
+    );
     let mut table = Table::new(&[
         "app", "variant", "accesses", "l1-hit%", "l3-hit%", "dram", "dram%",
     ]);
@@ -27,7 +29,10 @@ fn main() {
                 variant,
                 threads,
                 scale,
-                Opts { access: true, ..Default::default() },
+                Opts {
+                    access: true,
+                    ..Default::default()
+                },
             ) else {
                 continue;
             };

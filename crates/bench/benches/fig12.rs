@@ -33,7 +33,10 @@ fn main() {
                 variant,
                 threads,
                 scale,
-                Opts { access: true, ..Default::default() },
+                Opts {
+                    access: true,
+                    ..Default::default()
+                },
             ) else {
                 continue;
             };

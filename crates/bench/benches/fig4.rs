@@ -20,7 +20,13 @@ fn main() {
          wall-clock artifacts; abort ratios and rounds are exact schedule facts)\n"
     );
     let mut table = Table::new(&[
-        "app", "variant", "threads", "committed", "tasks/us", "abort-ratio", "rounds",
+        "app",
+        "variant",
+        "threads",
+        "committed",
+        "tasks/us",
+        "abort-ratio",
+        "rounds",
     ]);
     for app in App::ALL {
         for &variant in app.variants() {

@@ -49,7 +49,5 @@ fn main() {
         }
     }
     println!("{}", table.render());
-    println!(
-        "expected shape: parsec rows orders of magnitude below the irregular rows"
-    );
+    println!("expected shape: parsec rows orders of magnitude below the irregular rows");
 }

@@ -17,9 +17,7 @@ fn main() {
     let scale = galois_bench::scale();
     println!("== Figure 6: CoreDet slowdown vs native (DMP-O model, quantum 50us) ==\n");
     let thread_points = [1usize, 2, 4, 8, 16, 32, 40];
-    let mut table = Table::new(&[
-        "program", "p", "native-ms", "coredet-ms", "slowdown",
-    ]);
+    let mut table = Table::new(&["program", "p", "native-ms", "coredet-ms", "slowdown"]);
     let mut max_thread_slowdowns = Vec::new();
     for k in Kernel::ALL {
         for &p in &thread_points {
@@ -40,7 +38,10 @@ fn main() {
         }
     }
     println!("{}", table.render());
-    let min = max_thread_slowdowns.iter().copied().fold(f64::MAX, f64::min);
+    let min = max_thread_slowdowns
+        .iter()
+        .copied()
+        .fold(f64::MAX, f64::min);
     let max = max_thread_slowdowns.iter().copied().fold(0.0, f64::max);
     println!(
         "at max threads: median slowdown {}x (min {}x, max {}x)",

@@ -41,8 +41,27 @@ fn main() {
         }
         println!("{}", table.render());
     }
+
+    // Why the round-based variants flatten: the leader-serial share of the
+    // round work is the Amdahl term no thread count removes. Read off the
+    // recorded one-thread traces of the bulk-synchronous variants.
+    println!("-- leader-serial fraction of round work (from 1-thread traces) --");
+    let mut serial = Table::new(&["app", "variant", "serial fraction"]);
+    for app in App::ALL {
+        for &variant in app.variants() {
+            let Some(m) = data.one_thread.get(&(app, variant)) else {
+                continue;
+            };
+            if let Some(frac) = m.serial_fraction() {
+                serial.row(vec![app.name().into(), variant.to_string(), f(frac)]);
+            }
+        }
+    }
+    println!("{}", serial.render());
+
     println!(
         "expected shape: g-n scales best (near-linear until the NUMA cliff on\n\
-         numa8x4); g-d and pbbs flatten as rounds and barriers dominate"
+         numa8x4); g-d and pbbs flatten as rounds and barriers dominate, and\n\
+         the serial-fraction table above bounds their asymptotic speedup"
     );
 }

@@ -26,11 +26,7 @@ fn main() {
             }
         }
         let (v, ms) = best.expect("every app has variants");
-        table.row(vec![
-            app.name().into(),
-            format!("BASELINE ({v})"),
-            f(ms),
-        ]);
+        table.row(vec![app.name().into(), format!("BASELINE ({v})"), f(ms)]);
     }
     println!("{}", table.render());
 }

@@ -34,8 +34,12 @@ fn main() {
                     .iter()
                     .filter_map(|&p| data.relative_to_pbbs(app, variant, machine.name, p))
                     .collect();
-                let i1 = data.relative_to_pbbs(app, variant, machine.name, 1).unwrap();
-                let rmax = data.relative_to_pbbs(app, variant, machine.name, imax).unwrap();
+                let i1 = data
+                    .relative_to_pbbs(app, variant, machine.name, 1)
+                    .unwrap();
+                let rmax = data
+                    .relative_to_pbbs(app, variant, machine.name, imax)
+                    .unwrap();
                 let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
                 let max = ratios.iter().copied().fold(0.0, f64::max);
                 table.row(vec![

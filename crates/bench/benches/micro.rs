@@ -33,6 +33,58 @@ fn bench_marks(c: &mut Criterion) {
     });
 }
 
+/// One deterministic "round" over 1024 locations under each release
+/// protocol: the old CAS-release sweep vs. the epoch bump. The epoch
+/// variant must win — this is the tentpole's measured claim.
+fn bench_round_release(c: &mut Criterion) {
+    let table = MarkTable::new(1024);
+    c.bench_function("marks/round_write_max_plus_release_sweep", |b| {
+        b.iter(|| {
+            for i in 0..1024u32 {
+                black_box(table.write_max(LockId(i), 9));
+            }
+            // Old turnaround: every location released by CAS.
+            for i in 0..1024u32 {
+                table.release(LockId(i), 9);
+            }
+        })
+    });
+    let table = MarkTable::new(1024);
+    c.bench_function("marks/round_write_max_plus_epoch_bump", |b| {
+        b.iter(|| {
+            for i in 0..1024u32 {
+                black_box(table.write_max(LockId(i), 9));
+            }
+            // New turnaround: one increment retires the whole round.
+            table.bump_epoch();
+        })
+    });
+}
+
+/// Release cost in isolation, per 1024 owned marks.
+fn bench_release_only(c: &mut Criterion) {
+    let table = MarkTable::new(1024);
+    c.bench_function("marks/release_sweep_1k", |b| {
+        b.iter(|| {
+            for i in 0..1024u32 {
+                table.write_max(LockId(i), 5);
+            }
+            for i in 0..1024u32 {
+                table.release(LockId(i), 5);
+            }
+        })
+    });
+    let table = MarkTable::new(1024);
+    c.bench_function("marks/release_epoch_bump_1k", |b| {
+        b.iter(|| {
+            for i in 0..1024u32 {
+                table.write_max(LockId(i), 5);
+            }
+            table.bump_epoch();
+        })
+    });
+}
+
 fn bench_worklist(c: &mut Criterion) {
     c.bench_function("worklist/push_pop_1k", |b| {
         let bag: ChunkedBag<u64> = ChunkedBag::new(1);
@@ -83,6 +135,6 @@ fn bench_window(c: &mut Criterion) {
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_marks, bench_worklist, bench_id_assignment, bench_window
+    targets = bench_marks, bench_round_release, bench_release_only, bench_worklist, bench_id_assignment, bench_window
 );
 criterion_main!(micro);

@@ -96,6 +96,17 @@ impl Measurement {
     pub fn atomic_rate_per_us(&self) -> f64 {
         self.atomic_updates as f64 / (self.elapsed.as_secs_f64() * 1e6).max(1e-9)
     }
+
+    /// Leader-serial fraction of the round work, for bulk-synchronous runs
+    /// recorded with a trace: `serial_ns / total_work_ns` aggregated over
+    /// every round (see [`crate::tables::serial_fraction`]). `None` when no
+    /// rounds trace was recorded (asynchronous or untraced runs).
+    pub fn serial_fraction(&self) -> Option<f64> {
+        match &self.trace {
+            Some(ExecTrace::Rounds(rounds)) => Some(crate::tables::serial_fraction(rounds)),
+            _ => None,
+        }
+    }
 }
 
 /// Options for a measurement run.
@@ -153,9 +164,11 @@ fn from_report(app: App, variant: Variant, threads: usize, report: RunReport) ->
         atomic_updates: report.stats.atomic_updates,
         rounds: report.stats.rounds,
         trace: report.trace,
-        accesses: report
-            .accesses
-            .map(|per| per.into_iter().map(|v| v.into_iter().map(|a| a.loc).collect()).collect()),
+        accesses: report.accesses.map(|per| {
+            per.into_iter()
+                .map(|v| v.into_iter().map(|a| a.loc).collect())
+                .collect()
+        }),
     }
 }
 
@@ -170,7 +183,13 @@ fn rounds_trace(rt: Vec<RoundTrace>, on: bool) -> Option<ExecTrace> {
 /// # Panics
 ///
 /// Panics if `threads == 0`.
-pub fn measure(app: App, variant: Variant, threads: usize, scale: f64, opts: Opts) -> Option<Measurement> {
+pub fn measure(
+    app: App,
+    variant: Variant,
+    threads: usize,
+    scale: f64,
+    opts: Opts,
+) -> Option<Measurement> {
     assert!(threads > 0);
     let m = match (app, variant) {
         (App::Bfs, Variant::Pbbs) => {
@@ -298,7 +317,10 @@ pub fn measure(app: App, variant: Variant, threads: usize, scale: f64, opts: Opt
                 for r in &report.reports {
                     match &r.trace {
                         Some(ExecTrace::Rounds(rt)) => rounds.extend(rt.iter().cloned()),
-                        Some(ExecTrace::Async { task_ns, overhead_ns }) => {
+                        Some(ExecTrace::Async {
+                            task_ns,
+                            overhead_ns,
+                        }) => {
                             tasks.extend_from_slice(task_ns);
                             overhead = overhead_ns.max(overhead);
                         }
@@ -375,7 +397,10 @@ mod tests {
             Variant::GaloisDet,
             1,
             TINY,
-            Opts { trace: true, ..Default::default() },
+            Opts {
+                trace: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(matches!(m.trace, Some(ExecTrace::Rounds(_))));
@@ -384,10 +409,31 @@ mod tests {
             Variant::GaloisNondet,
             1,
             TINY,
-            Opts { trace: true, ..Default::default() },
+            Opts {
+                trace: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(matches!(m.trace, Some(ExecTrace::Async { .. })));
+    }
+
+    #[test]
+    fn serial_fraction_reported_for_round_traces_only() {
+        let opts = Opts {
+            trace: true,
+            ..Default::default()
+        };
+        let det = measure(App::Mis, Variant::GaloisDet, 1, TINY, opts).unwrap();
+        let frac = det.serial_fraction().expect("rounds trace recorded");
+        assert!(
+            frac > 0.0 && frac < 1.0,
+            "leader-serial fraction should be a proper fraction, got {frac}"
+        );
+        let spec = measure(App::Mis, Variant::GaloisNondet, 1, TINY, opts).unwrap();
+        assert_eq!(spec.serial_fraction(), None, "async traces have no rounds");
+        let untraced = measure(App::Mis, Variant::GaloisDet, 1, TINY, Opts::default()).unwrap();
+        assert_eq!(untraced.serial_fraction(), None);
     }
 
     #[test]
@@ -397,7 +443,10 @@ mod tests {
             Variant::GaloisDet,
             2,
             TINY,
-            Opts { access: true, ..Default::default() },
+            Opts {
+                access: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let streams = m.accesses.expect("streams requested");

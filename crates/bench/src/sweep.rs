@@ -44,7 +44,13 @@ impl SweepData {
 
     /// Time ratio `t_pbbs(p) / t_var(p)` (Figure 9's metric; > 1 means the
     /// variant beats PBBS).
-    pub fn relative_to_pbbs(&self, app: App, variant: Variant, machine: &'static str, p: usize) -> Option<f64> {
+    pub fn relative_to_pbbs(
+        &self,
+        app: App,
+        variant: Variant,
+        machine: &'static str,
+        p: usize,
+    ) -> Option<f64> {
         let t_pbbs = self.times.get(&(app, Variant::Pbbs, machine, p))?;
         let t_var = self.times.get(&(app, variant, machine, p))?;
         Some(t_pbbs / t_var)
@@ -122,7 +128,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins >= total - 1, "g-n should beat g-d almost always ({wins}/{total})");
+        assert!(
+            wins >= total - 1,
+            "g-n should beat g-d almost always ({wins}/{total})"
+        );
     }
 
     #[test]

@@ -1,4 +1,7 @@
-//! Plain-text table rendering for the figure harnesses.
+//! Plain-text table rendering for the figure harnesses, plus the small
+//! numeric summaries (medians, leader-serial fractions) they report.
+
+use galois_runtime::simtime::RoundTrace;
 
 /// A simple left-aligned text table.
 #[derive(Debug, Default)]
@@ -71,6 +74,24 @@ pub fn f(v: f64) -> String {
     }
 }
 
+/// Fraction of a bulk-synchronous execution's work that is inherently
+/// serial leader work: `serial_ns` summed over the rounds, divided by the
+/// rounds' total work (inspect + commit + serial + parallelizable
+/// scheduling).
+///
+/// This is the Amdahl term the epoch-tagged turnaround attacks — the
+/// higher it is, the sooner adding threads stops helping the deterministic
+/// variant. Returns `0.0` for an empty or zero-work trace.
+pub fn serial_fraction(rounds: &[RoundTrace]) -> f64 {
+    let serial: f64 = rounds.iter().map(|r| r.serial_ns).sum();
+    let total: f64 = rounds.iter().map(RoundTrace::total_work_ns).sum();
+    if total > 0.0 {
+        serial / total
+    } else {
+        0.0
+    }
+}
+
 /// Median of a sample (NaNs excluded).
 pub fn median(values: &[f64]) -> f64 {
     let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
@@ -113,6 +134,30 @@ mod tests {
         assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
         assert!(median(&[]).is_nan());
         assert_eq!(median(&[f64::NAN, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn serial_fraction_aggregates_over_rounds() {
+        use galois_runtime::simtime::PhaseTrace;
+        let round = |work: f64, serial: f64| RoundTrace {
+            inspect: PhaseTrace {
+                total_ns: work / 2.0,
+                max_ns: work / 2.0,
+                count: 1,
+            },
+            commit: PhaseTrace {
+                total_ns: work / 2.0,
+                max_ns: work / 2.0,
+                count: 1,
+            },
+            serial_ns: serial,
+            sched_par_ns: 0.0,
+            barriers: 3,
+        };
+        // 10 serial out of (90 + 10) total.
+        assert_eq!(serial_fraction(&[round(60.0, 5.0), round(30.0, 5.0)]), 0.1);
+        assert_eq!(serial_fraction(&[]), 0.0);
+        assert_eq!(serial_fraction(&[round(0.0, 0.0)]), 0.0);
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl Cache {
     /// `ways > 0`.
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.ways > 0);
         Cache {
             config,

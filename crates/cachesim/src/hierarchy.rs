@@ -19,9 +19,21 @@ impl Default for HierarchyConfig {
     /// scaled-down inputs (1 MiB instead of 24–30 MiB).
     fn default() -> Self {
         HierarchyConfig {
-            l1: CacheConfig { sets: 64, ways: 8, line_bytes: 64 },
-            l2: CacheConfig { sets: 512, ways: 8, line_bytes: 64 },
-            l3: CacheConfig { sets: 2048, ways: 8, line_bytes: 64 },
+            l1: CacheConfig {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                sets: 512,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l3: CacheConfig {
+                sets: 2048,
+                ways: 8,
+                line_bytes: 64,
+            },
         }
     }
 }
@@ -136,9 +148,21 @@ mod tests {
         Hierarchy::new(
             2,
             HierarchyConfig {
-                l1: CacheConfig { sets: 4, ways: 2, line_bytes: 64 },
-                l2: CacheConfig { sets: 8, ways: 2, line_bytes: 64 },
-                l3: CacheConfig { sets: 16, ways: 4, line_bytes: 64 },
+                l1: CacheConfig {
+                    sets: 4,
+                    ways: 2,
+                    line_bytes: 64,
+                },
+                l2: CacheConfig {
+                    sets: 8,
+                    ways: 2,
+                    line_bytes: 64,
+                },
+                l3: CacheConfig {
+                    sets: 16,
+                    ways: 4,
+                    line_bytes: 64,
+                },
             },
         )
     }
@@ -186,17 +210,47 @@ mod tests {
             .map(|i| i % 50)
             .chain((0..1000u32).map(|i| i % 50))
             .collect();
-        let mut h1 = Hierarchy::new(1, HierarchyConfig {
-            l1: CacheConfig { sets: 4, ways: 2, line_bytes: 64 },
-            l2: CacheConfig { sets: 4, ways: 2, line_bytes: 64 },
-            l3: CacheConfig { sets: 4, ways: 2, line_bytes: 64 },
-        });
+        let mut h1 = Hierarchy::new(
+            1,
+            HierarchyConfig {
+                l1: CacheConfig {
+                    sets: 4,
+                    ways: 2,
+                    line_bytes: 64,
+                },
+                l2: CacheConfig {
+                    sets: 4,
+                    ways: 2,
+                    line_bytes: 64,
+                },
+                l3: CacheConfig {
+                    sets: 4,
+                    ways: 2,
+                    line_bytes: 64,
+                },
+            },
+        );
         let near_stats = h1.replay(&[near]);
-        let mut h2 = Hierarchy::new(1, HierarchyConfig {
-            l1: CacheConfig { sets: 4, ways: 2, line_bytes: 64 },
-            l2: CacheConfig { sets: 4, ways: 2, line_bytes: 64 },
-            l3: CacheConfig { sets: 4, ways: 2, line_bytes: 64 },
-        });
+        let mut h2 = Hierarchy::new(
+            1,
+            HierarchyConfig {
+                l1: CacheConfig {
+                    sets: 4,
+                    ways: 2,
+                    line_bytes: 64,
+                },
+                l2: CacheConfig {
+                    sets: 4,
+                    ways: 2,
+                    line_bytes: 64,
+                },
+                l3: CacheConfig {
+                    sets: 4,
+                    ways: 2,
+                    line_bytes: 64,
+                },
+            },
+        );
         let far_stats = h2.replay(&[far]);
         assert!(
             near_stats.dram < far_stats.dram,

@@ -45,7 +45,11 @@ pub fn fit(xs: &[f64], ys: &[f64]) -> Option<Fit> {
             e * e
         })
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Some(Fit { b0, b1, r2 })
 }
 

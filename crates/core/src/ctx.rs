@@ -160,9 +160,7 @@ impl<'a, T> Ctx<'a, T> {
                 self.stats.atomic_updates += 1;
                 self.record(loc, false);
                 let prev = self.marks.write_max(loc, self.mark_value);
-                let flags = self
-                    .flags
-                    .expect("inspect mode always carries abort flags");
+                let flags = self.flags.expect("inspect mode always carries abort flags");
                 if prev > self.mark_value {
                     // A higher-priority task owns `loc`: this task cannot be
                     // in the independent set. Keep marking the rest anyway.
@@ -345,7 +343,16 @@ mod tests {
         marks.try_acquire(LockId(1), 99);
         let (mut nb, mut ps, mut st) = (vec![], vec![], None);
         let mut stats = ThreadStats::default();
-        let mut ctx = fresh(Mode::Speculative, 5, &marks, &mut nb, &mut ps, None, &mut st, &mut stats);
+        let mut ctx = fresh(
+            Mode::Speculative,
+            5,
+            &marks,
+            &mut nb,
+            &mut ps,
+            None,
+            &mut st,
+            &mut stats,
+        );
         assert_eq!(ctx.acquire(LockId(0)), Ok(()));
         assert_eq!(ctx.acquire(LockId(0)), Ok(()), "duplicate acquire is free");
         assert_eq!(ctx.acquire(LockId(1)), Err(Abort::Conflict));
@@ -361,7 +368,16 @@ mod tests {
         let mut stats = ThreadStats::default();
         // Task id 7 (mark value 8) marks loc 0.
         {
-            let mut ctx = fresh(Mode::Inspect, 8, &marks, &mut nb, &mut ps, Some(&flags), &mut st, &mut stats);
+            let mut ctx = fresh(
+                Mode::Inspect,
+                8,
+                &marks,
+                &mut nb,
+                &mut ps,
+                Some(&flags),
+                &mut st,
+                &mut stats,
+            );
             assert_eq!(ctx.acquire(LockId(0)), Ok(()));
             assert_eq!(ctx.failsafe(), Err(Abort::Inspected));
         }
@@ -370,7 +386,16 @@ mod tests {
         let (mut nb2, mut ps2, mut st2) = (vec![], vec![], None);
         let mut stats2 = ThreadStats::default();
         {
-            let mut ctx = fresh(Mode::Inspect, 4, &marks, &mut nb2, &mut ps2, Some(&flags), &mut st2, &mut stats2);
+            let mut ctx = fresh(
+                Mode::Inspect,
+                4,
+                &marks,
+                &mut nb2,
+                &mut ps2,
+                Some(&flags),
+                &mut st2,
+                &mut stats2,
+            );
             assert_eq!(ctx.acquire(LockId(0)), Ok(()));
             assert_eq!(ctx.acquire(LockId(1)), Ok(()));
         }
@@ -388,13 +413,31 @@ mod tests {
         // Low-id task 2 marks first...
         let (mut nb, mut ps, mut st) = (vec![], vec![], None);
         {
-            let mut ctx = fresh(Mode::Inspect, 3, &marks, &mut nb, &mut ps, Some(&flags), &mut st, &mut stats);
+            let mut ctx = fresh(
+                Mode::Inspect,
+                3,
+                &marks,
+                &mut nb,
+                &mut ps,
+                Some(&flags),
+                &mut st,
+                &mut stats,
+            );
             ctx.acquire(LockId(0)).unwrap();
         }
         // ...then high-id task 6 displaces it.
         let (mut nb2, mut ps2, mut st2) = (vec![], vec![], None);
         {
-            let mut ctx = fresh(Mode::Inspect, 7, &marks, &mut nb2, &mut ps2, Some(&flags), &mut st2, &mut stats);
+            let mut ctx = fresh(
+                Mode::Inspect,
+                7,
+                &marks,
+                &mut nb2,
+                &mut ps2,
+                Some(&flags),
+                &mut st2,
+                &mut stats,
+            );
             ctx.acquire(LockId(0)).unwrap();
         }
         assert!(flags.get(2), "displaced task is flagged by the displacer");
@@ -410,14 +453,35 @@ mod tests {
         // Inspect: checkpoint stores and aborts.
         {
             let (mut nb, mut ps) = (vec![], vec![]);
-            let mut ctx = fresh(Mode::Inspect, 1, &marks, &mut nb, &mut ps, Some(&flags), &mut stash, &mut stats);
-            assert_eq!(ctx.checkpoint(vec![1u32, 2, 3]).unwrap_err(), Abort::Inspected);
+            let mut ctx = fresh(
+                Mode::Inspect,
+                1,
+                &marks,
+                &mut nb,
+                &mut ps,
+                Some(&flags),
+                &mut stash,
+                &mut stats,
+            );
+            assert_eq!(
+                ctx.checkpoint(vec![1u32, 2, 3]).unwrap_err(),
+                Abort::Inspected
+            );
         }
         assert!(stash.is_some());
         // Commit: take returns it.
         {
             let (mut nb, mut ps) = (vec![], vec![]);
-            let mut ctx = fresh(Mode::Commit, 1, &marks, &mut nb, &mut ps, None, &mut stash, &mut stats);
+            let mut ctx = fresh(
+                Mode::Commit,
+                1,
+                &marks,
+                &mut nb,
+                &mut ps,
+                None,
+                &mut stash,
+                &mut stats,
+            );
             assert_eq!(ctx.take::<Vec<u32>>(), Some(vec![1, 2, 3]));
             assert_eq!(ctx.take::<Vec<u32>>(), None, "take consumes");
         }
@@ -429,7 +493,16 @@ mod tests {
         let mut stats = ThreadStats::default();
         let mut stash: Option<Box<dyn Any + Send>> = Some(Box::new(42u64));
         let (mut nb, mut ps) = (vec![], vec![]);
-        let mut ctx = fresh(Mode::Commit, 1, &marks, &mut nb, &mut ps, None, &mut stash, &mut stats);
+        let mut ctx = fresh(
+            Mode::Commit,
+            1,
+            &marks,
+            &mut nb,
+            &mut ps,
+            None,
+            &mut stash,
+            &mut stats,
+        );
         assert_eq!(ctx.take::<String>(), None);
         assert_eq!(ctx.take::<u64>(), Some(42));
     }
@@ -443,7 +516,16 @@ mod tests {
         let (mut nb, mut ps) = (vec![], vec![]);
         let mut ctx: Ctx<'_, u32> = Ctx {
             allow_stash: false,
-            ..fresh(Mode::Inspect, 1, &marks, &mut nb, &mut ps, Some(&flags), &mut stash, &mut stats)
+            ..fresh(
+                Mode::Inspect,
+                1,
+                &marks,
+                &mut nb,
+                &mut ps,
+                Some(&flags),
+                &mut stash,
+                &mut stats,
+            )
         };
         assert!(ctx.checkpoint(7u8).is_err());
         assert!(stash.is_none(), "baseline never stores continuations");
@@ -457,13 +539,31 @@ mod tests {
         let flags = AbortFlags::new(4);
         let (mut nb, mut ps) = (vec![], vec![]);
         {
-            let mut ctx = fresh(Mode::Inspect, 1, &marks, &mut nb, &mut ps, Some(&flags), &mut stash, &mut stats);
+            let mut ctx = fresh(
+                Mode::Inspect,
+                1,
+                &marks,
+                &mut nb,
+                &mut ps,
+                Some(&flags),
+                &mut stash,
+                &mut stats,
+            );
             ctx.push(11);
         }
         assert!(ps.is_empty());
         let (mut nb2, mut ps2) = (vec![], vec![]);
         {
-            let mut ctx = fresh(Mode::Commit, 1, &marks, &mut nb2, &mut ps2, None, &mut stash, &mut stats);
+            let mut ctx = fresh(
+                Mode::Commit,
+                1,
+                &marks,
+                &mut nb2,
+                &mut ps2,
+                None,
+                &mut stash,
+                &mut stats,
+            );
             ctx.push(11);
         }
         assert_eq!(ps2, vec![11]);
@@ -476,7 +576,16 @@ mod tests {
         let marks = MarkTable::new(2);
         let mut stats = ThreadStats::default();
         let (mut nb, mut ps, mut st) = (vec![], vec![], None);
-        let mut ctx = fresh(Mode::Speculative, 1, &marks, &mut nb, &mut ps, None, &mut st, &mut stats);
+        let mut ctx = fresh(
+            Mode::Speculative,
+            1,
+            &marks,
+            &mut nb,
+            &mut ps,
+            None,
+            &mut st,
+            &mut stats,
+        );
         ctx.acquire(LockId(0)).unwrap();
         ctx.failsafe().unwrap();
         let _ = ctx.acquire(LockId(1)); // write-phase acquire: contract bug
@@ -488,7 +597,16 @@ mod tests {
         let mut stats = ThreadStats::default();
         let mut stash = None;
         let (mut nb, mut ps) = (vec![], vec![]);
-        let mut ctx = fresh(Mode::Serial, 1, &marks, &mut nb, &mut ps, None, &mut stash, &mut stats);
+        let mut ctx = fresh(
+            Mode::Serial,
+            1,
+            &marks,
+            &mut nb,
+            &mut ps,
+            None,
+            &mut stash,
+            &mut stats,
+        );
         ctx.acquire(LockId(2)).unwrap();
         ctx.acquire(LockId(2)).unwrap();
         ctx.failsafe().unwrap();

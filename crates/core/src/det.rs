@@ -2,13 +2,17 @@
 //!
 //! Tasks execute in bulk-synchronous **rounds**. Each round:
 //!
-//! 1. **prepare** (one thread): carve a window-sized prefix `cur` off the
-//!    deterministically ordered pending sequence; adapt the window from the
-//!    previous round's commit ratio.
-//! 2. **inspect** (all threads): run each task in `cur` up to its failsafe
-//!    point, marking its neighborhood with `writeMarkMax`. The cumulative
-//!    marks implicitly build the round's interference graph; abort flags
-//!    record which tasks lost an edge to a higher id.
+//! 1. **prepare** (one thread): retire the previous round's marks and abort
+//!    flags by bumping their epochs (two counter increments — see below),
+//!    then carve a window-sized index range of the deterministically ordered
+//!    pending buffer; adapt the window from the previous round's commit
+//!    ratio.
+//! 2. **inspect** (all threads): claim a slot, pull its task out of the
+//!    pending buffer (the *workers* fill the window, not the leader), and run
+//!    it up to its failsafe point, marking its neighborhood with
+//!    `writeMarkMax`. The cumulative marks implicitly build the round's
+//!    interference graph; abort flags record which tasks lost an edge to a
+//!    higher id.
 //! 3. **commit** (all threads): tasks whose flag is clear form the unique
 //!    deterministic independent set; they re-execute (or resume from their
 //!    checkpointed continuation) and commit. Each worker keys its committed
@@ -23,6 +27,26 @@
 //! assignment. Every structure that influences the schedule — window sizes,
 //! ids, independent sets — is a pure function of committed-task history, so
 //! the schedule is identical for every thread count (**portability**).
+//!
+//! # O(threads) round turnaround
+//!
+//! The serial work the leader does between rounds is independent of both the
+//! window size and neighborhood sizes:
+//!
+//! - **Marks** are epoch-tagged ([`MarkTable::bump_epoch`]): one increment
+//!   retires every mark of the round, replacing the per-task release sweep
+//!   (one CAS per neighborhood location). The tally of CASes this avoids is
+//!   reported as `releases_avoided`; deterministic rounds perform **zero**
+//!   per-location release CASes.
+//! - **Abort flags** are epoch-stamped ([`AbortFlags::advance`]): one
+//!   increment clears all flags, and the array is grown in place at pass
+//!   boundaries instead of reallocated.
+//! - **Window refill** is distributed: the leader only publishes the range
+//!   `[fill_base, fill_base + window)` of the pending buffer; each worker
+//!   moves the task into the slot it claims during inspect. Failed tasks are
+//!   written back *in slot order* immediately before the untried remainder,
+//!   so round membership — and therefore the schedule — is exactly what the
+//!   serial pop-and-refill produced.
 
 use crate::ctx::{Abort, Access, Ctx, Mode};
 use crate::executor::{DetOptions, Executor, RunReport};
@@ -37,7 +61,6 @@ use galois_runtime::stats::{ExecStats, ThreadStats};
 use galois_runtime::SenseBarrier;
 use std::any::Any;
 use std::cell::UnsafeCell;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -69,7 +92,9 @@ impl<T> Slot<T> {
     }
 
     fn item(&self) -> &WorkItem<T> {
-        self.item.as_ref().expect("slot carries a task during rounds")
+        self.item
+            .as_ref()
+            .expect("slot carries a task during rounds")
     }
 }
 
@@ -118,6 +143,14 @@ impl<T> ThreadOut<T> {
 /// acquire/release chains order all of it.
 struct RoundState<T> {
     cur: UnsafeCell<Vec<Slot<T>>>,
+    /// The current pass's ordered task buffer. Consumed left to right;
+    /// workers `take()` the entries of the published window range during
+    /// inspect, and the leader writes failed tasks back just before the
+    /// unconsumed remainder.
+    pending: UnsafeCell<Vec<Option<WorkItem<T>>>>,
+    /// First pending index of the current window: slot `i` holds (after the
+    /// claiming worker fills it) `pending[fill_base + i]`.
+    fill_base: AtomicUsize,
     flags: UnsafeCell<Option<AbortFlags>>,
     outs: Vec<UnsafeCell<ThreadOut<T>>>,
     claim_inspect: AtomicUsize,
@@ -130,7 +163,8 @@ unsafe impl<T: Send> Sync for RoundState<T> {}
 
 /// Leader-only bookkeeping across rounds and passes.
 struct LeaderState<T> {
-    pending: VecDeque<WorkItem<T>>,
+    /// Next unconsumed index into the shared pending buffer.
+    head: usize,
     todo: Vec<PendingItem<T>>,
     window: AdaptiveWindow,
     rounds: u64,
@@ -159,11 +193,15 @@ where
     let start = Instant::now();
 
     // Initial pass: ids in iteration order (§3.2), or pre-assigned (§3.3).
+    let mut dedup_dropped = 0u64;
     let initial: Vec<WorkItem<T>> = match &preassigned {
         None => tasks
             .into_iter()
             .enumerate()
-            .map(|(i, t)| WorkItem { task: t, id: i as u64 })
+            .map(|(i, t)| WorkItem {
+                task: t,
+                id: i as u64,
+            })
             .collect(),
         Some((id_of, id_space)) => {
             let mut v: Vec<WorkItem<T>> = tasks
@@ -178,7 +216,15 @@ where
                 })
                 .collect();
             galois_runtime::sort::parallel_sort_by_key(&mut v, threads, |w| w.id);
+            // Equal ids would make the schedule ambiguous, so only the first
+            // task of each id survives (the documented `run_with_ids`
+            // contract). This drops the later duplicates *silently* as far
+            // as execution goes — the count is surfaced in
+            // `ExecStats::dedup_dropped` so callers can detect unintended
+            // id collisions instead of losing work without a trace.
+            let before = v.len();
             v.dedup_by(|a, b| a.id == b.id);
+            dedup_dropped = (before - v.len()) as u64;
             v
         }
     };
@@ -192,8 +238,12 @@ where
 
     let state: RoundState<T> = RoundState {
         cur: UnsafeCell::new(Vec::new()),
+        pending: UnsafeCell::new(Vec::new()),
+        fill_base: AtomicUsize::new(0),
         flags: UnsafeCell::new(None),
-        outs: (0..threads).map(|_| UnsafeCell::new(ThreadOut::new())).collect(),
+        outs: (0..threads)
+            .map(|_| UnsafeCell::new(ThreadOut::new()))
+            .collect(),
         claim_inspect: AtomicUsize::new(0),
         done: AtomicBool::new(false),
     };
@@ -206,7 +256,7 @@ where
         let mut stats = ThreadStats::default();
         let mut accesses: Vec<Access> = Vec::new();
         let mut leader: Option<LeaderState<T>> = (tid == 0).then(|| LeaderState {
-            pending: VecDeque::new(),
+            head: 0,
             todo: Vec::new(),
             window: AdaptiveWindow::for_pass(opts.window, 0),
             rounds: 0,
@@ -214,15 +264,23 @@ where
             started: false,
             spare: Vec::new(),
         });
-        if let Some(leader) = leader.as_mut() {
+        if leader.is_some() {
             let initial = initial_cell.lock().unwrap().take().expect("single leader");
-            leader.pending = spread_for_locality(initial, opts.locality_spread).into();
+            // SAFETY: workers cannot touch `pending` before the first
+            // barrier; the leader owns it here.
+            unsafe {
+                *state.pending.get() = spread_for_locality(initial, opts.locality_spread)
+                    .into_iter()
+                    .map(Some)
+                    .collect();
+            }
         }
 
         loop {
             if let Some(leader) = leader.as_mut() {
                 let t0 = cfg.record_trace.then(Instant::now);
-                let sort_ns = prepare_round(leader, &state, opts, cfg, threads, flag_space_of);
+                let sort_ns =
+                    prepare_round(leader, &state, marks, opts, cfg, threads, flag_space_of);
                 if let (Some(t0), Some(last)) = (t0, leader.round_traces.last_mut()) {
                     // The merge/carve work belongs to the round it closed;
                     // the pass-boundary sort is parallelizable scheduler work.
@@ -235,15 +293,18 @@ where
             if state.done.load(Ordering::Acquire) {
                 break;
             }
-            // SAFETY: the leader finished mutating `cur`/`flags` before the
-            // barrier; both are read-only (at the Vec level) until the next
-            // prepare. Slot and out-buffer access is phase-exclusive.
-            let (slots, flags) = unsafe {
+            // SAFETY: the leader finished mutating `cur`/`pending`/`flags`
+            // before the barrier; all are read-only (at the Vec level) until
+            // the next prepare. Slot, pending-entry and out-buffer access is
+            // phase-exclusive.
+            let (slots, pend, flags) = unsafe {
                 let cur: &Vec<Slot<T>> = &*state.cur.get();
+                let pend = (*state.pending.get()).as_ptr() as *mut Option<WorkItem<T>>;
                 let flags: &AbortFlags = (*state.flags.get()).as_ref().expect("flags set");
-                (cur.as_ptr() as *mut Slot<T>, flags)
+                (cur.as_ptr() as *mut Slot<T>, pend, flags)
             };
             let n = unsafe { (*state.cur.get()).len() };
+            let fill_base = state.fill_base.load(Ordering::Relaxed);
             // SAFETY: outs[tid] is exclusively this worker's between barriers.
             let out = unsafe { &mut *state.outs[tid].get() };
             out.reset();
@@ -252,16 +313,38 @@ where
             // amortized per chunk so tiny tasks are not inflated by timers.
             const CLAIM_CHUNK: usize = 8;
             loop {
-                let i0 = state.claim_inspect.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                let i0 = state
+                    .claim_inspect
+                    .fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
                 if i0 >= n {
                     break;
                 }
                 let hi = (i0 + CLAIM_CHUNK).min(n);
                 let t0 = cfg.record_trace.then(Instant::now);
                 for i in i0..hi {
-                    // SAFETY: index range claimed exclusively above.
+                    // SAFETY: index range claimed exclusively above; pending
+                    // entry `fill_base + i` belongs to slot `i` alone, so the
+                    // claim covers it too. Filling the window here — on the
+                    // claiming worker — keeps the leader's serial turnaround
+                    // O(threads) instead of O(window).
                     let slot = unsafe { &mut *slots.add(i) };
-                    inspect_slot(slot, marks, flags, opts, cfg, tid, &mut stats, &mut accesses, op);
+                    let item = unsafe { (*pend.add(fill_base + i)).take() };
+                    slot.item = Some(item.expect("carved pending entry holds a task"));
+                    slot.committed = false;
+                    slot.stash = None;
+                    slot.pushes.clear();
+                    slot.pending_out.clear();
+                    inspect_slot(
+                        slot,
+                        marks,
+                        flags,
+                        opts,
+                        cfg,
+                        tid,
+                        &mut stats,
+                        &mut accesses,
+                        op,
+                    );
                 }
                 if let Some(t0) = t0 {
                     out.inspect
@@ -315,8 +398,16 @@ where
     agg.rounds = rounds;
     agg.elapsed = elapsed;
     agg.threads = threads;
+    agg.dedup_dropped = dedup_dropped;
 
-    debug_assert!(marks.all_unowned(), "deterministic run must release all marks");
+    debug_assert!(
+        marks.all_unowned(),
+        "deterministic run must release all marks"
+    );
+    debug_assert_eq!(
+        agg.mark_releases, 0,
+        "deterministic rounds retire marks by epoch, never by per-location CAS"
+    );
     RunReport {
         stats: agg,
         trace: cfg.record_trace.then_some(ExecTrace::Rounds(round_traces)),
@@ -329,9 +420,14 @@ where
 /// Leader work between rounds: merge per-thread outputs, advance passes,
 /// carve the next window. Runs strictly between the commit barrier and the
 /// prepare barrier. Returns the (parallelizable) pass-boundary sort time.
+///
+/// Everything here is O(threads) per round (plus buffer moves for failed /
+/// created tasks): marks and flags retire by epoch bump, and the window is
+/// published as an index range that the workers fill themselves.
 fn prepare_round<T: Send>(
     leader: &mut LeaderState<T>,
     state: &RoundState<T>,
+    marks: &MarkTable,
     opts: &DetOptions,
     cfg: &Executor,
     threads: usize,
@@ -339,38 +435,59 @@ fn prepare_round<T: Send>(
 ) -> f64 {
     // SAFETY: leader-exclusive access window (see RoundState docs).
     let cur = unsafe { &mut *state.cur.get() };
+    let pending = unsafe { &mut *state.pending.get() };
     let flags_cell = unsafe { &mut *state.flags.get() };
 
     if !leader.started {
         leader.started = true;
-        let pass_size = leader.pending.len();
+        let pass_size = pending.len();
         *flags_cell = Some(AbortFlags::new(flag_space_of(pass_size)));
         leader.window = AdaptiveWindow::for_pass(opts.window, pass_size);
     } else {
+        // Retire the closed round's marks and abort flags: two counter
+        // increments replace the old per-task release sweep and per-task
+        // flag clears. Workers are parked at the barrier, so the quiescence
+        // contract of both calls holds.
+        marks.bump_epoch();
+        flags_cell
+            .as_ref()
+            .expect("flags set after first round")
+            .advance();
+
         // Merge the finished round's per-thread outputs: O(threads) plus
         // buffer moves; the per-task work happened on the workers.
         let attempted = cur.len();
         let mut committed = 0usize;
+        let mut nfailed = 0usize;
         let mut trace = cfg.record_trace.then(RoundTrace::default);
-        // Failed tasks precede the untried remainder (Figure 2 line 19) in
-        // slot order: walk threads (and their items) in reverse, prepending.
-        for tid in (0..threads).rev() {
+        for tid in 0..threads {
             // SAFETY: workers are parked at the barrier; outs are quiescent.
             let out = unsafe { &mut *state.outs[tid].get() };
             committed += out.committed as usize;
+            nfailed += out.failed.len();
             if let Some(t) = trace.as_mut() {
                 t.inspect.merge(&out.inspect);
                 t.commit.merge(&out.commit);
             }
-            while let Some(item) = out.failed.pop() {
-                leader.pending.push_front(item);
-            }
         }
+        // Failed tasks precede the untried remainder (Figure 2 line 19) in
+        // slot order: write them back into the tail of the just-consumed
+        // window range (those entries were taken by the workers) and move
+        // the head cursor over them. Walking threads forward reproduces slot
+        // order because commit ranges are contiguous ascending.
+        let mut w_idx = leader.head - nfailed;
         for tid in 0..threads {
             // SAFETY: as above.
             let out = unsafe { &mut *state.outs[tid].get() };
+            for item in out.failed.drain(..) {
+                debug_assert!(pending[w_idx].is_none(), "window entries were consumed");
+                pending[w_idx] = Some(item);
+                w_idx += 1;
+            }
             leader.todo.append(&mut out.todo);
         }
+        debug_assert_eq!(w_idx, leader.head);
+        leader.head -= nfailed;
         debug_assert!(
             attempted == 0 || committed >= 1,
             "the maximum id in a round always commits"
@@ -386,40 +503,44 @@ fn prepare_round<T: Send>(
     // Pass boundary: the sorted sequence is drained; order `todo` (Figure 2
     // lines 3-6).
     let mut sort_ns = 0.0;
-    if leader.pending.is_empty() && !leader.todo.is_empty() {
+    if leader.head == pending.len() && !leader.todo.is_empty() {
         let t_sort = cfg.record_trace.then(Instant::now);
         let todo = std::mem::take(&mut leader.todo);
         let items = assign_ids(todo, threads);
         let pass_size = items.len();
-        leader.pending = spread_for_locality(items, opts.locality_spread).into();
+        *pending = spread_for_locality(items, opts.locality_spread)
+            .into_iter()
+            .map(Some)
+            .collect();
+        leader.head = 0;
         if let Some(t) = t_sort {
             sort_ns = t.elapsed().as_nanos() as f64;
         }
-        *flags_cell = Some(AbortFlags::new(flag_space_of(pass_size)));
+        flags_cell
+            .as_mut()
+            .expect("flags created on the first round")
+            .grow(flag_space_of(pass_size));
         leader.window = AdaptiveWindow::for_pass(opts.window, pass_size);
     }
 
-    if leader.pending.is_empty() {
+    if leader.head == pending.len() {
         state.done.store(true, Ordering::Release);
         return sort_ns;
     }
 
     // Carve the window (Figure 2 `getWindowOfTasks`), recycling slot
-    // storage so no allocator traffic happens per round.
-    let w = leader.window.size().min(leader.pending.len());
+    // storage so no allocator traffic happens per round. The leader only
+    // sizes `cur` and publishes the index range; the claiming workers fill
+    // the slots during inspect.
+    let w = leader.window.size().min(pending.len() - leader.head);
     while cur.len() > w {
         leader.spare.push(cur.pop().expect("len > w"));
     }
     while cur.len() < w {
         cur.push(leader.spare.pop().unwrap_or_else(Slot::empty));
     }
-    for slot in cur.iter_mut() {
-        slot.item = Some(leader.pending.pop_front().expect("w <= len"));
-        slot.committed = false;
-        slot.stash = None;
-        slot.pushes.clear();
-        slot.pending_out.clear();
-    }
+    state.fill_base.store(leader.head, Ordering::Relaxed);
+    leader.head += w;
     state.claim_inspect.store(0, Ordering::Relaxed);
     sort_ns
 }
@@ -534,14 +655,11 @@ fn commit_slot<T: Send, O: Operator<T>>(
         stats.committed += 1;
         slot.committed = true;
     }
-    // Release the neighborhood: only the final owner's CAS takes effect, so
-    // the table is all-unowned once every task in the round has released.
-    for &loc in slot.neighborhood.iter() {
-        marks.release(loc, mark_value);
-    }
-    // Clear this task's abort flag for its next round (distributing the
-    // round cleanup across workers instead of serializing it on the leader).
-    flags.clear_ids([task_id as usize]);
+    // No per-location release and no flag clear happen here: the leader
+    // retires the whole round's marks and flags with two epoch bumps in
+    // `prepare_round`. Tally the CASes the old sweep would have issued (every
+    // task released its entire neighborhood, committed or not).
+    stats.releases_avoided += slot.neighborhood.len() as u64;
 }
 
 #[cfg(test)]
@@ -578,10 +696,11 @@ mod tests {
             let log = Mutex::new(Vec::new());
             let marks = MarkTable::new(1);
             let op = trace_op(&log);
-            let report = Executor::new()
-                .threads(threads)
-                .schedule(det())
-                .run(&marks, (0..40u64).collect(), &op);
+            let report = Executor::new().threads(threads).schedule(det()).run(
+                &marks,
+                (0..40u64).collect(),
+                &op,
+            );
             assert_eq!(report.stats.committed, 40);
             assert!(report.stats.rounds >= 40, "all-conflicting tasks serialize");
             drop(op);
@@ -603,10 +722,11 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
             Ok(())
         };
-        let report = Executor::new()
-            .threads(2)
-            .schedule(det())
-            .run(&marks, (0..64u64).collect(), &op);
+        let report =
+            Executor::new()
+                .threads(2)
+                .schedule(det())
+                .run(&marks, (0..64u64).collect(), &op);
         assert_eq!(report.stats.committed, 64);
         assert_eq!(report.stats.aborted, 0);
         assert_eq!(hits.load(Ordering::Relaxed), 64);
@@ -688,10 +808,11 @@ mod tests {
             assert_eq!(value, *t * 10);
             Ok(())
         };
-        let report = Executor::new()
-            .threads(1)
-            .schedule(det())
-            .run(&marks, (0..8u64).collect(), &op);
+        let report =
+            Executor::new()
+                .threads(1)
+                .schedule(det())
+                .run(&marks, (0..8u64).collect(), &op);
         assert_eq!(report.stats.committed, 8);
         // With continuations each committed task computes once (inspect);
         // aborted attempts recompute on retry but these tasks are disjoint.
@@ -738,10 +859,11 @@ mod tests {
         };
         let mut tasks: Vec<u64> = (0..32).collect();
         tasks.extend(0..16u64); // duplicates
-        let report = Executor::new()
-            .threads(2)
-            .schedule(det())
-            .run_with_ids(&marks, tasks, &op, |t| *t, 32);
+        let report =
+            Executor::new()
+                .threads(2)
+                .schedule(det())
+                .run_with_ids(&marks, tasks, &op, |t| *t, 32);
         assert_eq!(report.stats.committed, 32, "duplicates deduplicated");
         assert_eq!(count.load(Ordering::Relaxed), 32);
     }

@@ -196,11 +196,13 @@ impl Executor {
     /// When tasks are drawn from a fixed set (e.g. graph nodes), `id_of`
     /// supplies each *initial* task's fixed priority in `0..id_space`
     /// directly, skipping the initial sort; equal-id initial tasks are
-    /// deduplicated, so the payload must be a function of its id. Tasks
-    /// *created* during execution are ordered by `(parent, rank)` like the
-    /// default path (this implementation keeps the created-task sort; the
-    /// paper's fully pre-assigned scheme additionally reuses fixed ids for
-    /// created tasks).
+    /// deduplicated, so the payload must be a function of its id. Duplicates
+    /// are dropped silently at run time, but the number dropped is reported
+    /// in [`ExecStats::dedup_dropped`] — check it if losing work to an id
+    /// collision would be a bug in your id function. Tasks *created* during
+    /// execution are ordered by `(parent, rank)` like the default path (this
+    /// implementation keeps the created-task sort; the paper's fully
+    /// pre-assigned scheme additionally reuses fixed ids for created tasks).
     ///
     /// Non-deterministic schedules ignore the ids and behave exactly like
     /// [`run`](Self::run).

@@ -11,32 +11,56 @@
 //! either the lower-id task writes first and is later displaced (flagged by
 //! the displacer) or it arrives second and loses the max (flags itself); in
 //! both interleavings exactly the lower task ends up flagged.
+//!
+//! # Epoch stamps
+//!
+//! Flags are stored as **round stamps**, not booleans: `set(id)` writes the
+//! current round epoch into slot `id`, and `get(id)` reports whether the
+//! stored stamp equals the current epoch. Advancing the epoch
+//! ([`AbortFlags::advance`], one counter increment) therefore clears every
+//! flag at once — the scheduler no longer walks committed tasks to reset
+//! their flags one by one, and the array is reused across passes via
+//! [`AbortFlags::grow`] instead of being reallocated. The epoch is a `u64`
+//! bumped once per round, so it never wraps in practice; slots are
+//! initialized to `u64::MAX`, which no epoch ever reaches.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A dense array of abort flags indexed by pass-local task id.
+/// Stamp meaning "never set": no reachable epoch equals it.
+const CLEAR: u64 = u64::MAX;
+
+/// A dense array of abort flags indexed by pass-local task id, cleared in
+/// O(1) per round by advancing an internal epoch.
 #[derive(Debug)]
 pub struct AbortFlags {
-    flags: Box<[AtomicBool]>,
+    stamps: Box<[AtomicU64]>,
+    epoch: AtomicU64,
+}
+
+fn clear_stamps(len: usize) -> Box<[AtomicU64]> {
+    (0..len)
+        .map(|_| AtomicU64::new(CLEAR))
+        .collect::<Vec<_>>()
+        .into_boxed_slice()
 }
 
 impl AbortFlags {
     /// Creates `len` clear flags.
     pub fn new(len: usize) -> Self {
-        let flags: Vec<AtomicBool> = (0..len).map(|_| AtomicBool::new(false)).collect();
         AbortFlags {
-            flags: flags.into_boxed_slice(),
+            stamps: clear_stamps(len),
+            epoch: AtomicU64::new(0),
         }
     }
 
     /// Number of flags.
     pub fn len(&self) -> usize {
-        self.flags.len()
+        self.stamps.len()
     }
 
     /// Whether the array is empty.
     pub fn is_empty(&self) -> bool {
-        self.flags.is_empty()
+        self.stamps.is_empty()
     }
 
     /// Sets task `id`'s flag (idempotent).
@@ -46,7 +70,7 @@ impl AbortFlags {
     /// Panics if `id` is out of range.
     #[inline]
     pub fn set(&self, id: usize) {
-        self.flags[id].store(true, Ordering::Release);
+        self.stamps[id].store(self.epoch.load(Ordering::Relaxed), Ordering::Release);
     }
 
     /// Reads task `id`'s flag.
@@ -56,13 +80,25 @@ impl AbortFlags {
     /// Panics if `id` is out of range.
     #[inline]
     pub fn get(&self, id: usize) -> bool {
-        self.flags[id].load(Ordering::Acquire)
+        self.stamps[id].load(Ordering::Acquire) == self.epoch.load(Ordering::Relaxed)
     }
 
-    /// Clears the flags of the given ids (round cleanup).
-    pub fn clear_ids(&self, ids: impl IntoIterator<Item = usize>) {
-        for id in ids {
-            self.flags[id].store(false, Ordering::Release);
+    /// Clears **all** flags in O(1) by advancing the epoch.
+    ///
+    /// Must be called from a quiescent context (no concurrent `set`/`get`);
+    /// the DIG leader does so between round barriers.
+    pub fn advance(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Ensures capacity for at least `len` flags, leaving every flag clear.
+    ///
+    /// Amortized: the backing array at least doubles when it grows, so a
+    /// scheduler calling this once per pass reallocates O(log n) times
+    /// instead of every pass.
+    pub fn grow(&mut self, len: usize) {
+        if len > self.stamps.len() {
+            self.stamps = clear_stamps(len.max(self.stamps.len() * 2));
         }
     }
 }
@@ -72,17 +108,46 @@ mod tests {
     use super::*;
 
     #[test]
-    fn set_get_clear() {
+    fn set_get_advance() {
         let f = AbortFlags::new(4);
         assert!(!f.get(2));
         f.set(2);
         assert!(f.get(2));
         f.set(2);
         assert!(f.get(2), "idempotent");
-        f.clear_ids([2usize]);
-        assert!(!f.get(2));
+        f.advance();
+        assert!(!f.get(2), "advance clears");
         assert_eq!(f.len(), 4);
         assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn advance_clears_all_flags_at_once() {
+        let f = AbortFlags::new(8);
+        for id in 0..8 {
+            f.set(id);
+        }
+        f.advance();
+        assert!((0..8).all(|id| !f.get(id)));
+        // Stamps from earlier epochs never read as set again.
+        f.set(3);
+        f.advance();
+        f.advance();
+        assert!(!f.get(3));
+    }
+
+    #[test]
+    fn grow_extends_and_clears() {
+        let mut f = AbortFlags::new(2);
+        f.set(1);
+        f.grow(5);
+        assert!(f.len() >= 5);
+        assert!((0..f.len()).all(|id| !f.get(id)), "grown array is clear");
+        f.set(4);
+        assert!(f.get(4));
+        let cap = f.len();
+        f.grow(3); // no-op: already large enough
+        assert_eq!(f.len(), cap);
     }
 
     #[test]

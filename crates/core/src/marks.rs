@@ -2,22 +2,75 @@
 //!
 //! The Galois runtime synchronizes tasks by associating a **mark** with each
 //! abstract location (a graph node, a triangle, ...) rather than with concrete
-//! memory (§2 of the paper). A mark holds either 0 (unowned) or the id of the
+//! memory (§2 of the paper). A mark holds either [`UNOWNED`] or the id of the
 //! task that currently owns the location.
 //!
 //! Two protocols operate on marks:
 //!
 //! - [`MarkTable::try_acquire`]: the non-deterministic protocol of Figure 1b —
-//!   compare-and-set from 0, failing fast on conflict.
+//!   compare-and-set from unowned, failing fast on conflict.
 //! - [`MarkTable::write_max`]: the deterministic `writeMarksMax` of Figure 3 —
 //!   an atomic maximum. Crucially it never "fails": every task attempts every
 //!   location of its neighborhood, because skipping locations would make the
 //!   computed maxima depend on scheduling order (§3.2).
+//!
+//! # Epoch-tagged words
+//!
+//! Each 64-bit mark word packs a **round epoch** next to the owner id:
+//!
+//! ```text
+//!   63            40 39                            0
+//!  +----------------+-------------------------------+
+//!  |  epoch (24 b)  |           id (40 b)           |
+//!  +----------------+-------------------------------+
+//! ```
+//!
+//! The table carries a monotonically increasing epoch counter
+//! ([`MarkTable::epoch`], advanced by [`MarkTable::bump_epoch`]). Every
+//! operation encodes and decodes words relative to the *current* epoch: a
+//! word whose epoch field differs from the current one is a leftover from an
+//! earlier round and reads as [`UNOWNED`].
+//!
+//! This turns the end-of-round mark release into a **single counter
+//! increment** instead of a sweep in which every task CASes every location of
+//! its neighborhood back to zero. Order-insensitivity (§3.2) is preserved:
+//! within one round the epoch is constant, so `write_max` still computes the
+//! per-location maximum id over exactly the same set of writers, and because
+//! the epoch occupies the high bits and only ever increases, a plain unsigned
+//! CAS-max on the raw word *is* the lexicographic maximum on
+//! `(epoch, id)` — stale words always lose to current-epoch words.
+//!
+//! **Rollover bound.** The epoch field is 24 bits wide. When the counter
+//! wraps that field (once every 2²⁴ ≈ 16.7 M bumps), [`MarkTable::bump_epoch`]
+//! sweeps the table back to zero so that words stamped in the previous cycle
+//! cannot alias the new one. `bump_epoch` must therefore only be called from
+//! quiescent contexts (the DIG leader between round barriers does this); the
+//! sweep is amortized to well under one store per location per million
+//! rounds.
+//!
+//! The speculative executor keeps the explicit CAS-release protocol on the
+//! same table (the epoch simply stays fixed while it runs), which is what
+//! lets deterministic and speculative phases interleave **on demand** over
+//! one `MarkTable`: marks retired by a deterministic round decode as unowned
+//! for a later speculative `try_acquire`, and speculative releases write the
+//! raw zero that every epoch decodes as unowned.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The id stored in an unowned mark. Less than every task id (§2.1).
 pub const UNOWNED: u64 = 0;
+
+/// Number of low bits of a mark word that hold the owner id.
+pub const ID_BITS: u32 = 40;
+
+/// Largest task id a mark can hold (the id field is [`ID_BITS`] wide).
+pub const MAX_ID: u64 = (1 << ID_BITS) - 1;
+
+/// Width of the epoch field in the high bits of a mark word.
+const EPOCH_BITS: u32 = 64 - ID_BITS;
+
+/// Mask selecting the in-word epoch field of the full epoch counter.
+const EPOCH_FIELD_MASK: u64 = (1 << EPOCH_BITS) - 1;
 
 /// An abstract location: an index into a [`MarkTable`].
 ///
@@ -38,7 +91,8 @@ impl From<usize> for LockId {
     }
 }
 
-/// A table of marks, one `AtomicU64` per abstract location.
+/// A table of marks, one `AtomicU64` per abstract location, plus the current
+/// round epoch.
 ///
 /// # Example
 ///
@@ -50,23 +104,36 @@ impl From<usize> for LockId {
 /// assert!(!marks.try_acquire(LockId(2), 9)); // owned by 7
 /// marks.release(LockId(2), 7);
 /// assert_eq!(marks.load(LockId(2)), UNOWNED);
+///
+/// // Epoch release: one bump retires every mark at once.
+/// marks.write_max(LockId(0), 3);
+/// marks.write_max(LockId(1), 5);
+/// marks.bump_epoch();
+/// assert!(marks.all_unowned());
 /// ```
 pub struct MarkTable {
     slots: Box<[AtomicU64]>,
+    /// Full (unwrapped) epoch counter; the low [`EPOCH_BITS`] bits are the
+    /// in-word field.
+    epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for MarkTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MarkTable").field("len", &self.slots.len()).finish()
+        f.debug_struct("MarkTable")
+            .field("len", &self.slots.len())
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .finish()
     }
 }
 
 impl MarkTable {
-    /// Creates a table of `len` unowned marks.
+    /// Creates a table of `len` unowned marks at epoch 0.
     pub fn new(len: usize) -> Self {
-        let slots: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(UNOWNED)).collect();
+        let slots: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
         MarkTable {
             slots: slots.into_boxed_slice(),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -80,32 +147,77 @@ impl MarkTable {
         self.slots.is_empty()
     }
 
-    /// Current mark of `loc` (racy snapshot).
+    /// Current epoch counter value.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// In-word epoch field for the current epoch.
+    #[inline]
+    fn field(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed) & EPOCH_FIELD_MASK
+    }
+
+    /// Encodes `id` as a raw word stamped with the current epoch.
+    #[inline]
+    fn encode(field: u64, id: u64) -> u64 {
+        (field << ID_BITS) | id
+    }
+
+    /// Decodes a raw word relative to the current epoch field: words stamped
+    /// by an earlier epoch read as [`UNOWNED`].
+    #[inline]
+    fn decode(field: u64, raw: u64) -> u64 {
+        if raw >> ID_BITS == field {
+            raw & MAX_ID
+        } else {
+            UNOWNED
+        }
+    }
+
+    /// Current mark of `loc` (racy snapshot), decoded against the current
+    /// epoch.
     pub fn load(&self, loc: LockId) -> u64 {
-        self.slots[loc.0 as usize].load(Ordering::Acquire)
+        let raw = self.slots[loc.0 as usize].load(Ordering::Acquire);
+        Self::decode(self.field(), raw)
     }
 
     /// Non-deterministic acquisition (Figure 1b `writeMarks`).
     ///
     /// Atomically sets the mark from [`UNOWNED`] to `id`. Returns `true` if
-    /// the mark is now (or was already) owned by `id`.
+    /// the mark is now (or was already) owned by `id`. A mark stamped by an
+    /// earlier epoch counts as unowned and is overwritten.
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if `id == UNOWNED`.
+    /// Panics in debug builds if `id == UNOWNED` or `id > MAX_ID`.
     pub fn try_acquire(&self, loc: LockId, id: u64) -> bool {
         debug_assert_ne!(id, UNOWNED);
+        debug_assert!(id <= MAX_ID, "task id {id} exceeds the 40-bit mark field");
+        let field = self.field();
+        let word = Self::encode(field, id);
         let slot = &self.slots[loc.0 as usize];
-        match slot.compare_exchange(UNOWNED, id, Ordering::AcqRel, Ordering::Acquire) {
-            Ok(_) => true,
-            Err(current) => current == id,
+        let mut current = slot.load(Ordering::Acquire);
+        loop {
+            let owner = Self::decode(field, current);
+            if owner == id {
+                return true;
+            }
+            if owner != UNOWNED {
+                return false;
+            }
+            match slot.compare_exchange_weak(current, word, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return true,
+                Err(now) => current = now,
+            }
         }
     }
 
     /// Deterministic marking (Figure 3 `writeMarkMax`).
     ///
-    /// Atomically raises the mark to `max(mark, id)` and returns the value
-    /// the mark held immediately before this call took effect:
+    /// Atomically raises the mark to `max(mark, id)` within the current
+    /// epoch and returns the (decoded) value the mark held immediately before
+    /// this call took effect:
     ///
     /// - returned value `< id`: this task now owns the mark (it displaced
     ///   the returned previous owner, or [`UNOWNED`]);
@@ -115,49 +227,83 @@ impl MarkTable {
     ///
     /// Because max is order-insensitive, the final mark of every location is
     /// independent of the interleaving of `write_max` calls — the property
-    /// that makes the implicit interference graph deterministic.
+    /// that makes the implicit interference graph deterministic. With the
+    /// epoch in the high bits, the raw unsigned CAS-max below is exactly the
+    /// lexicographic max on `(epoch, id)`: stale words always compare below
+    /// current-epoch words and decode as [`UNOWNED`].
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if `id == UNOWNED`.
+    /// Panics in debug builds if `id == UNOWNED` or `id > MAX_ID`.
     pub fn write_max(&self, loc: LockId, id: u64) -> u64 {
         debug_assert_ne!(id, UNOWNED);
+        debug_assert!(id <= MAX_ID, "task id {id} exceeds the 40-bit mark field");
+        let field = self.field();
+        let word = Self::encode(field, id);
         let slot = &self.slots[loc.0 as usize];
         let mut current = slot.load(Ordering::Acquire);
         loop {
-            if current >= id {
-                return current;
+            if current >= word {
+                return Self::decode(field, current);
             }
-            match slot.compare_exchange_weak(current, id, Ordering::AcqRel, Ordering::Acquire) {
-                Ok(prev) => return prev,
+            match slot.compare_exchange_weak(current, word, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(prev) => return Self::decode(field, prev),
                 Err(now) => current = now,
             }
         }
     }
 
-    /// Releases `loc` if it is owned by `id` (CAS `id → 0`).
+    /// Releases `loc` if it is owned by `id` in the current epoch
+    /// (CAS `id → 0`).
     ///
-    /// Deterministic rounds clear marks this way: every task releases its
-    /// whole neighborhood, but only the final (maximum-id) owner's release
-    /// takes effect, so the table returns to all-unowned without a race.
+    /// This is the speculative executor's per-location release. The
+    /// deterministic scheduler does not call it: a round retires all of its
+    /// marks at once via [`MarkTable::bump_epoch`].
     pub fn release(&self, loc: LockId, id: u64) {
+        let word = Self::encode(self.field(), id);
         let _ = self.slots[loc.0 as usize].compare_exchange(
-            id,
-            UNOWNED,
+            word,
+            0,
             Ordering::AcqRel,
             Ordering::Acquire,
         );
     }
 
-    /// Whether every mark is unowned — the executors' postcondition.
-    pub fn all_unowned(&self) -> bool {
-        self.slots.iter().all(|s| s.load(Ordering::Acquire) == UNOWNED)
+    /// Advances the epoch, logically releasing **every** mark in O(1).
+    ///
+    /// This replaces the deterministic round's release sweep (one CAS per
+    /// neighborhood location per task) with a single counter increment.
+    ///
+    /// # Quiescence
+    ///
+    /// Callers must guarantee no concurrent mark operations: the DIG leader
+    /// calls this between round barriers while the workers are parked. When
+    /// the 24-bit in-word field wraps (once every 2²⁴ bumps) the table is
+    /// swept back to zero so words from the previous cycle cannot alias the
+    /// new one; the quiescence requirement makes that sweep safe.
+    pub fn bump_epoch(&self) {
+        let new = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        if new & EPOCH_FIELD_MASK == 0 {
+            for s in self.slots.iter() {
+                s.store(0, Ordering::Release);
+            }
+        }
     }
 
-    /// Resets every mark to unowned (test/diagnostic helper).
+    /// Whether every mark is unowned in the current epoch — the executors'
+    /// postcondition.
+    pub fn all_unowned(&self) -> bool {
+        let field = self.field();
+        self.slots
+            .iter()
+            .all(|s| Self::decode(field, s.load(Ordering::Acquire)) == UNOWNED)
+    }
+
+    /// Resets every mark to unowned (test/diagnostic helper). Keeps the
+    /// epoch.
     pub fn clear(&self) {
         for s in self.slots.iter() {
-            s.store(UNOWNED, Ordering::Release);
+            s.store(0, Ordering::Release);
         }
     }
 }
@@ -268,5 +414,67 @@ mod tests {
         t.try_acquire(LockId(1), 2);
         t.clear();
         assert!(t.all_unowned());
+    }
+
+    #[test]
+    fn bump_epoch_releases_everything_at_once() {
+        let t = MarkTable::new(3);
+        t.write_max(LockId(0), 9);
+        t.write_max(LockId(1), 4);
+        t.try_acquire(LockId(2), 11);
+        assert!(!t.all_unowned());
+        t.bump_epoch();
+        assert!(t.all_unowned());
+        assert_eq!(t.load(LockId(0)), UNOWNED);
+        assert_eq!(t.epoch(), 1);
+    }
+
+    #[test]
+    fn stale_epoch_marks_lose_to_current_ones() {
+        let t = MarkTable::new(1);
+        t.write_max(LockId(0), 9);
+        t.bump_epoch();
+        // A stale 9 must not beat a current-epoch 3.
+        assert_eq!(t.write_max(LockId(0), 3), UNOWNED);
+        assert_eq!(t.load(LockId(0)), 3);
+        t.bump_epoch();
+        // And try_acquire treats the stale 3 as free.
+        assert!(t.try_acquire(LockId(0), 7));
+        assert_eq!(t.load(LockId(0)), 7);
+    }
+
+    #[test]
+    fn on_demand_handoff_between_protocols() {
+        // Deterministic-style marks retired by an epoch bump are invisible
+        // to a subsequent speculative try_acquire/release on the same table.
+        let t = MarkTable::new(2);
+        t.write_max(LockId(0), 5);
+        t.write_max(LockId(1), 8);
+        t.bump_epoch();
+        assert!(t.try_acquire(LockId(0), 2));
+        t.release(LockId(0), 2);
+        assert!(t.all_unowned());
+        // A raw zero from a speculative release stays unowned after bumps.
+        t.bump_epoch();
+        assert!(t.all_unowned());
+    }
+
+    #[test]
+    fn epoch_field_rollover_sweeps_the_table() {
+        let t = MarkTable::new(2);
+        t.write_max(LockId(0), 6);
+        let raw_before = t.slots[0].load(Ordering::Relaxed);
+        assert_ne!(raw_before, 0);
+        // Wrap the 24-bit in-word field exactly once.
+        for _ in 0..(1u64 << EPOCH_BITS) {
+            t.bump_epoch();
+        }
+        assert_eq!(t.epoch(), 1 << EPOCH_BITS);
+        assert_eq!(t.epoch() & EPOCH_FIELD_MASK, 0, "field wrapped to zero");
+        // The sweep zeroed the stale word, so it cannot alias the new cycle.
+        assert_eq!(t.slots[0].load(Ordering::Relaxed), 0);
+        assert!(t.all_unowned());
+        assert!(t.try_acquire(LockId(0), 6));
+        assert_eq!(t.load(LockId(0)), 6);
     }
 }

@@ -61,7 +61,9 @@ where
     agg.threads = 1;
     RunReport {
         stats: agg,
-        trace: cfg.record_trace.then_some(ExecTrace::Sequential { total_ns }),
+        trace: cfg
+            .record_trace
+            .then_some(ExecTrace::Sequential { total_ns }),
         accesses: cfg.record_access.then(|| vec![accesses]),
     }
 }

@@ -8,13 +8,13 @@
 //! lightweight dining-philosophers synchronization of §2.1.
 
 use crate::ctx::{Access, Ctx, Mode};
+use crate::executor::WorklistPolicy;
 use crate::executor::{Executor, RunReport};
 use crate::marks::MarkTable;
 use crate::ops::Operator;
 use galois_runtime::pool::run_on_threads;
 use galois_runtime::simtime::ExecTrace;
 use galois_runtime::stats::{ExecStats, ThreadStats};
-use crate::executor::WorklistPolicy;
 use galois_runtime::worklist::{ChunkedBag, ChunkedFifo, Terminator};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -66,8 +66,10 @@ where
         let mut neighborhood: Vec<crate::marks::LockId> = Vec::new();
         let mut pushes: Vec<T> = Vec::new();
         let mut stash = None;
-        // Per-attempt unique ids: (tid+1) in the high bits, counter below.
-        // Ids need only be unique and nonzero for the CAS protocol (§2.1).
+        // Per-attempt unique ids: (tid+1) above bit 32, counter below. Ids
+        // need only be unique and nonzero for the CAS protocol (§2.1), but
+        // they must fit the mark word's 40-bit id field so the epoch tag in
+        // the high bits stays intact.
         let mut attempt: u64 = 0;
         let mut idle_spins = 0u32;
 
@@ -86,7 +88,12 @@ where
             };
             idle_spins = 0;
             attempt += 1;
-            let mark_value = ((tid as u64 + 1) << 40) | attempt;
+            debug_assert!(attempt < 1 << 32, "attempt counter overflows the id split");
+            let mark_value = ((tid as u64 + 1) << 32) | attempt;
+            debug_assert!(
+                mark_value <= crate::marks::MAX_ID,
+                "speculative id must fit the 40-bit mark field"
+            );
             neighborhood.clear();
             pushes.clear();
             let result = {
@@ -111,10 +118,13 @@ where
                 r
             };
             // Both paths release the whole neighborhood (Figure 1b resets
-            // marks whether the task committed or conflicted).
+            // marks whether the task committed or conflicted). Unlike the
+            // deterministic scheduler there is no round boundary to hang an
+            // epoch bump on, so the per-location CAS protocol stays.
             for &loc in neighborhood.iter() {
                 marks.release(loc, mark_value);
             }
+            stats.mark_releases += neighborhood.len() as u64;
             match result {
                 Ok(()) => {
                     stats.committed += 1;
@@ -161,7 +171,10 @@ where
         .record_access
         .then(|| per_thread.into_iter().map(|(_, a)| a).collect());
 
-    debug_assert!(marks.all_unowned(), "speculative run must release all marks");
+    debug_assert!(
+        marks.all_unowned(),
+        "speculative run must release all marks"
+    );
     RunReport {
         stats: agg,
         trace,
@@ -259,7 +272,10 @@ mod tests {
             .record_trace(true)
             .run(&marks, (0..50u64).collect(), &op);
         match report.trace {
-            Some(galois_runtime::simtime::ExecTrace::Async { task_ns, overhead_ns }) => {
+            Some(galois_runtime::simtime::ExecTrace::Async {
+                task_ns,
+                overhead_ns,
+            }) => {
                 assert_eq!(task_ns.len(), 50);
                 assert!(overhead_ns >= 0.0);
             }

@@ -83,7 +83,9 @@ pub fn spread_for_locality<T>(items: Vec<T>, stride: usize) -> Vec<T> {
         return items;
     }
     let n = items.len();
-    let mut buckets: Vec<Vec<T>> = (0..stride).map(|_| Vec::with_capacity(n / stride + 1)).collect();
+    let mut buckets: Vec<Vec<T>> = (0..stride)
+        .map(|_| Vec::with_capacity(n / stride + 1))
+        .collect();
     for (i, item) in items.into_iter().enumerate() {
         buckets[i % stride].push(item);
     }
@@ -101,10 +103,26 @@ mod tests {
     #[test]
     fn assign_ids_orders_lexicographically() {
         let pending = vec![
-            PendingItem { task: 'c', parent: 1, rank: 1 },
-            PendingItem { task: 'a', parent: 0, rank: 0 },
-            PendingItem { task: 'd', parent: 2, rank: 0 },
-            PendingItem { task: 'b', parent: 0, rank: 1 },
+            PendingItem {
+                task: 'c',
+                parent: 1,
+                rank: 1,
+            },
+            PendingItem {
+                task: 'a',
+                parent: 0,
+                rank: 0,
+            },
+            PendingItem {
+                task: 'd',
+                parent: 2,
+                rank: 0,
+            },
+            PendingItem {
+                task: 'b',
+                parent: 0,
+                rank: 1,
+            },
         ];
         let items = assign_ids(pending, 2);
         let order: Vec<char> = items.iter().map(|w| w.task).collect();
@@ -117,10 +135,26 @@ mod tests {
     fn assign_ids_independent_of_input_order() {
         let mk = |perm: &[usize]| {
             let base = [
-                PendingItem { task: 10, parent: 5, rank: 0 },
-                PendingItem { task: 20, parent: 3, rank: 2 },
-                PendingItem { task: 30, parent: 3, rank: 0 },
-                PendingItem { task: 40, parent: 9, rank: 1 },
+                PendingItem {
+                    task: 10,
+                    parent: 5,
+                    rank: 0,
+                },
+                PendingItem {
+                    task: 20,
+                    parent: 3,
+                    rank: 2,
+                },
+                PendingItem {
+                    task: 30,
+                    parent: 3,
+                    rank: 0,
+                },
+                PendingItem {
+                    task: 40,
+                    parent: 9,
+                    rank: 1,
+                },
             ];
             let v: Vec<_> = perm.iter().map(|&i| base[i].clone()).collect();
             assign_ids(v, 1)

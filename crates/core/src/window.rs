@@ -82,9 +82,13 @@ impl AdaptiveWindow {
         let ratio = committed as f64 / attempted as f64;
         if ratio < self.policy.target_commit_ratio {
             let scaled = (committed as f64 / self.policy.target_commit_ratio).floor() as usize;
-            self.size = scaled.clamp(self.policy.min_window, self.policy.max_window).max(1);
+            self.size = scaled
+                .clamp(self.policy.min_window, self.policy.max_window)
+                .max(1);
         } else {
-            self.size = (self.size * 2).clamp(self.policy.min_window, self.policy.max_window).max(1);
+            self.size = (self.size * 2)
+                .clamp(self.policy.min_window, self.policy.max_window)
+                .max(1);
         }
     }
 }
@@ -118,7 +122,7 @@ mod tests {
         let before = w.size();
         assert_eq!(before, 10_000);
         w.update(before, 1_000); // 10% commit, far below 95%
-        // New window ≈ committed / target = 1052.
+                                 // New window ≈ committed / target = 1052.
         assert!(w.size() < before / 8, "window {} should shrink", w.size());
         assert!(w.size() >= 1_000);
     }

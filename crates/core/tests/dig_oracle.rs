@@ -47,7 +47,10 @@ fn oracle(tasks: &[u64]) -> Vec<Vec<u64>> {
     let mut pending: VecDeque<Item> = tasks
         .iter()
         .enumerate()
-        .map(|(i, &t)| Item { task: t, id: i as u64 })
+        .map(|(i, &t)| Item {
+            task: t,
+            id: i as u64,
+        })
         .collect();
     loop {
         if pending.is_empty() {

@@ -64,7 +64,11 @@ fn all_schedules_compute_the_same_commutative_sum() {
     let locs = 16u64;
     let tasks: Vec<u64> = (1000..1600).collect();
     let mut sums = Vec::new();
-    for schedule in [Schedule::Serial, Schedule::Speculative, Schedule::deterministic()] {
+    for schedule in [
+        Schedule::Serial,
+        Schedule::Speculative,
+        Schedule::deterministic(),
+    ] {
         let sum = AtomicU64::new(0);
         let marks = MarkTable::new(locs as usize);
         let op = contended_op(locs, &sum);
@@ -119,7 +123,11 @@ fn tiny_window_policy_still_terminates_with_same_output() {
                 ..Default::default()
             }))
             .run(&marks, (0..200u64).collect(), &op);
-        (count.load(Ordering::Relaxed), report.stats.committed, report.stats.rounds)
+        (
+            count.load(Ordering::Relaxed),
+            report.stats.committed,
+            report.stats.rounds,
+        )
     };
     let tiny = run(WindowPolicy {
         min_window: 1,
@@ -133,7 +141,10 @@ fn tiny_window_policy_still_terminates_with_same_output() {
     });
     assert_eq!(tiny.0, 200);
     assert_eq!(huge.0, 200);
-    assert!(tiny.2 >= huge.2, "smaller windows mean at least as many rounds");
+    assert!(
+        tiny.2 >= huge.2,
+        "smaller windows mean at least as many rounds"
+    );
 }
 
 #[test]
@@ -219,7 +230,9 @@ fn nested_generations_keep_deterministic_order() {
             .threads(threads)
             .schedule(Schedule::deterministic())
             .run(&marks, (0..20u64).collect(), &op);
-        logs.into_iter().map(|l| l.into_inner().unwrap()).collect::<Vec<_>>()
+        logs.into_iter()
+            .map(|l| l.into_inner().unwrap())
+            .collect::<Vec<_>>()
     };
     let a = run(1);
     let b = run(4);

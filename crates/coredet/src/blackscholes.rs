@@ -150,7 +150,10 @@ mod tests {
             call: true,
         };
         let call = price(&base);
-        let put = price(&Option_ { call: false, ..base });
+        let put = price(&Option_ {
+            call: false,
+            ..base
+        });
         let parity = base.spot - base.strike * (-base.rate * base.time).exp();
         assert!(
             (call - put - parity).abs() < 1e-4,

@@ -170,8 +170,8 @@ pub fn coredet_makespan_ns(streams: &[ThreadStream], quantum_ns: f64) -> f64 {
                 // quantum runs in serial mode.
                 let serial_budget = quantum_ns - par;
                 let (ser, ser_syncs) = c.advance(s, serial_budget, false);
-                serial_sum += ser * INSTRUMENTATION_FACTOR
-                    + (par_syncs + ser_syncs) as f64 * SERIAL_SYNC_NS;
+                serial_sum +=
+                    ser * INSTRUMENTATION_FACTOR + (par_syncs + ser_syncs) as f64 * SERIAL_SYNC_NS;
             }
         }
         total += parallel_max + serial_sum + round_overhead;
@@ -217,8 +217,8 @@ pub fn coredet_adaptive_makespan_ns(streams: &[ThreadStream], initial_quantum_ns
                 earliest_sync = earliest_sync.min(par);
                 let serial_budget = quantum - par;
                 let (ser, ser_syncs) = c.advance(s, serial_budget, false);
-                serial_sum += ser * INSTRUMENTATION_FACTOR
-                    + (par_syncs + ser_syncs) as f64 * SERIAL_SYNC_NS;
+                serial_sum +=
+                    ser * INSTRUMENTATION_FACTOR + (par_syncs + ser_syncs) as f64 * SERIAL_SYNC_NS;
             }
         }
         total += parallel_max + serial_sum + round_overhead;

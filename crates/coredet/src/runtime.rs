@@ -202,7 +202,6 @@ impl Worker<'_> {
             }
         }
     }
-
 }
 
 #[cfg(test)]
@@ -268,7 +267,9 @@ mod tests {
                     }
                 }
             });
-            wins.iter().map(|x| x.load(Ordering::Relaxed)).collect::<Vec<_>>()
+            wins.iter()
+                .map(|x| x.load(Ordering::Relaxed))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

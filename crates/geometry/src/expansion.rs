@@ -17,7 +17,6 @@
 //! predicates, and are available to applications that cannot snap their
 //! inputs.
 
-
 /// Exact sum: returns `(x, y)` with `x = fl(a + b)` and `a + b = x + y`
 /// exactly (Knuth's TwoSum; no magnitude precondition).
 #[inline]
@@ -257,7 +256,8 @@ pub fn incircle_adaptive(
     let alift = adx * adx + ady * ady;
     let blift = bdx * bdx + bdy * bdy;
     let clift = cdx * cdx + cdy * cdy;
-    let det = alift * (bdx * cdy - cdx * bdy) + blift * (cdx * ady - adx * cdy)
+    let det = alift * (bdx * cdy - cdx * bdy)
+        + blift * (cdx * ady - adx * cdy)
         + clift * (adx * bdy - bdx * ady);
     let permanent = alift.abs() * (bdx * cdy).abs().max((cdx * bdy).abs())
         + blift.abs() * (cdx * ady).abs().max((adx * cdy).abs())
@@ -295,16 +295,17 @@ mod tests {
     fn two_product_is_error_free() {
         let (x, y) = two_product(0.1, 0.1);
         assert_eq!(x, 0.1 * 0.1);
-        assert!(y != 0.0, "0.01 is not representable; tail captures the error");
+        assert!(
+            y != 0.0,
+            "0.01 is not representable; tail captures the error"
+        );
         let (x2, y2) = two_product(2.0, 4.0);
         assert_eq!((x2, y2), (8.0, 0.0));
     }
 
     #[test]
     fn expansion_roundtrip_sign() {
-        let e = Expansion::from_f64(1.0)
-            .grow(1e-30)
-            .grow(-1.0);
+        let e = Expansion::from_f64(1.0).grow(1e-30).grow(-1.0);
         assert_eq!(e.sign(), 1, "the 1e-30 residue decides");
         let z = Expansion::from_f64(5.0).grow(-5.0);
         assert_eq!(z.sign(), 0);
@@ -340,9 +341,7 @@ mod tests {
         let d = pts[0];
         for w in pts[1..].windows(3) {
             let (a, b, c) = (w[0], w[1], w[2]);
-            let got = incircle_adaptive(
-                a.x(), a.y(), b.x(), b.y(), c.x(), c.y(), d.x(), d.y(),
-            );
+            let got = incircle_adaptive(a.x(), a.y(), b.x(), b.y(), c.x(), c.y(), d.x(), d.y());
             assert_eq!(got, incircle(a, b, c, d), "at {a} {b} {c} {d}");
         }
     }
@@ -350,14 +349,8 @@ mod tests {
     #[test]
     fn incircle_exact_on_cocircular_points() {
         // Unit square corners are exactly cocircular even in f64.
-        assert_eq!(
-            incircle_exact(0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0),
-            0
-        );
-        assert_eq!(
-            incircle_adaptive(0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.5, 0.5),
-            1
-        );
+        assert_eq!(incircle_exact(0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0), 0);
+        assert_eq!(incircle_adaptive(0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.5, 0.5), 1);
     }
 
     /// Helper available to property tests: a `Point`-typed wrapper.

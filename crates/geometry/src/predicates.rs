@@ -45,8 +45,7 @@ pub fn orient2d_sign(a: Point, b: Point, c: Point) -> i32 {
     let (ax, ay) = a.to_grid();
     let (bx, by) = b.to_grid();
     let (cx, cy) = c.to_grid();
-    let det = ((bx - ax) as i128) * ((cy - ay) as i128)
-        - ((by - ay) as i128) * ((cx - ax) as i128);
+    let det = ((bx - ax) as i128) * ((cy - ay) as i128) - ((by - ay) as i128) * ((cx - ax) as i128);
     det.signum() as i32
 }
 

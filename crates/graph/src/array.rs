@@ -27,7 +27,9 @@ pub struct AtomicArray {
 
 impl std::fmt::Debug for AtomicArray {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AtomicArray").field("len", &self.data.len()).finish()
+        f.debug_struct("AtomicArray")
+            .field("len", &self.data.len())
+            .finish()
     }
 }
 
@@ -90,7 +92,10 @@ impl AtomicArray {
 
     /// Copies the labels out (diagnostic / output hashing).
     pub fn snapshot(&self) -> Vec<u32> {
-        self.data.iter().map(|x| x.load(Ordering::Relaxed)).collect()
+        self.data
+            .iter()
+            .map(|x| x.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Resets all labels to `fill`.
@@ -108,7 +113,9 @@ pub struct AtomicArray64 {
 
 impl std::fmt::Debug for AtomicArray64 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AtomicArray64").field("len", &self.data.len()).finish()
+        f.debug_struct("AtomicArray64")
+            .field("len", &self.data.len())
+            .finish()
     }
 }
 
@@ -151,7 +158,10 @@ impl AtomicArray64 {
 
     /// Copies the counters out.
     pub fn snapshot(&self) -> Vec<u64> {
-        self.data.iter().map(|x| x.load(Ordering::Relaxed)).collect()
+        self.data
+            .iter()
+            .map(|x| x.load(Ordering::Relaxed))
+            .collect()
     }
 }
 

@@ -49,7 +49,10 @@ impl FlowNetwork {
         // Each input edge becomes a forward/backward pair.
         let mut all: Vec<(NodeId, NodeId, i64, usize)> = Vec::with_capacity(edges.len() * 2);
         for (i, &(s, t, c)) in edges.iter().enumerate() {
-            assert!((s as usize) < n && (t as usize) < n, "edge {i} out of range");
+            assert!(
+                (s as usize) < n && (t as usize) < n,
+                "edge {i} out of range"
+            );
             assert!(c >= 0, "negative capacity on edge {i}");
             all.push((s, t, c, 2 * i));
             all.push((t, s, 0, 2 * i + 1));
@@ -147,7 +150,11 @@ impl FlowNetwork {
                     if f + 1 < frames {
                         let tx = rng.random_range(0..a);
                         let ty = rng.random_range(0..a);
-                        edges.push((id(f, x, y), id(f + 1, tx, ty), rng.random_range(1..=max_cap)));
+                        edges.push((
+                            id(f, x, y),
+                            id(f + 1, tx, ty),
+                            rng.random_range(1..=max_cap),
+                        ));
                     }
                 }
             }
@@ -285,7 +292,9 @@ impl FlowNetwork {
                     }
                 }
             }
-            let Some(_) = pred[self.sink as usize] else { break };
+            let Some(_) = pred[self.sink as usize] else {
+                break;
+            };
             // Find the bottleneck.
             let mut bottleneck = i64::MAX;
             let mut v = self.sink as usize;

@@ -88,7 +88,11 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, ParseGraphError
         max_node = max_node.max(s).max(t);
         edges.push((s, t));
     }
-    let n = if edges.is_empty() { 0 } else { max_node as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_node as usize + 1
+    };
     Ok(CsrGraph::from_edges(n, &edges))
 }
 
@@ -98,7 +102,12 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, ParseGraphError
 ///
 /// Propagates I/O failures.
 pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
-    writeln!(writer, "# {} nodes, {} edges", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "# {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for v in graph.nodes() {
         for &w in graph.neighbors(v) {
             writeln!(writer, "{v} {w}")?;
@@ -124,7 +133,9 @@ pub fn read_dimacs_flow<R: BufRead>(reader: R) -> Result<FlowNetwork, ParseGraph
         match it.next() {
             None | Some("c") => {}
             Some("p") => {
-                let kind = it.next().ok_or_else(|| malformed(idx + 1, "missing problem kind"))?;
+                let kind = it
+                    .next()
+                    .ok_or_else(|| malformed(idx + 1, "missing problem kind"))?;
                 if kind != "max" {
                     return Err(malformed(idx + 1, format!("unsupported problem '{kind}'")));
                 }
@@ -262,7 +273,10 @@ mod tests {
 
     #[test]
     fn dimacs_rejects_garbage() {
-        assert!(read_dimacs_flow("p max 2 0\n".as_bytes()).is_err(), "no s/t");
+        assert!(
+            read_dimacs_flow("p max 2 0\n".as_bytes()).is_err(),
+            "no s/t"
+        );
         assert!(read_dimacs_flow("q wat\n".as_bytes()).is_err());
         assert!(
             read_dimacs_flow("p max 2 1\nn 1 s\nn 2 t\na 0 1 5\n".as_bytes()).is_err(),

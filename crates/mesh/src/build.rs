@@ -125,7 +125,9 @@ impl SeqBuilder {
 ///
 /// Panics if the mesh has no alive triangles.
 pub fn first_alive(mesh: &Mesh) -> u32 {
-    mesh.alive_tris().next().expect("mesh has no alive triangles")
+    mesh.alive_tris()
+        .next()
+        .expect("mesh has no alive triangles")
 }
 
 /// Convenience: triangulate `points` (plus the domain corners)

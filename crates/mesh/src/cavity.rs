@@ -207,7 +207,10 @@ pub fn retriangulate(mesh: &Mesh, cavity: &Cavity, new_vertex: u32) -> Vec<u32> 
         let pa = mesh.vertex(be.a);
         let pb = mesh.vertex(be.b);
         let orient = orient2d_sign(pa, pb, p);
-        debug_assert!(orient >= 0, "cavity boundary must see the point on its left");
+        debug_assert!(
+            orient >= 0,
+            "cavity boundary must see the point on its left"
+        );
         if orient <= 0 {
             // p lies on this boundary edge: the edge splits in two; the
             // adjacent fan triangles carry the halves as hull edges. Detach

@@ -36,7 +36,12 @@ fn collect(mesh: &Mesh) -> (Vec<(f64, f64)>, Vec<[usize; 3]>) {
 /// Propagates I/O failures.
 pub fn write_obj<W: Write>(mesh: &Mesh, mut w: W) -> std::io::Result<()> {
     let (verts, tris) = collect(mesh);
-    writeln!(w, "# deterministic-galois mesh: {} vertices, {} triangles", verts.len(), tris.len())?;
+    writeln!(
+        w,
+        "# deterministic-galois mesh: {} vertices, {} triangles",
+        verts.len(),
+        tris.len()
+    )?;
     for (x, y) in &verts {
         writeln!(w, "v {x} {y} 0")?;
     }

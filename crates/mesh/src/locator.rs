@@ -27,7 +27,9 @@ pub struct GridLocator {
 
 impl std::fmt::Debug for GridLocator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GridLocator").field("res", &self.res).finish()
+        f.debug_struct("GridLocator")
+            .field("res", &self.res)
+            .finish()
     }
 }
 

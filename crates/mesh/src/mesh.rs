@@ -176,12 +176,17 @@ impl Mesh {
     /// The three corner points of triangle `t`.
     pub fn tri_points(&self, t: u32) -> [Point; 3] {
         let d = self.tri(t);
-        [self.vertex(d.v[0]), self.vertex(d.v[1]), self.vertex(d.v[2])]
+        [
+            self.vertex(d.v[0]),
+            self.vertex(d.v[1]),
+            self.vertex(d.v[2]),
+        ]
     }
 
     /// Whether triangle `t` is alive.
     pub fn alive(&self, t: u32) -> bool {
-        t != INVALID && (t as usize) < self.num_tris_allocated()
+        t != INVALID
+            && (t as usize) < self.num_tris_allocated()
             && self.tris[t as usize].alive.load(Ordering::Acquire) == 1
     }
 

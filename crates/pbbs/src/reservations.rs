@@ -28,7 +28,9 @@ pub struct Reservations {
 
 impl std::fmt::Debug for Reservations {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Reservations").field("len", &self.slots.len()).finish()
+        f.debug_struct("Reservations")
+            .field("len", &self.slots.len())
+            .finish()
     }
 }
 

@@ -147,10 +147,7 @@ pub fn speculative_for(
         if let (Some(r), Some(c)) = (reserve_ns, commit_ns) {
             stats.round_traces.push(RoundTrace {
                 inspect: galois_runtime::simtime::PhaseTrace::uniform(r, prefix as u64),
-                commit: galois_runtime::simtime::PhaseTrace::uniform(
-                    c,
-                    committed_round.max(1),
-                ),
+                commit: galois_runtime::simtime::PhaseTrace::uniform(c, committed_round.max(1)),
                 serial_ns: 0.0,
                 sched_par_ns: t2.map(|t| t.elapsed().as_nanos() as f64).unwrap_or(0.0),
                 barriers: 2,
@@ -195,7 +192,11 @@ mod tests {
         for threads in [1usize, 2, 4] {
             let r = Reservations::new(8);
             let owner: Vec<Slot> = (0..8).map(|_| Slot::new(0)).collect();
-            let step = Buckets { r: &r, owner: &owner, b: 8 };
+            let step = Buckets {
+                r: &r,
+                owner: &owner,
+                b: 8,
+            };
             let stats = speculative_for(&step, 0, 64, threads, 4, false);
             assert_eq!(stats.committed, 64, "threads={threads}");
             for (b, o) in owner.iter().enumerate() {

@@ -63,7 +63,10 @@ where
 /// assert_eq!(chunk_range(10, 3, 2), 7..10);
 /// ```
 pub fn chunk_range(len: usize, threads: usize, tid: usize) -> std::ops::Range<usize> {
-    assert!(tid < threads, "tid {tid} out of range for {threads} threads");
+    assert!(
+        tid < threads,
+        "tid {tid} out of range for {threads} threads"
+    );
     let base = len / threads;
     let extra = len % threads;
     let start = tid * base + tid.min(extra);

@@ -23,7 +23,9 @@ unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
 
 impl<T> std::fmt::Debug for SharedSlice<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SharedSlice").field("len", &self.len()).finish()
+        f.debug_struct("SharedSlice")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -120,7 +120,11 @@ impl PhaseTrace {
     pub fn uniform(total_ns: f64, count: u64) -> Self {
         PhaseTrace {
             total_ns,
-            max_ns: if count > 0 { total_ns / count as f64 } else { 0.0 },
+            max_ns: if count > 0 {
+                total_ns / count as f64
+            } else {
+                0.0
+            },
             count,
         }
     }
@@ -183,9 +187,10 @@ impl ExecTrace {
     /// Total work contained in the trace, nanoseconds.
     pub fn total_work_ns(&self) -> f64 {
         match self {
-            ExecTrace::Async { task_ns, overhead_ns } => {
-                task_ns.iter().sum::<f64>() + overhead_ns * task_ns.len() as f64
-            }
+            ExecTrace::Async {
+                task_ns,
+                overhead_ns,
+            } => task_ns.iter().sum::<f64>() + overhead_ns * task_ns.len() as f64,
             ExecTrace::Rounds(rounds) => rounds.iter().map(RoundTrace::total_work_ns).sum(),
             ExecTrace::Sequential { total_ns } => *total_ns,
         }
@@ -201,9 +206,11 @@ impl ExecTrace {
         let mult = machine.work_multiplier(p);
         match self {
             ExecTrace::Sequential { total_ns } => *total_ns,
-            ExecTrace::Async { task_ns, overhead_ns } => {
-                let total: f64 =
-                    task_ns.iter().sum::<f64>() + overhead_ns * task_ns.len() as f64;
+            ExecTrace::Async {
+                task_ns,
+                overhead_ns,
+            } => {
+                let total: f64 = task_ns.iter().sum::<f64>() + overhead_ns * task_ns.len() as f64;
                 let longest = task_ns.iter().copied().fold(0.0f64, f64::max);
                 (total * mult / p as f64).max(longest * mult)
             }

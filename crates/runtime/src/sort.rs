@@ -42,7 +42,9 @@ where
 
     // Phase 1: sort per-thread runs in parallel. The runs are the contiguous
     // chunk ranges, so `split_at_mut` hands each thread a disjoint sub-slice.
-    let mut boundaries: Vec<usize> = (0..threads).map(|t| chunk_range(n, threads, t).start).collect();
+    let mut boundaries: Vec<usize> = (0..threads)
+        .map(|t| chunk_range(n, threads, t).start)
+        .collect();
     boundaries.push(n);
     {
         let mut rest: &mut [T] = items;

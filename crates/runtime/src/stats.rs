@@ -19,6 +19,13 @@ pub struct ThreadStats {
     pub atomic_updates: u64,
     /// Inspect-phase executions (deterministic scheduler only).
     pub inspected: u64,
+    /// Per-location mark-release CASes issued (speculative executor only;
+    /// deterministic rounds retire marks by epoch and must report zero).
+    pub mark_releases: u64,
+    /// Per-location release CASes the deterministic scheduler *avoided* by
+    /// retiring whole rounds with an epoch bump (one tally per neighborhood
+    /// location per attempted task).
+    pub releases_avoided: u64,
 }
 
 impl ThreadStats {
@@ -28,6 +35,8 @@ impl ThreadStats {
         self.aborted += other.aborted;
         self.atomic_updates += other.atomic_updates;
         self.inspected += other.inspected;
+        self.mark_releases += other.mark_releases;
+        self.releases_avoided += other.releases_avoided;
     }
 }
 
@@ -44,6 +53,17 @@ pub struct ExecStats {
     pub inspected: u64,
     /// Rounds executed (zero for non-deterministic runs).
     pub rounds: u64,
+    /// Per-location mark-release CASes issued (speculative executor only;
+    /// zero for deterministic runs — their acceptance criterion).
+    pub mark_releases: u64,
+    /// Release CASes avoided by epoch-retiring whole rounds (deterministic
+    /// runs only).
+    pub releases_avoided: u64,
+    /// Initial tasks silently dropped because their pre-assigned id
+    /// duplicated an earlier task's (see `Executor::run_with_ids`). Non-zero
+    /// values usually indicate an unintended id collision in the caller's id
+    /// function.
+    pub dedup_dropped: u64,
     /// Wall-clock duration of the parallel section.
     pub elapsed: Duration,
     /// Number of worker threads used.
@@ -65,6 +85,9 @@ impl ExecStats {
             atomic_updates: total.atomic_updates,
             inspected: total.inspected,
             rounds: 0,
+            mark_releases: total.mark_releases,
+            releases_avoided: total.releases_avoided,
+            dedup_dropped: 0,
             elapsed: Duration::ZERO,
             threads: n,
         }
@@ -130,23 +153,30 @@ mod tests {
             aborted: 2,
             atomic_updates: 3,
             inspected: 4,
+            mark_releases: 5,
+            releases_avoided: 6,
         };
         let b = ThreadStats {
             committed: 10,
             aborted: 20,
             atomic_updates: 30,
             inspected: 40,
+            mark_releases: 50,
+            releases_avoided: 60,
         };
         a.merge(&b);
         assert_eq!(a.committed, 11);
         assert_eq!(a.aborted, 22);
         assert_eq!(a.atomic_updates, 33);
         assert_eq!(a.inspected, 44);
+        assert_eq!(a.mark_releases, 55);
+        assert_eq!(a.releases_avoided, 66);
     }
 
     #[test]
     fn from_threads_aggregates() {
-        let per = [ThreadStats {
+        let per = [
+            ThreadStats {
                 committed: 5,
                 aborted: 1,
                 ..Default::default()
@@ -155,7 +185,8 @@ mod tests {
                 committed: 7,
                 aborted: 0,
                 ..Default::default()
-            }];
+            },
+        ];
         let agg = ExecStats::from_threads(per.iter());
         assert_eq!(agg.committed, 12);
         assert_eq!(agg.aborted, 1);

@@ -304,12 +304,10 @@ impl<T: Send> BucketedQueue<T> {
         // Lower the cursor hint if we pushed below it.
         let mut cur = self.cursor.load(Ordering::Relaxed);
         while b < cur {
-            match self.cursor.compare_exchange_weak(
-                cur,
-                b,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .cursor
+                .compare_exchange_weak(cur, b, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => break,
                 Err(now) => cur = now,
             }
@@ -318,7 +316,10 @@ impl<T: Send> BucketedQueue<T> {
 
     /// Removes an item from the lowest non-empty bucket found.
     pub fn pop(&self, tid: usize) -> Option<T> {
-        let start = self.cursor.load(Ordering::Relaxed).min(self.buckets.len() - 1);
+        let start = self
+            .cursor
+            .load(Ordering::Relaxed)
+            .min(self.buckets.len() - 1);
         for b in start..self.buckets.len() {
             if let Some(item) = self.buckets[b].pop(tid) {
                 // Advance the hint past drained buckets (racy; a lower push

@@ -78,10 +78,8 @@ fn bucketed_queue_under_churn() {
         // Interleave pushes and pops with priorities derived from values.
         for i in 0..2_000u64 {
             q.push(tid, (i % 32) as usize, i);
-            if i % 3 == 0 {
-                if q.pop(tid).is_some() {
-                    popped.fetch_add(1, Ordering::Relaxed);
-                }
+            if i % 3 == 0 && q.pop(tid).is_some() {
+                popped.fetch_add(1, Ordering::Relaxed);
             }
         }
         while q.pop(tid).is_some() {
@@ -96,7 +94,9 @@ fn bucketed_queue_under_churn() {
 
 #[test]
 fn parallel_sort_under_oversubscription() {
-    let mut v: Vec<(u64, u64)> = (0..50_000u64).map(|i| ((i * 2654435761) % 1000, i)).collect();
+    let mut v: Vec<(u64, u64)> = (0..50_000u64)
+        .map(|i| ((i * 2654435761) % 1000, i))
+        .collect();
     let mut expect = v.clone();
     expect.sort_by_key(|x| x.0);
     galois_runtime::sort::parallel_sort_by_key(&mut v, 12, |x| x.0);

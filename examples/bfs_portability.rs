@@ -41,10 +41,16 @@ fn main() {
 
     let mut det_signature = None;
     for threads in [1usize, 2, 4] {
-        let exec = Executor::new().threads(threads).schedule(Schedule::deterministic());
+        let exec = Executor::new()
+            .threads(threads)
+            .schedule(Schedule::deterministic());
         let (dist, report) = bfs::galois(&g, 0, &exec);
         assert_eq!(dist, reference);
-        let sig = (report.stats.committed, report.stats.aborted, report.stats.rounds);
+        let sig = (
+            report.stats.committed,
+            report.stats.aborted,
+            report.stats.rounds,
+        );
         println!(
             "deterministic t={threads}: {:>10.3?}  committed={} aborted={} rounds={}",
             report.stats.elapsed, sig.0, sig.1, sig.2

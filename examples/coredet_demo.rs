@@ -37,7 +37,10 @@ fn main() {
     let b = observations(Mode::Native);
     println!("  run 1, thread 0 saw: {:?}...", &a[0][..8.min(a[0].len())]);
     println!("  run 2, thread 0 saw: {:?}...", &b[0][..8.min(b[0].len())]);
-    println!("  identical: {}  (may be true by luck on an idle machine)", a == b);
+    println!(
+        "  identical: {}  (may be true by luck on an idle machine)",
+        a == b
+    );
 
     let mode = Mode::CoreDet { quantum: 2_000 };
     let c = observations(mode);

@@ -44,9 +44,9 @@ fn run(schedule: Schedule, threads: usize) -> u64 {
         .threads(threads)
         .schedule(schedule)
         .run(&marks, (0..TASKS).collect(), &op);
-    cells
-        .iter()
-        .fold(0u64, |acc, c| acc.rotate_left(7) ^ c.load(Ordering::Relaxed))
+    cells.iter().fold(0u64, |acc, c| {
+        acc.rotate_left(7) ^ c.load(Ordering::Relaxed)
+    })
 }
 
 fn main() {

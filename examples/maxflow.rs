@@ -36,7 +36,9 @@ fn main() {
     );
     net.verify_flow().expect("valid flow assignment");
 
-    let exec = Executor::new().threads(threads).schedule(Schedule::Speculative);
+    let exec = Executor::new()
+        .threads(threads)
+        .schedule(Schedule::Speculative);
     let t0 = std::time::Instant::now();
     let (flow_spec, report) = pfp::galois(&net, &exec);
     println!(
@@ -48,7 +50,9 @@ fn main() {
     assert_eq!(flow_spec, flow_seq);
     net.verify_flow().expect("valid flow assignment");
 
-    let exec = Executor::new().threads(threads).schedule(Schedule::deterministic());
+    let exec = Executor::new()
+        .threads(threads)
+        .schedule(Schedule::deterministic());
     let t0 = std::time::Instant::now();
     let (flow_det, report) = pfp::galois(&net, &exec);
     println!(

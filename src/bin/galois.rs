@@ -80,7 +80,11 @@ fn executor(args: &Args, spread: usize, fifo: bool) -> Executor {
     Executor::new()
         .threads(args.threads)
         .schedule(schedule)
-        .worklist(if fifo { WorklistPolicy::Fifo } else { WorklistPolicy::Lifo })
+        .worklist(if fifo {
+            WorklistPolicy::Fifo
+        } else {
+            WorklistPolicy::Lifo
+        })
 }
 
 fn main() {
@@ -94,7 +98,10 @@ fn main() {
             let (dist, stats) = match args.variant.as_str() {
                 "pbbs" => {
                     let (d, _, s) = bfs::pbbs(&g, 0, args.threads, false);
-                    (d, format!("rounds={} atomics={}", s.rounds, s.atomic_updates))
+                    (
+                        d,
+                        format!("rounds={} atomics={}", s.rounds, s.atomic_updates),
+                    )
                 }
                 _ => {
                     let exec = executor(&args, 1, true);

@@ -11,7 +11,9 @@ use deterministic_galois::mesh::check;
 const THREAD_COUNTS: [usize; 3] = [1, 2, 5];
 
 fn det_executor(threads: usize) -> Executor {
-    Executor::new().threads(threads).schedule(Schedule::deterministic())
+    Executor::new()
+        .threads(threads)
+        .schedule(Schedule::deterministic())
 }
 
 #[test]
@@ -20,7 +22,12 @@ fn bfs_schedule_and_output_portable() {
     let mut prev = None;
     for threads in THREAD_COUNTS {
         let (dist, report) = bfs::galois(&g, 0, &det_executor(threads));
-        let sig = (dist, report.stats.committed, report.stats.aborted, report.stats.rounds);
+        let sig = (
+            dist,
+            report.stats.committed,
+            report.stats.aborted,
+            report.stats.rounds,
+        );
         if let Some(p) = &prev {
             assert_eq!(&sig, p, "bfs changed at {threads} threads");
         }
@@ -65,12 +72,12 @@ fn dmr_geometry_portable_with_locality_spread() {
     let mut prev = None;
     for threads in THREAD_COUNTS {
         let mesh = dmr::make_input(150, 14);
-        let exec = Executor::new().threads(threads).schedule(Schedule::Deterministic(
-            DetOptions {
+        let exec = Executor::new()
+            .threads(threads)
+            .schedule(Schedule::Deterministic(DetOptions {
                 locality_spread: 16,
                 ..Default::default()
-            },
-        ));
+            }));
         dmr::galois(&mesh, &exec);
         check::validate(&mesh).unwrap();
         check::check_delaunay(&mesh).unwrap();

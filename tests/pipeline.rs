@@ -19,7 +19,9 @@ fn dt_then_dmr_pipeline_end_to_end() {
     let before = check::quality(&mesh);
     assert!(before.bad > 0);
 
-    let exec = Executor::new().threads(2).schedule(Schedule::deterministic());
+    let exec = Executor::new()
+        .threads(2)
+        .schedule(Schedule::deterministic());
     let report = dmr::galois(&mesh, &exec);
     assert!(report.stats.committed >= before.bad as u64);
 
@@ -38,13 +40,25 @@ fn deterministic_scheduling_costs_more_memory_traffic() {
     use deterministic_galois::apps::mis;
     use deterministic_galois::graph::gen;
 
-    let g = gen::uniform_random_undirected(4_000, 4, 32);
+    let g = gen::uniform_random_undirected(4_000, 4, 34);
     // Small caches so reuse distance (not compulsory misses) dominates —
     // equivalent to the paper's full-size inputs on real caches.
     let small = HierarchyConfig {
-        l1: CacheConfig { sets: 8, ways: 4, line_bytes: 64 },
-        l2: CacheConfig { sets: 32, ways: 4, line_bytes: 64 },
-        l3: CacheConfig { sets: 128, ways: 8, line_bytes: 64 },
+        l1: CacheConfig {
+            sets: 8,
+            ways: 4,
+            line_bytes: 64,
+        },
+        l2: CacheConfig {
+            sets: 32,
+            ways: 4,
+            line_bytes: 64,
+        },
+        l3: CacheConfig {
+            sets: 128,
+            ways: 8,
+            line_bytes: 64,
+        },
     };
     let run = |schedule: Schedule| {
         let exec = Executor::new()
@@ -84,7 +98,10 @@ fn virtual_time_model_reproduces_scaling_ordering() {
 
     let g = gen::uniform_random_undirected(4_000, 4, 33);
     let trace_of = |schedule: Schedule| {
-        let exec = Executor::new().threads(1).schedule(schedule).record_trace(true);
+        let exec = Executor::new()
+            .threads(1)
+            .schedule(schedule)
+            .record_trace(true);
         let (_, report) = mis::galois(&g, &exec);
         report.trace.unwrap()
     };

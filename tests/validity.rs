@@ -8,7 +8,9 @@ use deterministic_galois::graph::{gen, FlowNetwork};
 use deterministic_galois::mesh::check;
 
 fn spec(threads: usize) -> Executor {
-    Executor::new().threads(threads).schedule(Schedule::Speculative)
+    Executor::new()
+        .threads(threads)
+        .schedule(Schedule::Speculative)
 }
 
 #[test]
@@ -79,7 +81,11 @@ fn pbbs_variants_are_valid_and_deterministic() {
     let (f2, _) = mis::pbbs(&gu, 3, false);
     mis::verify(&gu, &f1).unwrap();
     assert_eq!(f1, f2);
-    assert_eq!(f1, mis::seq(&gu), "pbbs mis is the lexicographically first MIS");
+    assert_eq!(
+        f1,
+        mis::seq(&gu),
+        "pbbs mis is the lexicographically first MIS"
+    );
 }
 
 #[test]
