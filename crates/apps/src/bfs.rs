@@ -55,7 +55,7 @@ pub fn galois(g: &CsrGraph, source: NodeId, exec: &Executor) -> (Vec<u32>, RunRe
         }
         Ok(())
     };
-    let report = exec.run(&marks, vec![(source, 0)], &op);
+    let report = exec.iterate(vec![(source, 0)]).run(&marks, &op);
     (dist.snapshot(), report)
 }
 

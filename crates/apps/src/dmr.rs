@@ -144,7 +144,7 @@ pub fn galois(mesh: &Mesh, exec: &Executor) -> RunReport {
         Ok(())
     };
 
-    exec.run(&marks, initial, &op)
+    exec.iterate(initial).run(&marks, &op)
 }
 
 /// Statistics of the PBBS-style deterministic dmr.

@@ -90,7 +90,7 @@ pub fn galois(points: &[Point], brio_seed: u64, exec: &Executor) -> (Mesh, RunRe
         Ok(())
     };
 
-    let report = exec.run(&marks, tasks, &op);
+    let report = exec.iterate(tasks).run(&marks, &op);
     (mesh, report)
 }
 

@@ -63,7 +63,10 @@ pub fn galois(g: &CsrGraph, exec: &Executor) -> (Vec<u32>, RunReport) {
         Ok(())
     };
     let tasks: Vec<NodeId> = g.nodes().collect();
-    let report = exec.run_with_ids(&marks, tasks, &op, |v| *v as u64, n);
+    let report = exec
+        .iterate(tasks)
+        .with_ids(|v| *v as u64, n)
+        .run(&marks, &op);
     (flags.snapshot(), report)
 }
 

@@ -62,7 +62,7 @@ pub fn galois(g: &CsrGraph, exec: &Executor) -> (Vec<u32>, RunReport) {
         }
         Ok(())
     };
-    let report = exec.run(&marks, edges, &op);
+    let report = exec.iterate(edges).run(&marks, &op);
     (mate.snapshot(), report)
 }
 

@@ -338,7 +338,10 @@ pub fn galois(net: &FlowNetwork, exec: &Executor) -> (i64, PfpReport) {
             Ok(())
         };
 
-        let report = exec.run_with_ids(&marks, active, &op, |v| *v as u64, n);
+        let report = exec
+            .iterate(active)
+            .with_ids(|v| *v as u64, n)
+            .run(&marks, &op);
         out.stats.committed += report.stats.committed;
         out.stats.aborted += report.stats.aborted;
         out.stats.atomic_updates += report.stats.atomic_updates;

@@ -2,7 +2,7 @@
 
 use crate::inputs;
 use galois_apps::{bfs, dmr, dt, mis, pfp, Variant};
-use galois_core::{Executor, RunReport, Schedule};
+use galois_core::{Executor, RoundLog, RunReport, Schedule};
 use galois_runtime::simtime::{ExecTrace, RoundTrace};
 use std::time::{Duration, Instant};
 
@@ -74,6 +74,8 @@ pub struct Measurement {
     pub trace: Option<ExecTrace>,
     /// Per-thread abstract-location access streams, when requested.
     pub accesses: Option<Vec<Vec<u32>>>,
+    /// Per-round schedule log, when requested (Galois variants only).
+    pub round_log: Option<RoundLog>,
 }
 
 impl Measurement {
@@ -118,6 +120,8 @@ pub struct Opts {
     pub access: bool,
     /// Disable the continuation optimization (Figure 10's g-d baseline).
     pub no_continuation: bool,
+    /// Record a per-round schedule log ([`Measurement::round_log`]).
+    pub round_log: bool,
 }
 
 fn executor(app: App, variant: Variant, threads: usize, opts: Opts) -> Executor {
@@ -151,9 +155,10 @@ fn executor(app: App, variant: Variant, threads: usize, opts: Opts) -> Executor 
         .worklist(worklist)
         .record_trace(opts.trace)
         .record_access(opts.access)
+        .record_rounds(opts.round_log)
 }
 
-fn from_report(app: App, variant: Variant, threads: usize, report: RunReport) -> Measurement {
+fn from_report(app: App, variant: Variant, threads: usize, mut report: RunReport) -> Measurement {
     Measurement {
         app,
         variant,
@@ -163,6 +168,7 @@ fn from_report(app: App, variant: Variant, threads: usize, report: RunReport) ->
         aborted: report.stats.aborted,
         atomic_updates: report.stats.atomic_updates,
         rounds: report.stats.rounds,
+        round_log: report.take_round_log(),
         trace: report.trace,
         accesses: report.accesses.map(|per| {
             per.into_iter()
@@ -170,6 +176,22 @@ fn from_report(app: App, variant: Variant, threads: usize, report: RunReport) ->
                 .collect()
         }),
     }
+}
+
+/// The shared configuration path for every executor-based measurement: one
+/// [`executor`] call, one app-specific loop body, one [`from_report`]
+/// conversion. The fig4/fig7 drivers and the serial-fraction table all go
+/// through here, so an `Opts` knob (trace, access, round log) only has to be
+/// wired once.
+fn galois_run(
+    app: App,
+    variant: Variant,
+    threads: usize,
+    opts: Opts,
+    body: impl FnOnce(&Executor) -> RunReport,
+) -> Measurement {
+    let exec = executor(app, variant, threads, opts);
+    from_report(app, variant, threads, body(&exec))
 }
 
 fn rounds_trace(rt: Vec<RoundTrace>, on: bool) -> Option<ExecTrace> {
@@ -207,13 +229,12 @@ pub fn measure(
                 rounds: stats.rounds,
                 trace: rounds_trace(stats.round_traces, opts.trace),
                 accesses: None,
+                round_log: None,
             }
         }
         (App::Bfs, v) => {
             let g = inputs::bfs_graph(scale);
-            let exec = executor(app, v, threads, opts);
-            let (_d, report) = bfs::galois(&g, 0, &exec);
-            from_report(app, v, threads, report)
+            galois_run(app, v, threads, opts, |exec| bfs::galois(&g, 0, exec).1)
         }
         (App::Mis, Variant::Pbbs) => {
             let g = inputs::mis_graph(scale);
@@ -230,13 +251,12 @@ pub fn measure(
                 rounds: stats.rounds,
                 trace: rounds_trace(stats.round_traces, opts.trace),
                 accesses: None,
+                round_log: None,
             }
         }
         (App::Mis, v) => {
             let g = inputs::mis_graph(scale);
-            let exec = executor(app, v, threads, opts);
-            let (_f, report) = mis::galois(&g, &exec);
-            from_report(app, v, threads, report)
+            galois_run(app, v, threads, opts, |exec| mis::galois(&g, exec).1)
         }
         (App::Dt, Variant::Pbbs) => {
             let pts = inputs::dt_points(scale);
@@ -253,13 +273,14 @@ pub fn measure(
                 rounds: stats.rounds,
                 trace: rounds_trace(stats.round_traces, opts.trace),
                 accesses: None,
+                round_log: None,
             }
         }
         (App::Dt, v) => {
             let pts = inputs::dt_points(scale);
-            let exec = executor(app, v, threads, opts);
-            let (_mesh, report) = dt::galois(&pts, inputs::SEED, &exec);
-            from_report(app, v, threads, report)
+            galois_run(app, v, threads, opts, |exec| {
+                dt::galois(&pts, inputs::SEED, exec).1
+            })
         }
         (App::Dmr, Variant::Pbbs) => {
             let mesh = inputs::dmr_mesh(scale);
@@ -276,13 +297,12 @@ pub fn measure(
                 rounds: stats.rounds,
                 trace: rounds_trace(stats.round_traces, opts.trace),
                 accesses: None,
+                round_log: None,
             }
         }
         (App::Dmr, v) => {
             let mesh = inputs::dmr_mesh(scale);
-            let exec = executor(app, v, threads, opts);
-            let report = dmr::galois(&mesh, &exec);
-            from_report(app, v, threads, report)
+            galois_run(app, v, threads, opts, |exec| dmr::galois(&mesh, exec))
         }
         (App::Pfp, Variant::Pbbs) => return None,
         (App::Pfp, Variant::Seq) => {
@@ -303,12 +323,13 @@ pub fn measure(
                     total_ns: elapsed.as_nanos() as f64,
                 }),
                 accesses: None,
+                round_log: None,
             }
         }
         (App::Pfp, v) => {
             let net = inputs::pfp_network(scale);
             let exec = executor(app, v, threads, opts);
-            let (_flow, report) = pfp::galois(&net, &exec);
+            let (_flow, mut report) = pfp::galois(&net, &exec);
             // Merge bout traces.
             let trace = opts.trace.then(|| {
                 let mut rounds: Vec<RoundTrace> = Vec::new();
@@ -351,6 +372,22 @@ pub fn measure(
             if any {
                 accesses = Some(merged);
             }
+            // Concatenate per-bout round logs, renumbering rounds globally so
+            // the merged log is still a single monotone sequence.
+            let round_log = opts.round_log.then(|| {
+                let mut log = RoundLog::new();
+                let mut next = 0u64;
+                for r in &mut report.reports {
+                    if let Some(bout) = r.take_round_log() {
+                        for mut rec in bout.into_records() {
+                            rec.round = next;
+                            next += 1;
+                            galois_core::Probe::on_round(&mut log, rec);
+                        }
+                    }
+                }
+                log
+            });
             Measurement {
                 app,
                 variant: v,
@@ -362,6 +399,7 @@ pub fn measure(
                 rounds: report.stats.rounds,
                 trace,
                 accesses,
+                round_log,
             }
         }
     };

@@ -67,8 +67,8 @@ pub fn run_sweep(scale: f64, no_continuation: bool) -> SweepData {
     };
     let opts = Opts {
         trace: true,
-        access: false,
         no_continuation,
+        ..Default::default()
     };
     for app in App::ALL {
         for &variant in app.variants() {

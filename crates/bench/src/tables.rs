@@ -1,6 +1,7 @@
 //! Plain-text table rendering for the figure harnesses, plus the small
 //! numeric summaries (medians, leader-serial fractions) they report.
 
+use galois_core::RoundLog;
 use galois_runtime::simtime::RoundTrace;
 
 /// A simple left-aligned text table.
@@ -92,6 +93,44 @@ pub fn serial_fraction(rounds: &[RoundTrace]) -> f64 {
     }
 }
 
+/// Renders a [`RoundLog`] as a per-round table: window, attempts, commit
+/// ratio, the hottest conflicting abstract location, and the measured phase
+/// times. This is the human-readable counterpart of the JSONL emitters
+/// ([`RoundLog::canonical_jsonl`] / [`RoundLog::jsonl_with_timing`]).
+pub fn round_log_table(log: &RoundLog) -> Table {
+    let mut t = Table::new(&[
+        "round",
+        "window",
+        "attempted",
+        "committed",
+        "failed",
+        "commit%",
+        "top-conflict",
+        "inspect-us",
+        "commit-us",
+        "serial-us",
+    ]);
+    for r in log.records() {
+        let top = match r.conflicts.first() {
+            Some((loc, n)) => format!("{loc} x{n}"),
+            None => "-".into(),
+        };
+        t.row(vec![
+            r.round.to_string(),
+            r.window.to_string(),
+            r.attempted.to_string(),
+            r.committed.to_string(),
+            r.failed.to_string(),
+            f(100.0 * r.commit_ratio()),
+            top,
+            f(r.inspect_ns / 1e3),
+            f(r.commit_ns / 1e3),
+            f(r.serial_ns / 1e3),
+        ]);
+    }
+    t
+}
+
 /// Median of a sample (NaNs excluded).
 pub fn median(values: &[f64]) -> f64 {
     let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
@@ -158,6 +197,36 @@ mod tests {
         assert_eq!(serial_fraction(&[round(60.0, 5.0), round(30.0, 5.0)]), 0.1);
         assert_eq!(serial_fraction(&[]), 0.0);
         assert_eq!(serial_fraction(&[round(0.0, 0.0)]), 0.0);
+    }
+
+    #[test]
+    fn round_log_table_renders_records() {
+        use galois_core::{Probe, RoundRecord};
+        let mut log = RoundLog::new();
+        log.on_round(RoundRecord {
+            round: 0,
+            window: 8,
+            attempted: 8,
+            committed: 6,
+            failed: 2,
+            conflicts: vec![(3, 2)],
+            inspect_ns: 1000.0,
+            commit_ns: 2000.0,
+            serial_ns: 500.0,
+        });
+        log.on_round(RoundRecord {
+            round: 1,
+            window: 12,
+            attempted: 4,
+            committed: 4,
+            failed: 0,
+            conflicts: vec![],
+            ..Default::default()
+        });
+        let s = round_log_table(&log).render();
+        assert_eq!(s.lines().count(), 4, "header + rule + 2 rows:\n{s}");
+        assert!(s.contains("3 x2"), "top conflict rendered:\n{s}");
+        assert!(s.lines().nth(3).unwrap().contains('-'), "no-conflict dash");
     }
 
     #[test]

@@ -96,6 +96,11 @@ pub struct Ctx<'a, T> {
     pub(crate) allow_stash: bool,
     pub(crate) stats: &'a mut ThreadStats,
     pub(crate) recorder: Option<&'a mut Vec<Access>>,
+    /// Collector of conflicting abstract locations for abort attribution
+    /// (probe layer). `None` unless a probe requesting conflicts is attached,
+    /// so the disabled path costs one branch on a plain pointer-sized field —
+    /// no atomics.
+    pub(crate) conflicts: Option<&'a mut Vec<u32>>,
     /// Set once `failsafe`/`checkpoint` has been crossed; used to detect
     /// operators that violate the cautious contract.
     pub(crate) past_failsafe: bool,
@@ -149,6 +154,9 @@ impl<'a, T> Ctx<'a, T> {
                     self.neighborhood.push(loc);
                     Ok(())
                 } else {
+                    if let Some(c) = self.conflicts.as_deref_mut() {
+                        c.push(loc.0);
+                    }
                     Err(Abort::Conflict)
                 }
             }
@@ -165,9 +173,15 @@ impl<'a, T> Ctx<'a, T> {
                     // A higher-priority task owns `loc`: this task cannot be
                     // in the independent set. Keep marking the rest anyway.
                     flags.set((self.mark_value - 1) as usize);
+                    if let Some(c) = self.conflicts.as_deref_mut() {
+                        c.push(loc.0);
+                    }
                 } else if prev != UNOWNED && prev != self.mark_value {
                     // We displaced task `prev - 1`; it must not commit.
                     flags.set((prev - 1) as usize);
+                    if let Some(c) = self.conflicts.as_deref_mut() {
+                        c.push(loc.0);
+                    }
                 }
                 Ok(())
             }
@@ -333,8 +347,70 @@ mod tests {
             allow_stash: true,
             stats,
             recorder: None,
+            conflicts: None,
             past_failsafe: false,
         }
+    }
+
+    #[test]
+    fn conflicts_collected_when_requested() {
+        // Inspect: loser and displacer both record the contested location.
+        let marks = MarkTable::new(2);
+        let flags = AbortFlags::new(10);
+        let mut stats = ThreadStats::default();
+        let mut locs: Vec<u32> = Vec::new();
+        let (mut nb, mut ps, mut st) = (vec![], vec![], None);
+        {
+            let mut ctx = fresh(
+                Mode::Inspect,
+                8,
+                &marks,
+                &mut nb,
+                &mut ps,
+                Some(&flags),
+                &mut st,
+                &mut stats,
+            );
+            ctx.conflicts = Some(&mut locs);
+            ctx.acquire(LockId(0)).unwrap(); // first toucher: no conflict
+        }
+        assert!(locs.is_empty());
+        let (mut nb2, mut ps2, mut st2) = (vec![], vec![], None);
+        {
+            let mut ctx = fresh(
+                Mode::Inspect,
+                4,
+                &marks,
+                &mut nb2,
+                &mut ps2,
+                Some(&flags),
+                &mut st2,
+                &mut stats,
+            );
+            ctx.conflicts = Some(&mut locs);
+            ctx.acquire(LockId(0)).unwrap(); // loses to mark 8: one event
+            ctx.acquire(LockId(1)).unwrap(); // uncontested: no event
+        }
+        assert_eq!(locs, vec![0]);
+        // Speculative: a failed try_acquire records the location too.
+        let smarks = MarkTable::new(2);
+        smarks.try_acquire(LockId(1), 99);
+        let (mut nb3, mut ps3, mut st3) = (vec![], vec![], None);
+        {
+            let mut ctx = fresh(
+                Mode::Speculative,
+                5,
+                &smarks,
+                &mut nb3,
+                &mut ps3,
+                None,
+                &mut st3,
+                &mut stats,
+            );
+            ctx.conflicts = Some(&mut locs);
+            assert_eq!(ctx.acquire(LockId(1)), Err(Abort::Conflict));
+        }
+        assert_eq!(locs, vec![0, 1]);
     }
 
     #[test]

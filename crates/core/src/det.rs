@@ -49,13 +49,14 @@
 //!   serial pop-and-refill produced.
 
 use crate::ctx::{Abort, Access, Ctx, Mode};
-use crate::executor::{DetOptions, Executor, RunReport};
+use crate::executor::{DetOptions, Executor, ProbeHub, RunReport};
 use crate::flags::AbortFlags;
 use crate::marks::{LockId, MarkTable};
 use crate::ops::Operator;
 use crate::task::{assign_ids, spread_for_locality, PendingItem, WorkItem};
 use crate::window::AdaptiveWindow;
 use galois_runtime::pool::{chunk_range, run_on_threads};
+use galois_runtime::probe::{attribute_conflicts, RoundRecord};
 use galois_runtime::simtime::{ExecTrace, PhaseTrace, RoundTrace};
 use galois_runtime::stats::{ExecStats, ThreadStats};
 use galois_runtime::SenseBarrier;
@@ -108,10 +109,13 @@ struct ThreadOut<T> {
     failed: Vec<WorkItem<T>>,
     /// Commits in this thread's range.
     committed: u64,
-    /// Inspect-phase timing aggregate (when tracing).
+    /// Inspect-phase timing aggregate (when tracing or probing).
     inspect: PhaseTrace,
-    /// Commit-phase timing aggregate (when tracing).
+    /// Commit-phase timing aggregate (when tracing or probing).
     commit: PhaseTrace,
+    /// Conflicting abstract locations seen during this thread's inspect
+    /// claims (when a probe wants attribution); drained by the leader.
+    conflicts: Vec<u32>,
 }
 
 impl<T> ThreadOut<T> {
@@ -122,6 +126,7 @@ impl<T> ThreadOut<T> {
             committed: 0,
             inspect: PhaseTrace::default(),
             commit: PhaseTrace::default(),
+            conflicts: Vec::new(),
         }
     }
 
@@ -131,6 +136,7 @@ impl<T> ThreadOut<T> {
         self.committed = 0;
         self.inspect = PhaseTrace::default();
         self.commit = PhaseTrace::default();
+        self.conflicts.clear();
     }
 }
 
@@ -155,6 +161,12 @@ struct RoundState<T> {
     outs: Vec<UnsafeCell<ThreadOut<T>>>,
     claim_inspect: AtomicUsize,
     done: AtomicBool,
+    /// Probe gates, fixed for the whole run (plain bools: workers only read
+    /// them, so the disabled probe path adds no atomics).
+    probing: bool,
+    collect_conflicts: bool,
+    time_phases: bool,
+    conflict_top_k: usize,
 }
 
 // SAFETY: see the struct docs; all concurrent access is phase-separated by
@@ -172,6 +184,14 @@ struct LeaderState<T> {
     started: bool,
     /// Recycled slots (retaining vector capacities).
     spare: Vec<Slot<T>>,
+    /// Adaptive window size at the last carve, before clamping to the
+    /// remaining pending tasks — what the probe reports as `window`.
+    carved_window: u64,
+    /// Record of the just-closed round, built in `prepare_round` and emitted
+    /// by the caller once the leader-serial time is known.
+    pending_record: Option<RoundRecord>,
+    /// Scratch buffer for per-round conflict attribution.
+    conflict_scratch: Vec<u32>,
 }
 
 /// Pre-assigned id source: the id function and the id space bound (§3.3).
@@ -184,12 +204,17 @@ pub(crate) fn run<T, O>(
     tasks: Vec<T>,
     op: &O,
     preassigned: Preassigned<'_, T>,
+    hub: &mut ProbeHub<'_>,
 ) -> RunReport
 where
     T: Send,
     O: Operator<T>,
 {
     let threads = cfg.threads;
+    let probing = hub.active();
+    let collect_conflicts = probing && hub.wants_conflicts();
+    let time_phases = cfg.record_trace || (probing && hub.wants_timing());
+    let conflict_top_k = hub.conflict_top_k();
     let start = Instant::now();
 
     // Initial pass: ids in iteration order (§3.2), or pre-assigned (§3.3).
@@ -246,15 +271,26 @@ where
             .collect(),
         claim_inspect: AtomicUsize::new(0),
         done: AtomicBool::new(false),
+        probing,
+        collect_conflicts,
+        time_phases,
+        conflict_top_k,
     };
     let barrier = SenseBarrier::new(threads);
     let initial_cell: Mutex<Option<Vec<WorkItem<T>>>> = Mutex::new(Some(initial));
     let collected: Mutex<Vec<(ThreadStats, Vec<Access>)>> = Mutex::new(Vec::new());
     let leader_out: Mutex<Option<(u64, Vec<RoundTrace>)>> = Mutex::new(None);
+    // Like `initial_cell`: the leader takes the probe hub at thread start
+    // and is the only thread to ever touch it (between barriers), so probe
+    // callbacks see rounds strictly in order.
+    let hub_cell: Mutex<Option<&mut ProbeHub<'_>>> = Mutex::new(probing.then_some(hub));
 
     run_on_threads(threads, |tid| {
         let mut stats = ThreadStats::default();
         let mut accesses: Vec<Access> = Vec::new();
+        let mut probe: Option<&mut ProbeHub<'_>> = (tid == 0)
+            .then(|| hub_cell.lock().unwrap().take())
+            .flatten();
         let mut leader: Option<LeaderState<T>> = (tid == 0).then(|| LeaderState {
             head: 0,
             todo: Vec::new(),
@@ -263,6 +299,9 @@ where
             round_traces: Vec::new(),
             started: false,
             spare: Vec::new(),
+            carved_window: 0,
+            pending_record: None,
+            conflict_scratch: Vec::new(),
         });
         if leader.is_some() {
             let initial = initial_cell.lock().unwrap().take().expect("single leader");
@@ -278,15 +317,26 @@ where
 
         loop {
             if let Some(leader) = leader.as_mut() {
-                let t0 = cfg.record_trace.then(Instant::now);
+                let t0 = state.time_phases.then(Instant::now);
                 let sort_ns =
                     prepare_round(leader, &state, marks, opts, cfg, threads, flag_space_of);
-                if let (Some(t0), Some(last)) = (t0, leader.round_traces.last_mut()) {
+                let total_ns = t0.map(|t| t.elapsed().as_nanos() as f64);
+                if let (Some(total), Some(last)) = (
+                    total_ns.filter(|_| cfg.record_trace),
+                    leader.round_traces.last_mut(),
+                ) {
                     // The merge/carve work belongs to the round it closed;
                     // the pass-boundary sort is parallelizable scheduler work.
-                    let total = t0.elapsed().as_nanos() as f64;
                     last.serial_ns += (total - sort_ns).max(0.0);
                     last.sched_par_ns += sort_ns;
+                }
+                if let Some(mut rec) = leader.pending_record.take() {
+                    if let Some(total) = total_ns {
+                        rec.serial_ns = (total - sort_ns).max(0.0);
+                    }
+                    if let Some(p) = probe.as_mut() {
+                        p.on_round(rec);
+                    }
                 }
             }
             barrier.wait();
@@ -320,7 +370,7 @@ where
                     break;
                 }
                 let hi = (i0 + CLAIM_CHUNK).min(n);
-                let t0 = cfg.record_trace.then(Instant::now);
+                let t0 = state.time_phases.then(Instant::now);
                 for i in i0..hi {
                     // SAFETY: index range claimed exclusively above; pending
                     // entry `fill_base + i` belongs to slot `i` alone, so the
@@ -343,6 +393,7 @@ where
                         tid,
                         &mut stats,
                         &mut accesses,
+                        state.collect_conflicts.then_some(&mut out.conflicts),
                         op,
                     );
                 }
@@ -359,7 +410,7 @@ where
             let mut block_start = range.start;
             while block_start < range.end {
                 let block_end = (block_start + 64).min(range.end);
-                let t0 = cfg.record_trace.then(Instant::now);
+                let t0 = state.time_phases.then(Instant::now);
                 let mut block_committed = 0u64;
                 for i in block_start..block_end {
                     // SAFETY: static ranges are disjoint across threads.
@@ -414,6 +465,7 @@ where
         accesses: cfg
             .record_access
             .then(|| per_thread.into_iter().map(|(_, a)| a).collect()),
+        round_log: None,
     }
 }
 
@@ -459,16 +511,41 @@ fn prepare_round<T: Send>(
         let attempted = cur.len();
         let mut committed = 0usize;
         let mut nfailed = 0usize;
+        let mut inspect_ns = 0.0f64;
+        let mut commit_ns = 0.0f64;
         let mut trace = cfg.record_trace.then(RoundTrace::default);
         for tid in 0..threads {
             // SAFETY: workers are parked at the barrier; outs are quiescent.
             let out = unsafe { &mut *state.outs[tid].get() };
             committed += out.committed as usize;
             nfailed += out.failed.len();
+            inspect_ns += out.inspect.total_ns;
+            commit_ns += out.commit.total_ns;
+            if state.collect_conflicts {
+                leader.conflict_scratch.append(&mut out.conflicts);
+            }
             if let Some(t) = trace.as_mut() {
                 t.inspect.merge(&out.inspect);
                 t.commit.merge(&out.commit);
             }
+        }
+        if state.probing {
+            // Per-round per-location conflict counts are schedule-
+            // deterministic (k round-mates on a location ⇒ exactly k-1 mark
+            // losses), so this attribution is thread-count independent.
+            let conflicts = attribute_conflicts(&mut leader.conflict_scratch, state.conflict_top_k);
+            leader.conflict_scratch.clear();
+            leader.pending_record = Some(RoundRecord {
+                round: leader.rounds,
+                window: leader.carved_window,
+                attempted: attempted as u64,
+                committed: committed as u64,
+                failed: nfailed as u64,
+                conflicts,
+                inspect_ns,
+                commit_ns,
+                serial_ns: 0.0, // patched by the caller once prepare returns
+            });
         }
         // Failed tasks precede the untried remainder (Figure 2 line 19) in
         // slot order: write them back into the tail of the just-consumed
@@ -532,6 +609,7 @@ fn prepare_round<T: Send>(
     // storage so no allocator traffic happens per round. The leader only
     // sizes `cur` and publishes the index range; the claiming workers fill
     // the slots during inspect.
+    leader.carved_window = leader.window.size() as u64;
     let w = leader.window.size().min(pending.len() - leader.head);
     while cur.len() > w {
         leader.spare.push(cur.pop().expect("len > w"));
@@ -555,6 +633,7 @@ fn inspect_slot<T: Send, O: Operator<T>>(
     tid: usize,
     stats: &mut ThreadStats,
     accesses: &mut Vec<Access>,
+    conflicts: Option<&mut Vec<u32>>,
     op: &O,
 ) {
     slot.neighborhood.clear();
@@ -581,6 +660,7 @@ fn inspect_slot<T: Send, O: Operator<T>>(
             allow_stash: opts.continuation,
             stats,
             recorder: cfg.record_access.then_some(accesses),
+            conflicts,
             past_failsafe: false,
         };
         op.run(&item.task, &mut ctx)
@@ -637,6 +717,7 @@ fn commit_slot<T: Send, O: Operator<T>>(
                 allow_stash: false,
                 stats,
                 recorder: cfg.record_access.then_some(accesses),
+                conflicts: None,
                 past_failsafe: false,
             };
             op.run(&item.task, &mut ctx)
@@ -696,11 +777,11 @@ mod tests {
             let log = Mutex::new(Vec::new());
             let marks = MarkTable::new(1);
             let op = trace_op(&log);
-            let report = Executor::new().threads(threads).schedule(det()).run(
-                &marks,
-                (0..40u64).collect(),
-                &op,
-            );
+            let report = Executor::new()
+                .threads(threads)
+                .schedule(det())
+                .iterate((0..40u64).collect())
+                .run(&marks, &op);
             assert_eq!(report.stats.committed, 40);
             assert!(report.stats.rounds >= 40, "all-conflicting tasks serialize");
             drop(op);
@@ -722,11 +803,11 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
             Ok(())
         };
-        let report =
-            Executor::new()
-                .threads(2)
-                .schedule(det())
-                .run(&marks, (0..64u64).collect(), &op);
+        let report = Executor::new()
+            .threads(2)
+            .schedule(det())
+            .iterate((0..64u64).collect())
+            .run(&marks, &op);
         assert_eq!(report.stats.committed, 64);
         assert_eq!(report.stats.aborted, 0);
         assert_eq!(hits.load(Ordering::Relaxed), 64);
@@ -753,7 +834,8 @@ mod tests {
         let report = Executor::new()
             .threads(3)
             .schedule(det())
-            .run(&marks, vec![0], &op);
+            .iterate(vec![0])
+            .run(&marks, &op);
         // Nodes reachable from 0 with t<8 expanding: 0,1,2,...: nodes 0..=7
         // push children up to 16; total nodes = 0..=16 → but only those
         // reachable: 0;1,2;3,4,5,6;7..14 from 3..6; 15,16 from 7. Count:
@@ -781,7 +863,8 @@ mod tests {
             Executor::new()
                 .threads(threads)
                 .schedule(det())
-                .run(&marks, (0..64u64).collect(), &op);
+                .iterate((0..64u64).collect())
+                .run(&marks, &op);
             logs.into_iter().map(|l| l.into_inner().unwrap()).collect()
         };
         let a = run_with(1);
@@ -808,11 +891,11 @@ mod tests {
             assert_eq!(value, *t * 10);
             Ok(())
         };
-        let report =
-            Executor::new()
-                .threads(1)
-                .schedule(det())
-                .run(&marks, (0..8u64).collect(), &op);
+        let report = Executor::new()
+            .threads(1)
+            .schedule(det())
+            .iterate((0..8u64).collect())
+            .run(&marks, &op);
         assert_eq!(report.stats.committed, 8);
         // With continuations each committed task computes once (inspect);
         // aborted attempts recompute on retry but these tasks are disjoint.
@@ -840,7 +923,8 @@ mod tests {
                 continuation: false,
                 ..DetOptions::default()
             }))
-            .run(&marks, (0..8u64).collect(), &op);
+            .iterate((0..8u64).collect())
+            .run(&marks, &op);
         assert_eq!(report.stats.committed, 8);
         // Baseline: inspect + commit each compute → exactly twice per task.
         assert_eq!(expensive_calls.load(Ordering::Relaxed), 16);
@@ -859,11 +943,12 @@ mod tests {
         };
         let mut tasks: Vec<u64> = (0..32).collect();
         tasks.extend(0..16u64); // duplicates
-        let report =
-            Executor::new()
-                .threads(2)
-                .schedule(det())
-                .run_with_ids(&marks, tasks, &op, |t| *t, 32);
+        let report = Executor::new()
+            .threads(2)
+            .schedule(det())
+            .iterate(tasks)
+            .with_ids(|t| *t, 32)
+            .run(&marks, &op);
         assert_eq!(report.stats.committed, 32, "duplicates deduplicated");
         assert_eq!(count.load(Ordering::Relaxed), 32);
     }
@@ -886,7 +971,8 @@ mod tests {
                     locality_spread: spread,
                     ..DetOptions::default()
                 }))
-                .run(&marks, (0..64u64).collect(), &op);
+                .iterate((0..64u64).collect())
+                .run(&marks, &op);
             (report.stats.committed, report.stats.aborted)
         };
         let (c1, a1) = run_spread(1);
@@ -909,7 +995,8 @@ mod tests {
             .threads(1)
             .schedule(det())
             .record_trace(true)
-            .run(&marks, (0..100u64).collect(), &op);
+            .iterate((0..100u64).collect())
+            .run(&marks, &op);
         assert!(report.stats.rounds > 0);
         match report.trace {
             Some(galois_runtime::simtime::ExecTrace::Rounds(rounds)) => {
@@ -928,7 +1015,8 @@ mod tests {
         let report = Executor::new()
             .threads(2)
             .schedule(det())
-            .run(&marks, vec![], &op);
+            .iterate(vec![])
+            .run(&marks, &op);
         assert_eq!(report.stats.committed, 0);
         assert_eq!(report.stats.rounds, 0);
     }

@@ -3,8 +3,9 @@
 //! The paper's headline design point is that **the same program** runs under
 //! a non-deterministic or a deterministic scheduler, selected at run time
 //! ("the desired scheduler is specified through a command-line parameter",
-//! §1). [`Executor`] is that switch: build one with a [`Schedule`] and call
-//! [`Executor::run`] with any cautious operator.
+//! §1). [`Executor`] is that switch: build one with a [`Schedule`], then
+//! describe the loop with [`Executor::iterate`] — a [`LoopSpec`] — and run
+//! any cautious operator over it.
 //!
 //! ```
 //! use galois_core::{Executor, MarkTable, Schedule, Ctx, OpResult};
@@ -22,10 +23,37 @@
 //! let report = Executor::new()
 //!     .threads(2)
 //!     .schedule(Schedule::deterministic())
-//!     .run(&marks, (0..100).collect(), &op);
+//!     .iterate((0..100).collect())
+//!     .run(&marks, &op);
 //! assert_eq!(report.stats.committed, 100);
 //! let total: u64 = buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
 //! assert_eq!(total, (0..100).sum());
+//! ```
+//!
+//! ## Observing the schedule
+//!
+//! Attach a [`Probe`] (e.g. a [`RoundLog`]) to a loop to record per-round
+//! scheduler behavior — window sizes, commit ratios, abort attribution:
+//!
+//! ```
+//! use galois_core::{Executor, MarkTable, RoundLog, Schedule, Ctx, OpResult};
+//!
+//! let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+//!     ctx.acquire((*t % 4) as u32)?;
+//!     ctx.failsafe()?;
+//!     Ok(())
+//! };
+//! let marks = MarkTable::new(4);
+//! let mut log = RoundLog::new();
+//! Executor::new()
+//!     .schedule(Schedule::deterministic())
+//!     .iterate((0..100).collect())
+//!     .probe(&mut log)
+//!     .run(&marks, &op);
+//! assert!(!log.is_empty());
+//! // Under deterministic scheduling this serialization is byte-identical
+//! // for every thread count: a portability oracle.
+//! let _oracle = log.canonical_jsonl();
 //! ```
 
 use crate::ctx::Access;
@@ -35,6 +63,7 @@ use crate::ops::Operator;
 use crate::serial;
 use crate::spec;
 use crate::window::WindowPolicy;
+use galois_runtime::probe::{Probe, RoundLog, RoundRecord};
 use galois_runtime::simtime::ExecTrace;
 use galois_runtime::stats::ExecStats;
 
@@ -109,6 +138,7 @@ pub struct Executor {
     pub(crate) worklist: WorklistPolicy,
     pub(crate) record_trace: bool,
     pub(crate) record_access: bool,
+    pub(crate) record_rounds: bool,
 }
 
 impl Default for Executor {
@@ -119,6 +149,7 @@ impl Default for Executor {
             worklist: WorklistPolicy::Lifo,
             record_trace: false,
             record_access: false,
+            record_rounds: false,
         }
     }
 }
@@ -168,48 +199,49 @@ impl Executor {
         self
     }
 
+    /// Records a [`RoundLog`] internally and returns it in
+    /// [`RunReport::round_log`]. Equivalent to attaching a fresh `RoundLog`
+    /// via [`LoopSpec::probe`] but without threading a borrow through the
+    /// caller — convenient when the caller owns neither the loop site nor a
+    /// probe (e.g. the CLI binaries' `--round-log` flag).
+    pub fn record_rounds(mut self, on: bool) -> Self {
+        self.record_rounds = on;
+        self
+    }
+
+    /// Describes a loop over `tasks`: the single entry point for running.
+    ///
+    /// Returns a [`LoopSpec`] builder; chain [`LoopSpec::with_ids`] /
+    /// [`LoopSpec::probe`] as needed and finish with [`LoopSpec::run`]:
+    ///
+    /// ```ignore
+    /// let report = exec.iterate(tasks).with_ids(id_of, n).probe(&mut log).run(&marks, &op);
+    /// ```
+    pub fn iterate<T: Send>(&self, tasks: Vec<T>) -> LoopSpec<'_, '_, T> {
+        LoopSpec {
+            exec: self,
+            tasks,
+            ids: None,
+            probe: None,
+        }
+    }
+
     /// Runs the loop over `tasks` with operator `op`, synchronizing through
     /// `marks`.
-    ///
-    /// `marks` must cover every [`crate::LockId`] the operator acquires, and
-    /// must be all-unowned on entry; it is all-unowned again on return.
-    ///
-    /// New tasks pushed by the operator are scheduled until the pool drains
-    /// (Figure 1a). Under deterministic scheduling, initial ids follow the
-    /// order of `tasks` and created tasks are ordered by `(parent, rank)`
-    /// (§3.2).
+    #[deprecated(since = "0.2.0", note = "use `exec.iterate(tasks).run(&marks, &op)`")]
     pub fn run<T, O>(&self, marks: &MarkTable, tasks: Vec<T>, op: &O) -> RunReport
     where
         T: Send,
         O: Operator<T>,
     {
-        debug_assert!(marks.all_unowned(), "mark table must start unowned");
-        match &self.schedule {
-            Schedule::Serial => serial::run(self, marks, tasks, op),
-            Schedule::Speculative => spec::run(self, marks, tasks, op),
-            Schedule::Deterministic(opts) => det::run(self, opts, marks, tasks, op, None),
-        }
+        self.iterate(tasks).run(marks, op)
     }
 
-    /// Runs with **pre-assigned task ids** (§3.3, third optimization).
-    ///
-    /// When tasks are drawn from a fixed set (e.g. graph nodes), `id_of`
-    /// supplies each *initial* task's fixed priority in `0..id_space`
-    /// directly, skipping the initial sort; equal-id initial tasks are
-    /// deduplicated, so the payload must be a function of its id. Duplicates
-    /// are dropped silently at run time, but the number dropped is reported
-    /// in [`ExecStats::dedup_dropped`] — check it if losing work to an id
-    /// collision would be a bug in your id function. Tasks *created* during
-    /// execution are ordered by `(parent, rank)` like the default path (this
-    /// implementation keeps the created-task sort; the paper's fully
-    /// pre-assigned scheme additionally reuses fixed ids for created tasks).
-    ///
-    /// Non-deterministic schedules ignore the ids and behave exactly like
-    /// [`run`](Self::run).
-    ///
-    /// # Panics
-    ///
-    /// The deterministic scheduler panics if some `id_of(task) >= id_space`.
+    /// Runs with pre-assigned task ids.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `exec.iterate(tasks).with_ids(id_of, id_space).run(&marks, &op)`"
+    )]
     pub fn run_with_ids<T, O, F>(
         &self,
         marks: &MarkTable,
@@ -223,23 +255,192 @@ impl Executor {
         O: Operator<T>,
         F: Fn(&T) -> u64 + Sync,
     {
+        self.iterate(tasks).with_ids(id_of, id_space).run(marks, op)
+    }
+}
+
+/// A parallel loop about to run: tasks plus optional ids and probe.
+///
+/// Built by [`Executor::iterate`]; consumed by [`LoopSpec::run`]. This is
+/// the single configuration path for everything a *particular loop* needs
+/// (as opposed to the [`Executor`], which holds per-*schedule* settings and
+/// is reusable across loops).
+pub struct LoopSpec<'e, 'p, T> {
+    exec: &'e Executor,
+    tasks: Vec<T>,
+    #[allow(clippy::type_complexity)]
+    ids: Option<(Box<dyn Fn(&T) -> u64 + Sync + 'p>, usize)>,
+    probe: Option<&'p mut dyn Probe>,
+}
+
+impl<T: Send> std::fmt::Debug for LoopSpec<'_, '_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopSpec")
+            .field("exec", &self.exec)
+            .field("tasks", &self.tasks.len())
+            .field("with_ids", &self.ids.is_some())
+            .field("probe", &self.probe.is_some())
+            .finish()
+    }
+}
+
+impl<'e, 'p, T: Send> LoopSpec<'e, 'p, T> {
+    /// Supplies **pre-assigned task ids** (§3.3, third optimization).
+    ///
+    /// When tasks are drawn from a fixed set (e.g. graph nodes), `id_of`
+    /// supplies each *initial* task's fixed priority in `0..id_space`
+    /// directly, skipping the initial sort; equal-id initial tasks are
+    /// deduplicated, so the payload must be a function of its id. Duplicates
+    /// are dropped silently at run time, but the number dropped is reported
+    /// in [`ExecStats::dedup_dropped`] — check it if losing work to an id
+    /// collision would be a bug in your id function. Tasks *created* during
+    /// execution are ordered by `(parent, rank)` like the default path (this
+    /// implementation keeps the created-task sort; the paper's fully
+    /// pre-assigned scheme additionally reuses fixed ids for created tasks).
+    ///
+    /// Non-deterministic schedules ignore the ids.
+    ///
+    /// # Panics
+    ///
+    /// The deterministic scheduler panics if some `id_of(task) >= id_space`.
+    pub fn with_ids<F>(mut self, id_of: F, id_space: usize) -> Self
+    where
+        F: Fn(&T) -> u64 + Sync + 'p,
+    {
+        self.ids = Some((Box::new(id_of), id_space));
+        self
+    }
+
+    /// Attaches a [`Probe`] that observes every deterministic round (or
+    /// speculative epoch) of this loop. With no probe attached (and
+    /// [`Executor::record_rounds`] off) the observability layer is fully
+    /// inert: no records are built, no conflicts collected, no timers run,
+    /// and no atomics are added to the hot path.
+    pub fn probe(mut self, probe: &'p mut dyn Probe) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Runs the loop with operator `op`, synchronizing through `marks`.
+    ///
+    /// `marks` must cover every [`crate::LockId`] the operator acquires, and
+    /// must be all-unowned on entry; it is all-unowned again on return.
+    ///
+    /// New tasks pushed by the operator are scheduled until the pool drains
+    /// (Figure 1a). Under deterministic scheduling, initial ids follow the
+    /// order of `tasks` (or `with_ids`) and created tasks are ordered by
+    /// `(parent, rank)` (§3.2).
+    pub fn run<O>(self, marks: &MarkTable, op: &O) -> RunReport
+    where
+        O: Operator<T>,
+    {
+        let LoopSpec {
+            exec,
+            tasks,
+            ids,
+            probe,
+        } = self;
         debug_assert!(marks.all_unowned(), "mark table must start unowned");
-        match &self.schedule {
-            Schedule::Serial => serial::run(self, marks, tasks, op),
-            Schedule::Speculative => spec::run(self, marks, tasks, op),
-            Schedule::Deterministic(opts) => det::run(
-                self,
-                opts,
-                marks,
-                tasks,
-                op,
-                Some((&id_of as &(dyn Fn(&T) -> u64 + Sync), id_space)),
-            ),
+        let mut hub = ProbeHub::new(probe, exec.record_rounds);
+        let mut report = match &exec.schedule {
+            Schedule::Serial => serial::run(exec, marks, tasks, op),
+            Schedule::Speculative => spec::run(exec, marks, tasks, op, &mut hub),
+            Schedule::Deterministic(opts) => {
+                let preassigned = ids
+                    .as_ref()
+                    .map(|(f, space)| (&**f as &(dyn Fn(&T) -> u64 + Sync), *space));
+                det::run(exec, opts, marks, tasks, op, preassigned, &mut hub)
+            }
+        };
+        hub.finish(&report.stats);
+        report.round_log = hub.into_log();
+        report
+    }
+}
+
+/// Fan-out shim between an executor and up to two probes: the external
+/// `&mut dyn Probe` from [`LoopSpec::probe`] and the internal [`RoundLog`]
+/// from [`Executor::record_rounds`]. Executors interact only with this; when
+/// both slots are empty every `wants_*` gate is false and the observability
+/// layer costs nothing.
+pub(crate) struct ProbeHub<'p> {
+    external: Option<&'p mut dyn Probe>,
+    own: Option<RoundLog>,
+}
+
+impl<'p> ProbeHub<'p> {
+    fn new(external: Option<&'p mut dyn Probe>, record_rounds: bool) -> Self {
+        ProbeHub {
+            external,
+            own: record_rounds.then(RoundLog::new),
         }
+    }
+
+    /// Whether any probe is attached at all.
+    pub(crate) fn active(&self) -> bool {
+        self.external.is_some() || self.own.is_some()
+    }
+
+    pub(crate) fn wants_conflicts(&self) -> bool {
+        self.external
+            .as_ref()
+            .map(|p| p.wants_conflicts())
+            .unwrap_or(false)
+            || self
+                .own
+                .as_ref()
+                .map(|p| p.wants_conflicts())
+                .unwrap_or(false)
+    }
+
+    pub(crate) fn wants_timing(&self) -> bool {
+        self.external
+            .as_ref()
+            .map(|p| p.wants_timing())
+            .unwrap_or(false)
+            || self.own.as_ref().map(|p| p.wants_timing()).unwrap_or(false)
+    }
+
+    pub(crate) fn conflict_top_k(&self) -> usize {
+        self.external
+            .as_ref()
+            .map(|p| p.conflict_top_k())
+            .unwrap_or(0)
+            .max(self.own.as_ref().map(|p| p.conflict_top_k()).unwrap_or(0))
+    }
+
+    pub(crate) fn on_round(&mut self, record: RoundRecord) {
+        match (&mut self.external, &mut self.own) {
+            (Some(ext), Some(own)) => {
+                ext.on_round(record.clone());
+                own.on_round(record);
+            }
+            (Some(ext), None) => ext.on_round(record),
+            (None, Some(own)) => own.on_round(record),
+            (None, None) => {}
+        }
+    }
+
+    fn finish(&mut self, stats: &ExecStats) {
+        if let Some(ext) = &mut self.external {
+            ext.on_finish(stats);
+        }
+        if let Some(own) = &mut self.own {
+            own.on_finish(stats);
+        }
+    }
+
+    fn into_log(self) -> Option<RoundLog> {
+        self.own
     }
 }
 
 /// Everything a run produced besides the application's own state.
+///
+/// Marked `#[non_exhaustive]` so future observability fields are not
+/// breaking changes; construct via a run, read via the fields or the
+/// accessor methods.
+#[non_exhaustive]
 #[derive(Debug, Default)]
 pub struct RunReport {
     /// Commit/abort/atomic counts, rounds, and wall-clock time.
@@ -249,6 +450,35 @@ pub struct RunReport {
     /// Per-thread abstract-location access streams, when requested via
     /// [`Executor::record_access`].
     pub accesses: Option<Vec<Vec<Access>>>,
+    /// Per-round log, when requested via [`Executor::record_rounds`].
+    pub round_log: Option<RoundLog>,
+}
+
+impl RunReport {
+    /// Aggregate execution statistics.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Virtual-time trace, when one was recorded.
+    pub fn trace(&self) -> Option<&ExecTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Per-thread access streams, when recorded.
+    pub fn accesses(&self) -> Option<&[Vec<Access>]> {
+        self.accesses.as_deref()
+    }
+
+    /// Per-round log, when recorded via [`Executor::record_rounds`].
+    pub fn round_log(&self) -> Option<&RoundLog> {
+        self.round_log.as_ref()
+    }
+
+    /// Takes ownership of the round log, leaving `None` behind.
+    pub fn take_round_log(&mut self) -> Option<RoundLog> {
+        self.round_log.take()
+    }
 }
 
 #[cfg(test)]
@@ -262,12 +492,72 @@ mod tests {
         assert_eq!(e.schedule, Schedule::Speculative);
         assert!(!e.record_trace);
         assert!(!e.record_access);
+        assert!(!e.record_rounds);
+    }
+
+    #[test]
+    fn loop_spec_debug_is_compact() {
+        let e = Executor::new();
+        let spec = e.iterate(vec![1u64, 2, 3]);
+        let dbg = format!("{spec:?}");
+        assert!(dbg.contains("tasks: 3"));
+        assert!(dbg.contains("probe: false"));
+    }
+
+    #[test]
+    fn probe_hub_inert_when_empty() {
+        let hub = ProbeHub::new(None, false);
+        assert!(!hub.active());
+        assert!(!hub.wants_conflicts());
+        assert!(!hub.wants_timing());
+        assert_eq!(hub.conflict_top_k(), 0);
+    }
+
+    #[test]
+    fn probe_hub_fans_out_to_both() {
+        let mut ext = RoundLog::new();
+        let mut hub = ProbeHub::new(Some(&mut ext), true);
+        assert!(hub.active() && hub.wants_conflicts() && hub.wants_timing());
+        hub.on_round(RoundRecord {
+            round: 0,
+            ..Default::default()
+        });
+        hub.finish(&ExecStats::default());
+        let own = hub.into_log().expect("own log present");
+        assert_eq!(own.len(), 1);
+        assert_eq!(ext.len(), 1);
+        assert!(ext.final_stats().is_some());
     }
 
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_threads_rejected() {
         let _ = Executor::new().threads(0);
+    }
+
+    // The deprecated wrappers stay behaviorally identical to the LoopSpec
+    // path; this is the only place the deprecation is allowed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_loop_spec() {
+        use crate::ctx::{Ctx, OpResult};
+        let marks = MarkTable::new(4);
+        let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            ctx.acquire((*t % 4) as u32)?;
+            ctx.failsafe()?;
+            Ok(())
+        };
+        let exec = Executor::new()
+            .threads(2)
+            .schedule(Schedule::deterministic());
+        let a = exec.run(&marks, (0..32u64).collect(), &op);
+        assert_eq!(a.stats.committed, 32);
+        let b = exec.run_with_ids(&marks, (0..32u64).collect(), &op, |t| *t, 32);
+        assert_eq!(b.stats.committed, 32);
+        let c = exec.iterate((0..32u64).collect()).run(&marks, &op);
+        assert_eq!(c.stats.committed, a.stats.committed);
+        assert_eq!(c.stats.aborted, a.stats.aborted);
+        assert_eq!(c.stats.rounds, a.stats.rounds);
     }
 
     #[test]

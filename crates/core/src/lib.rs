@@ -38,11 +38,11 @@
 //!         Ok(())
 //!     };
 //!     let marks = MarkTable::new(8);
-//!     Executor::new().threads(threads).schedule(schedule).run(
-//!         &marks,
-//!         (0..512).collect(),
-//!         &op,
-//!     );
+//!     Executor::new()
+//!         .threads(threads)
+//!         .schedule(schedule)
+//!         .iterate((0..512).collect())
+//!         .run(&marks, &op);
 //!     regs.into_iter().map(|m| m.into_inner().unwrap()).collect()
 //! }
 //!
@@ -77,7 +77,8 @@ pub mod task;
 pub mod window;
 
 pub use ctx::{Abort, Access, Ctx, OpResult};
-pub use executor::{DetOptions, Executor, RunReport, Schedule, WorklistPolicy};
+pub use executor::{DetOptions, Executor, LoopSpec, RunReport, Schedule, WorklistPolicy};
+pub use galois_runtime::probe::{Probe, RoundLog, RoundRecord};
 pub use marks::{LockId, MarkTable};
 pub use ops::Operator;
 pub use window::WindowPolicy;

@@ -44,6 +44,7 @@ where
             allow_stash: false,
             stats: &mut stats,
             recorder: cfg.record_access.then_some(&mut accesses),
+            conflicts: None,
             past_failsafe: false,
         };
         op.run(&task, &mut ctx)
@@ -65,6 +66,7 @@ where
             .record_trace
             .then_some(ExecTrace::Sequential { total_ns }),
         accesses: cfg.record_access.then(|| vec![accesses]),
+        round_log: None,
     }
 }
 
@@ -91,7 +93,8 @@ mod tests {
         let marks = MarkTable::new(1);
         let report = Executor::new()
             .schedule(Schedule::Serial)
-            .run(&marks, vec![0], &op);
+            .iterate(vec![0])
+            .run(&marks, &op);
         assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4, 5, 6]);
         assert_eq!(report.stats.committed, 7);
         assert_eq!(report.stats.aborted, 0);
@@ -109,7 +112,8 @@ mod tests {
         let report = Executor::new()
             .schedule(Schedule::Serial)
             .record_trace(true)
-            .run(&marks, vec![1, 2, 3], &op);
+            .iterate(vec![1, 2, 3])
+            .run(&marks, &op);
         match report.trace {
             Some(galois_runtime::simtime::ExecTrace::Sequential { total_ns }) => {
                 assert!(total_ns >= 0.0);

@@ -6,18 +6,44 @@
 //! (releasing marks and re-enqueueing the task). Because operators are
 //! cautious, rollback never has to undo shared-state writes — this is the
 //! lightweight dining-philosophers synchronization of §2.1.
+//!
+//! # Probe epochs
+//!
+//! The speculative executor has no rounds, so when a probe is attached each
+//! worker chops its *own* attempt stream into fixed-size **epochs** of
+//! [`SPEC_EPOCH_QUANTUM`] attempts, accumulated thread-locally (no hot-path
+//! synchronization) and merged per epoch index after the parallel section.
+//! The resulting [`RoundRecord`]s have the same shape as deterministic
+//! rounds — `window` is the epoch quantum, `commit_ns` the epoch's
+//! wall-clock — so det-vs-spec runs are directly comparable, but unlike
+//! deterministic rounds they are **not** canonical: thread interleaving is
+//! real nondeterminism here.
 
 use crate::ctx::{Access, Ctx, Mode};
 use crate::executor::WorklistPolicy;
-use crate::executor::{Executor, RunReport};
+use crate::executor::{Executor, ProbeHub, RunReport};
 use crate::marks::MarkTable;
 use crate::ops::Operator;
 use galois_runtime::pool::run_on_threads;
+use galois_runtime::probe::{attribute_conflicts, RoundRecord};
 use galois_runtime::simtime::ExecTrace;
 use galois_runtime::stats::{ExecStats, ThreadStats};
 use galois_runtime::worklist::{ChunkedBag, ChunkedFifo, Terminator};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Attempts per speculative probe epoch.
+pub(crate) const SPEC_EPOCH_QUANTUM: u64 = 1024;
+
+/// One worker-local epoch of attempts (probe bookkeeping only).
+#[derive(Default)]
+struct EpochAcc {
+    attempted: u64,
+    committed: u64,
+    failed: u64,
+    conflicts: Vec<u32>,
+    elapsed_ns: f64,
+}
 
 /// Static dispatch over the two worklist policies.
 enum AnyBag<T> {
@@ -41,12 +67,21 @@ impl<T: Send> AnyBag<T> {
     }
 }
 
-pub(crate) fn run<T, O>(cfg: &Executor, marks: &MarkTable, tasks: Vec<T>, op: &O) -> RunReport
+pub(crate) fn run<T, O>(
+    cfg: &Executor,
+    marks: &MarkTable,
+    tasks: Vec<T>,
+    op: &O,
+    hub: &mut ProbeHub<'_>,
+) -> RunReport
 where
     T: Send,
     O: Operator<T>,
 {
     let threads = cfg.threads;
+    let probing = hub.active();
+    let collect_conflicts = probing && hub.wants_conflicts();
+    let time_epochs = probing && hub.wants_timing();
     let start = Instant::now();
     let bag: AnyBag<T> = match cfg.worklist {
         WorklistPolicy::Lifo => AnyBag::Lifo(ChunkedBag::new(threads)),
@@ -58,7 +93,8 @@ where
         bag.push(i % threads, t);
     }
 
-    let collected: Mutex<Vec<(ThreadStats, Vec<Access>)>> = Mutex::new(Vec::new());
+    type Collected = (ThreadStats, Vec<Access>, Vec<EpochAcc>);
+    let collected: Mutex<Vec<Collected>> = Mutex::new(Vec::new());
 
     run_on_threads(threads, |tid| {
         let mut stats = ThreadStats::default();
@@ -66,6 +102,11 @@ where
         let mut neighborhood: Vec<crate::marks::LockId> = Vec::new();
         let mut pushes: Vec<T> = Vec::new();
         let mut stash = None;
+        // Probe epoch bookkeeping (inert unless a probe is attached).
+        let mut epochs: Vec<EpochAcc> = Vec::new();
+        let mut acc = EpochAcc::default();
+        let mut epoch_conflicts: Vec<u32> = Vec::new();
+        let mut epoch_t0: Option<Instant> = None;
         // Per-attempt unique ids: (tid+1) above bit 32, counter below. Ids
         // need only be unique and nonzero for the CAS protocol (§2.1), but
         // they must fit the mark word's 40-bit id field so the epoch tag in
@@ -109,6 +150,7 @@ where
                     allow_stash: false,
                     stats: &mut stats,
                     recorder: cfg.record_access.then_some(&mut accesses),
+                    conflicts: collect_conflicts.then_some(&mut epoch_conflicts),
                     past_failsafe: false,
                 };
                 let r = op.run(&task, &mut ctx);
@@ -125,6 +167,25 @@ where
                 marks.release(loc, mark_value);
             }
             stats.mark_releases += neighborhood.len() as u64;
+            if probing {
+                if acc.attempted == 0 {
+                    epoch_t0 = time_epochs.then(Instant::now);
+                }
+                acc.attempted += 1;
+                if result.is_ok() {
+                    acc.committed += 1;
+                } else {
+                    acc.failed += 1;
+                }
+                if acc.attempted == SPEC_EPOCH_QUANTUM {
+                    acc.conflicts = std::mem::take(&mut epoch_conflicts);
+                    acc.elapsed_ns = epoch_t0
+                        .take()
+                        .map(|t| t.elapsed().as_nanos() as f64)
+                        .unwrap_or(0.0);
+                    epochs.push(std::mem::take(&mut acc));
+                }
+            }
             match result {
                 Ok(()) => {
                     stats.committed += 1;
@@ -145,14 +206,58 @@ where
                 }
             }
         }
-        collected.lock().unwrap().push((stats, accesses));
+        if probing && acc.attempted > 0 {
+            acc.conflicts = std::mem::take(&mut epoch_conflicts);
+            acc.elapsed_ns = epoch_t0
+                .take()
+                .map(|t| t.elapsed().as_nanos() as f64)
+                .unwrap_or(0.0);
+            epochs.push(std::mem::take(&mut acc));
+        }
+        collected.lock().unwrap().push((stats, accesses, epochs));
     });
 
     let elapsed = start.elapsed();
-    let per_thread = collected.into_inner().unwrap();
-    let mut agg = ExecStats::from_threads(per_thread.iter().map(|(s, _)| s));
+    let mut per_thread = collected.into_inner().unwrap();
+    let mut agg = ExecStats::from_threads(per_thread.iter().map(|(s, _, _)| s));
     agg.elapsed = elapsed;
     agg.threads = threads;
+
+    if probing {
+        // Merge per-thread epochs by epoch index. Sums and conflict counts
+        // are commutative, so the (nondeterministic) thread collection order
+        // does not matter; the epochs themselves still reflect real
+        // speculative nondeterminism.
+        let top_k = hub.conflict_top_k();
+        let mut merged: Vec<EpochAcc> = Vec::new();
+        for (_, _, epochs) in per_thread.iter_mut() {
+            for (e, acc) in epochs.iter_mut().enumerate() {
+                if merged.len() <= e {
+                    merged.push(EpochAcc::default());
+                }
+                let m = &mut merged[e];
+                m.attempted += acc.attempted;
+                m.committed += acc.committed;
+                m.failed += acc.failed;
+                m.elapsed_ns += acc.elapsed_ns;
+                m.conflicts.append(&mut acc.conflicts);
+            }
+        }
+        for (e, mut m) in merged.into_iter().enumerate() {
+            let conflicts = attribute_conflicts(&mut m.conflicts, top_k);
+            hub.on_round(RoundRecord {
+                round: e as u64,
+                window: SPEC_EPOCH_QUANTUM,
+                attempted: m.attempted,
+                committed: m.committed,
+                failed: m.failed,
+                conflicts,
+                inspect_ns: 0.0,
+                commit_ns: m.elapsed_ns,
+                serial_ns: 0.0,
+            });
+        }
+    }
 
     let trace = cfg.record_trace.then(|| {
         // Aggregate timing: per-task Instant pairs would add tens of
@@ -169,7 +274,7 @@ where
     });
     let accesses = cfg
         .record_access
-        .then(|| per_thread.into_iter().map(|(_, a)| a).collect());
+        .then(|| per_thread.into_iter().map(|(_, a, _)| a).collect());
 
     debug_assert!(
         marks.all_unowned(),
@@ -179,6 +284,7 @@ where
         stats: agg,
         trace,
         accesses,
+        round_log: None,
     }
 }
 
@@ -214,7 +320,8 @@ mod tests {
             let report = Executor::new()
                 .threads(threads)
                 .schedule(Schedule::Speculative)
-                .run(&marks, (0..1000u64).collect(), &op);
+                .iterate((0..1000u64).collect())
+                .run(&marks, &op);
             assert_eq!(report.stats.committed, 1000, "threads={threads}");
             let total: u64 = buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
             assert_eq!(total, (0..1000u64).sum::<u64>(), "threads={threads}");
@@ -236,7 +343,8 @@ mod tests {
         let report = Executor::new()
             .threads(2)
             .schedule(Schedule::Speculative)
-            .run(&marks, vec![100], &op);
+            .iterate(vec![100])
+            .run(&marks, &op);
         assert_eq!(report.stats.committed, 101);
     }
 
@@ -255,7 +363,8 @@ mod tests {
         let report = Executor::new()
             .threads(4)
             .schedule(Schedule::Speculative)
-            .run(&marks, (0..200u64).collect(), &op);
+            .iterate((0..200u64).collect())
+            .run(&marks, &op);
         assert_eq!(report.stats.committed, 200);
         assert_eq!(counter.load(Ordering::Relaxed), 200);
         // Atomic updates include one CAS per acquire attempt.
@@ -270,7 +379,8 @@ mod tests {
             .threads(1)
             .schedule(Schedule::Speculative)
             .record_trace(true)
-            .run(&marks, (0..50u64).collect(), &op);
+            .iterate((0..50u64).collect())
+            .run(&marks, &op);
         match report.trace {
             Some(galois_runtime::simtime::ExecTrace::Async {
                 task_ns,

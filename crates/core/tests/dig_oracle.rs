@@ -124,7 +124,8 @@ fn real(tasks: &[u64], threads: usize) -> Vec<Vec<u64>> {
     Executor::new()
         .threads(threads)
         .schedule(Schedule::deterministic())
-        .run(&marks, tasks.to_vec(), &op);
+        .iterate(tasks.to_vec())
+        .run(&marks, &op);
     logs.into_iter().map(|m| m.into_inner().unwrap()).collect()
 }
 

@@ -44,7 +44,8 @@ fn run_det(tasks: &[u64], threads: usize) -> (Vec<Vec<u64>>, RunReport) {
         .threads(threads)
         .schedule(Schedule::deterministic())
         .record_trace(true)
-        .run(&marks, tasks.to_vec(), &op);
+        .iterate(tasks.to_vec())
+        .run(&marks, &op);
     assert!(marks.all_unowned(), "threads={threads} left marks owned");
     (
         logs.into_iter().map(|m| m.into_inner().unwrap()).collect(),
@@ -110,7 +111,8 @@ fn speculative_runs_still_count_their_release_cases() {
     let report = Executor::new()
         .threads(2)
         .schedule(Schedule::Speculative)
-        .run(&marks, (0..300u64).collect(), &op);
+        .iterate((0..300u64).collect())
+        .run(&marks, &op);
     assert_eq!(report.stats.committed, 300);
     assert!(
         report.stats.mark_releases >= 300,
@@ -138,15 +140,15 @@ fn on_demand_schedulers_share_one_mark_table() {
         .schedule(Schedule::deterministic());
     let spec = Executor::new().threads(4).schedule(Schedule::Speculative);
 
-    let r1 = det.run(&marks, (0..100u64).collect(), &op);
+    let r1 = det.iterate((0..100u64).collect()).run(&marks, &op);
     assert_eq!(r1.stats.committed, 100);
     assert!(marks.all_unowned());
 
-    let r2 = spec.run(&marks, (100..200u64).collect(), &op);
+    let r2 = spec.iterate((100..200u64).collect()).run(&marks, &op);
     assert_eq!(r2.stats.committed, 100);
     assert!(marks.all_unowned());
 
-    let r3 = det.run(&marks, (200..300u64).collect(), &op);
+    let r3 = det.iterate((200..300u64).collect()).run(&marks, &op);
     assert_eq!(r3.stats.committed, 100);
     assert!(marks.all_unowned());
 
@@ -172,7 +174,9 @@ fn dedup_dropped_surfaces_preassigned_id_collisions() {
     let report = Executor::new()
         .threads(2)
         .schedule(Schedule::deterministic())
-        .run_with_ids(&marks, tasks, &op, |t| *t, 32);
+        .iterate(tasks)
+        .with_ids(|t| *t, 32)
+        .run(&marks, &op);
     assert_eq!(report.stats.committed, 32);
     assert_eq!(report.stats.dedup_dropped, 16, "dropped tasks are counted");
 
@@ -181,7 +185,9 @@ fn dedup_dropped_surfaces_preassigned_id_collisions() {
     let report = Executor::new()
         .threads(2)
         .schedule(Schedule::deterministic())
-        .run_with_ids(&marks, (0..32u64).collect(), &op, |t| *t, 32);
+        .iterate((0..32u64).collect())
+        .with_ids(|t| *t, 32)
+        .run(&marks, &op);
     assert_eq!(report.stats.committed, 32);
     assert_eq!(report.stats.dedup_dropped, 0);
 
@@ -192,7 +198,8 @@ fn dedup_dropped_surfaces_preassigned_id_collisions() {
     let report = Executor::new()
         .threads(2)
         .schedule(Schedule::deterministic())
-        .run(&marks, tasks, &op);
+        .iterate(tasks)
+        .run(&marks, &op);
     assert_eq!(report.stats.committed, 48);
     assert_eq!(report.stats.dedup_dropped, 0);
 }

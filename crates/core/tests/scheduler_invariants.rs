@@ -33,7 +33,8 @@ fn det_inspected_equals_attempts_and_marks_end_clean() {
     let report = Executor::new()
         .threads(3)
         .schedule(Schedule::deterministic())
-        .run(&marks, tasks, &op);
+        .iterate(tasks)
+        .run(&marks, &op);
     // Every attempted task is inspected exactly once per round it appears in.
     assert_eq!(
         report.stats.inspected,
@@ -54,7 +55,8 @@ fn spec_commits_initial_plus_children() {
     let report = Executor::new()
         .threads(4)
         .schedule(Schedule::Speculative)
-        .run(&marks, tasks, &op);
+        .iterate(tasks)
+        .run(&marks, &op);
     assert_eq!(report.stats.committed, 2 * locs + locs / 2);
     assert!(marks.all_unowned());
 }
@@ -75,7 +77,8 @@ fn all_schedules_compute_the_same_commutative_sum() {
         Executor::new()
             .threads(2)
             .schedule(schedule)
-            .run(&marks, tasks.clone(), &op);
+            .iterate(tasks.clone())
+            .run(&marks, &op);
         sums.push(sum.load(Ordering::Relaxed));
     }
     assert_eq!(sums[0], sums[1]);
@@ -98,7 +101,8 @@ fn every_round_commits_at_least_one_task() {
     let report = Executor::new()
         .threads(2)
         .schedule(Schedule::deterministic())
-        .run(&marks, (0..n).collect(), &op);
+        .iterate((0..n).collect())
+        .run(&marks, &op);
     assert_eq!(report.stats.committed, n);
     assert!(report.stats.rounds <= n, "progress guarantee");
 }
@@ -122,7 +126,8 @@ fn tiny_window_policy_still_terminates_with_same_output() {
                 window: policy,
                 ..Default::default()
             }))
-            .run(&marks, (0..200u64).collect(), &op);
+            .iterate((0..200u64).collect())
+            .run(&marks, &op);
         (
             count.load(Ordering::Relaxed),
             report.stats.committed,
@@ -169,7 +174,9 @@ fn preassigned_ids_give_node_order_priority() {
             },
             ..Default::default()
         }))
-        .run_with_ids(&marks, (0..20u64).collect(), &op, |t| *t, 20);
+        .iterate((0..20u64).collect())
+        .with_ids(|t| *t, 20)
+        .run(&marks, &op);
     assert_eq!(report.stats.committed, 20);
     let order = log.into_inner().unwrap();
     assert_eq!(
@@ -197,7 +204,8 @@ fn worklist_policy_does_not_change_speculative_totals() {
             .threads(3)
             .schedule(Schedule::Speculative)
             .worklist(policy)
-            .run(&marks, (0..100u64).collect(), &op);
+            .iterate((0..100u64).collect())
+            .run(&marks, &op);
         assert_eq!(report.stats.committed, 200, "{policy:?}");
         assert_eq!(count.load(Ordering::Relaxed), 200);
     }
@@ -229,7 +237,8 @@ fn nested_generations_keep_deterministic_order() {
         Executor::new()
             .threads(threads)
             .schedule(Schedule::deterministic())
-            .run(&marks, (0..20u64).collect(), &op);
+            .iterate((0..20u64).collect())
+            .run(&marks, &op);
         logs.into_iter()
             .map(|l| l.into_inner().unwrap())
             .collect::<Vec<_>>()
@@ -253,7 +262,8 @@ fn trace_and_access_recording_compose() {
         .schedule(Schedule::deterministic())
         .record_trace(true)
         .record_access(true)
-        .run(&marks, (0..64u64).collect(), &op);
+        .iterate((0..64u64).collect())
+        .run(&marks, &op);
     assert!(report.trace.is_some());
     let accesses = report.accesses.unwrap();
     assert_eq!(accesses.len(), 2, "one stream per thread");

@@ -9,6 +9,9 @@
 //! - [`worklist`]: concurrent chunked work bags with per-thread locality.
 //! - [`padded`]: cache-line padded cells and per-thread counter arrays.
 //! - [`stats`]: mergeable per-thread execution statistics.
+//! - [`probe`]: round-level observability — the [`Probe`] trait and the
+//!   [`RoundLog`] recorder whose canonical serialization doubles as a
+//!   portability oracle for deterministic runs.
 //! - [`sort`]: a parallel stable merge sort used for deterministic task-id
 //!   assignment.
 //! - [`simtime`]: a virtual-time scheduling model that replays recorded task
@@ -35,6 +38,7 @@
 pub mod barrier;
 pub mod padded;
 pub mod pool;
+pub mod probe;
 pub mod shared;
 pub mod simtime;
 pub mod sort;
@@ -43,4 +47,5 @@ pub mod worklist;
 
 pub use barrier::SenseBarrier;
 pub use pool::run_on_threads;
+pub use probe::{Probe, RoundLog, RoundRecord};
 pub use stats::ExecStats;

@@ -130,12 +130,17 @@ impl std::fmt::Display for ExecStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "committed={} aborted={} (ratio {:.4}) atomics={} rounds={} threads={} elapsed={:?}",
+            "committed={} aborted={} (ratio {:.4}) atomics={} rounds={} \
+             mark_releases={} releases_avoided={} dedup_dropped={} \
+             threads={} elapsed={:?}",
             self.committed,
             self.aborted,
             self.abort_ratio(),
             self.atomic_updates,
             self.rounds,
+            self.mark_releases,
+            self.releases_avoided,
+            self.dedup_dropped,
             self.threads,
             self.elapsed,
         )
@@ -225,8 +230,17 @@ mod tests {
     }
 
     #[test]
-    fn display_is_nonempty() {
-        let s = ExecStats::default();
-        assert!(s.to_string().contains("committed=0"));
+    fn display_reports_every_counter() {
+        let s = ExecStats {
+            mark_releases: 7,
+            releases_avoided: 11,
+            dedup_dropped: 3,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("committed=0"));
+        assert!(text.contains("mark_releases=7"));
+        assert!(text.contains("releases_avoided=11"));
+        assert!(text.contains("dedup_dropped=3"));
     }
 }

@@ -12,22 +12,29 @@
 //!   identical checksum, so a failing outcome reproduces under a debugger
 //!   and can be bisected.
 //!
+//! The deterministic runs also attach a [`RoundLog`] probe: its canonical
+//! serialization records exactly what the scheduler did each round (window,
+//! commits, which locations caused aborts), and because it is byte-identical
+//! across thread counts it doubles as a *portability oracle* — the first
+//! differing line between two logs names the round where behavior diverged.
+//!
 //! ```text
 //! cargo run --release --example determinism_debugging
 //! ```
 
-use deterministic_galois::core::{Ctx, Executor, MarkTable, OpResult, Schedule};
+use deterministic_galois::core::{Ctx, Executor, MarkTable, OpResult, RoundLog, Schedule};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const CELLS: usize = 16;
 const TASKS: u64 = 20_000;
 
-/// Runs the order-sensitive workload and returns its checksum. The operator
-/// is properly cautious (it acquires everything it touches); its *output*
-/// is still schedule-dependent because the per-cell update does not
-/// commute — exactly the kind of program the paper's scheduler makes
-/// reproducible on demand.
-fn run(schedule: Schedule, threads: usize) -> u64 {
+/// Runs the order-sensitive workload and returns its checksum plus the
+/// round log's canonical serialization. The operator is properly cautious
+/// (it acquires everything it touches); its *output* is still
+/// schedule-dependent because the per-cell update does not commute —
+/// exactly the kind of program the paper's scheduler makes reproducible on
+/// demand.
+fn run(schedule: Schedule, threads: usize) -> (u64, String) {
     let cells: Vec<AtomicU64> = (0..CELLS).map(|_| AtomicU64::new(0)).collect();
     let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
         let c = (*t % CELLS as u64) as u32;
@@ -40,13 +47,17 @@ fn run(schedule: Schedule, threads: usize) -> u64 {
         Ok(())
     };
     let marks = MarkTable::new(CELLS);
+    let mut log = RoundLog::new();
     Executor::new()
         .threads(threads)
         .schedule(schedule)
-        .run(&marks, (0..TASKS).collect(), &op);
-    cells.iter().fold(0u64, |acc, c| {
+        .iterate((0..TASKS).collect())
+        .probe(&mut log)
+        .run(&marks, &op);
+    let checksum = cells.iter().fold(0u64, |acc, c| {
         acc.rotate_left(7) ^ c.load(Ordering::Relaxed)
-    })
+    });
+    (checksum, log.canonical_jsonl())
 }
 
 fn main() {
@@ -55,7 +66,7 @@ fn main() {
     println!("speculative executor, 4 threads, five runs:");
     let mut spec = Vec::new();
     for i in 0..5 {
-        let sum = run(Schedule::Speculative, 4);
+        let (sum, _) = run(Schedule::Speculative, 4);
         println!("  run {i}: checksum {sum:#018x}");
         spec.push(sum);
     }
@@ -65,21 +76,38 @@ fn main() {
     println!("deterministic executor, five runs across thread counts:");
     let mut det = Vec::new();
     for (i, threads) in [1usize, 2, 4, 3, 4].into_iter().enumerate() {
-        let sum = run(Schedule::deterministic(), threads);
+        let (sum, log) = run(Schedule::deterministic(), threads);
         println!("  run {i} ({threads} threads): checksum {sum:#018x}");
-        det.push(sum);
+        det.push((sum, log));
     }
     assert!(
-        det.windows(2).all(|w| w[0] == w[1]),
+        det.windows(2).all(|w| w[0].0 == w[1].0),
         "deterministic runs must agree"
     );
     println!("  stable: true (guaranteed)\n");
+
+    // The round log is the schedule, serialized: byte-identical across
+    // thread counts. Diffing two logs pinpoints the first divergent round —
+    // here there is none, by construction.
+    let (_, reference_log) = &det[0];
+    assert!(
+        det.iter().all(|(_, log)| log == reference_log),
+        "canonical round logs must be byte-identical across thread counts"
+    );
+    let rounds = reference_log.lines().count();
+    println!("round log: {rounds} rounds, byte-identical at 1/2/3/4 threads;");
+    if let Some(first) = reference_log.lines().next() {
+        println!("first round record: {first}\n");
+    }
 
     println!(
         "under DIG scheduling the order-sensitive program repeats exactly at\n\
          any thread count, so a bad outcome reproduces on every run and under\n\
          a debugger — the paper's case for on-demand determinism during\n\
-         development. Flip the schedule back to Speculative for production\n\
-         speed once the bug is fixed."
+         development. The round log turns that into a diffable artifact:\n\
+         compare logs from two machines to find the exact round (and the\n\
+         exact conflicting locations) where behavior diverged. Flip the\n\
+         schedule back to Speculative for production speed once the bug is\n\
+         fixed."
     );
 }

@@ -25,11 +25,11 @@ fn run(schedule: Schedule, threads: usize) -> Vec<u64> {
         Ok(())
     };
     let marks = MarkTable::new(BUCKETS);
-    let report =
-        Executor::new()
-            .threads(threads)
-            .schedule(schedule)
-            .run(&marks, (0..TASKS).collect(), &op);
+    let report = Executor::new()
+        .threads(threads)
+        .schedule(schedule)
+        .iterate((0..TASKS).collect())
+        .run(&marks, &op);
     assert_eq!(report.stats.committed, TASKS);
     regs.into_iter().map(|m| m.into_inner().unwrap()).collect()
 }

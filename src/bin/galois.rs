@@ -6,12 +6,20 @@
 //!
 //! ```text
 //! galois <app> [--variant seq|g-n|g-d|pbbs] [--threads N] [--size N] [--seed N] [--verify]
+//!        [--round-log FILE]
 //!
 //! apps: bfs, mis, dt, dmr, pfp
 //! ```
+//!
+//! `--round-log FILE` (executor variants only) writes the per-round schedule
+//! log as canonical JSONL: for `g-d` the file is byte-identical at any
+//! thread count, so two runs can be diffed to find the first divergent
+//! round.
 
 use deterministic_galois::apps::{bfs, dmr, dt, mis, mm, pfp};
-use deterministic_galois::core::{DetOptions, Executor, Schedule, WorklistPolicy};
+use deterministic_galois::core::{
+    DetOptions, Executor, RoundLog, RunReport, Schedule, WorklistPolicy,
+};
 use deterministic_galois::geometry::point::random_points;
 use deterministic_galois::graph::{gen, FlowNetwork};
 use deterministic_galois::mesh::check;
@@ -25,12 +33,13 @@ struct Args {
     size: usize,
     seed: u64,
     verify: bool,
+    round_log: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: galois <bfs|mis|mm|dt|dmr|pfp> [--variant seq|g-n|g-d|pbbs] \
-         [--threads N] [--size N] [--seed N] [--verify]"
+         [--threads N] [--size N] [--seed N] [--verify] [--round-log FILE]"
     );
     exit(2);
 }
@@ -43,6 +52,7 @@ fn parse_args() -> Args {
         size: 0,
         seed: 42,
         verify: false,
+        round_log: None,
     };
     let mut it = std::env::args().skip(1);
     let Some(app) = it.next() else { usage() };
@@ -58,6 +68,7 @@ fn parse_args() -> Args {
             "--size" => val(&mut |v| args.size = v.parse().unwrap_or_else(|_| usage())),
             "--seed" => val(&mut |v| args.seed = v.parse().unwrap_or_else(|_| usage())),
             "--verify" => args.verify = true,
+            "--round-log" => val(&mut |v| args.round_log = Some(v)),
             _ => usage(),
         }
     }
@@ -85,10 +96,45 @@ fn executor(args: &Args, spread: usize, fifo: bool) -> Executor {
         } else {
             WorklistPolicy::Lifo
         })
+        .record_rounds(args.round_log.is_some())
+}
+
+/// Extracts a run's round log (if `--round-log` asked for one) and returns
+/// the stats line to print.
+fn finish_report(args: &Args, report: &mut RunReport) -> String {
+    if args.round_log.is_some() {
+        write_round_log(args, report.take_round_log().into_iter().collect());
+    }
+    report.stats.to_string()
+}
+
+/// Writes the canonical JSONL round log, renumbering rounds across
+/// multi-pass runs (pfp bouts) into one monotone sequence.
+fn write_round_log(args: &Args, logs: Vec<RoundLog>) {
+    let Some(path) = &args.round_log else { return };
+    let mut out = String::new();
+    let mut next = 0u64;
+    for log in logs {
+        for mut rec in log.into_records() {
+            rec.round = next;
+            next += 1;
+            out.push_str(&rec.canonical_json());
+            out.push('\n');
+        }
+    }
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("cannot write round log {path}: {e}");
+        exit(1);
+    }
+    println!("round log: {next} rounds -> {path}");
 }
 
 fn main() {
     let args = parse_args();
+    if args.round_log.is_some() && !matches!(args.variant.as_str(), "g-d" | "g-n") {
+        eprintln!("--round-log requires an executor variant (g-d or g-n)");
+        exit(2);
+    }
     let t0 = std::time::Instant::now();
     match args.app.as_str() {
         "bfs" => {
@@ -105,8 +151,9 @@ fn main() {
                 }
                 _ => {
                     let exec = executor(&args, 1, true);
-                    let (d, r) = bfs::galois(&g, 0, &exec);
-                    (d, r.stats.to_string())
+                    let (d, mut r) = bfs::galois(&g, 0, &exec);
+                    let stats = finish_report(&args, &mut r);
+                    (d, stats)
                 }
             };
             println!("done in {:?} ({stats})", t0.elapsed());
@@ -126,8 +173,9 @@ fn main() {
                 }
                 _ => {
                     let exec = executor(&args, 1, false);
-                    let (f, r) = mis::galois(&g, &exec);
-                    (f, r.stats.to_string())
+                    let (f, mut r) = mis::galois(&g, &exec);
+                    let stats = finish_report(&args, &mut r);
+                    (f, stats)
                 }
             };
             let in_count = flags.iter().filter(|&&f| f == mis::state::IN).count();
@@ -149,8 +197,9 @@ fn main() {
                 "seq" => (dt::seq(&pts, args.seed), "sequential".to_string()),
                 _ => {
                     let exec = executor(&args, 16, false);
-                    let (m, r) = dt::galois(&pts, args.seed, &exec);
-                    (m, r.stats.to_string())
+                    let (m, mut r) = dt::galois(&pts, args.seed, &exec);
+                    let stats = finish_report(&args, &mut r);
+                    (m, stats)
                 }
             };
             println!(
@@ -176,8 +225,8 @@ fn main() {
                 }
                 _ => {
                     let exec = executor(&args, 16, false);
-                    let r = dmr::galois(&mesh, &exec);
-                    r.stats.to_string()
+                    let mut r = dmr::galois(&mesh, &exec);
+                    finish_report(&args, &mut r)
                 }
             };
             let after = check::quality(&mesh);
@@ -208,8 +257,9 @@ fn main() {
                 }
                 _ => {
                     let exec = executor(&args, 1, false);
-                    let (m, r) = mm::galois(&g, &exec);
-                    (m, r.stats.to_string())
+                    let (m, mut r) = mm::galois(&g, &exec);
+                    let stats = finish_report(&args, &mut r);
+                    (m, stats)
                 }
             };
             let matched = mate.iter().filter(|&&m| m != mm::UNMATCHED).count() / 2;
@@ -234,7 +284,15 @@ fn main() {
                 }
                 _ => {
                     let exec = executor(&args, 1, true);
-                    let (f, r) = pfp::galois(&net, &exec);
+                    let (f, mut r) = pfp::galois(&net, &exec);
+                    if args.round_log.is_some() {
+                        let logs = r
+                            .reports
+                            .iter_mut()
+                            .filter_map(|b| b.take_round_log())
+                            .collect();
+                        write_round_log(&args, logs);
+                    }
                     (f, format!("bouts={} {}", r.bouts, r.stats))
                 }
             };

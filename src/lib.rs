@@ -37,7 +37,8 @@
 //! let report = Executor::new()
 //!     .threads(2)
 //!     .schedule(Schedule::deterministic())
-//!     .run(&marks, (0..1000).collect(), &op);
+//!     .iterate((0..1000).collect())
+//!     .run(&marks, &op);
 //! assert_eq!(report.stats.committed, 1000);
 //! ```
 //!

@@ -159,7 +159,8 @@ proptest! {
             let report = Executor::new()
                 .threads(threads)
                 .schedule(schedule)
-                .run(&marks, tasks.clone(), &op);
+                .iterate(tasks.clone())
+                .run(&marks, &op);
             let v: Vec<u64> = sums.iter().map(|s| s.load(Ordering::Relaxed)).collect();
             (v, report.stats.committed)
         };
@@ -195,7 +196,8 @@ proptest! {
             Executor::new()
                 .threads(threads)
                 .schedule(Schedule::deterministic())
-                .run(&marks, tasks.clone(), &op);
+                .iterate(tasks.clone())
+                .run(&marks, &op);
             log.into_iter().map(|m| m.into_inner().unwrap()).collect::<Vec<_>>()
         };
         prop_assert_eq!(run(1), run(3));
