@@ -42,6 +42,10 @@ pub enum Abort {
     /// The inspect phase reached the failsafe point; the neighborhood is now
     /// known and execution stops by design (deterministic mode).
     Inspected,
+    /// A chaos policy forced a spurious abort at the failsafe point (test
+    /// machinery; never produced without a
+    /// [`ChaosPolicy`](galois_runtime::chaos::ChaosPolicy) installed).
+    Injected,
 }
 
 impl std::fmt::Display for Abort {
@@ -49,6 +53,7 @@ impl std::fmt::Display for Abort {
         match self {
             Abort::Conflict => write!(f, "task aborted: neighborhood conflict"),
             Abort::Inspected => write!(f, "task paused at failsafe point (inspect phase)"),
+            Abort::Injected => write!(f, "task aborted: chaos-injected spurious abort"),
         }
     }
 }
@@ -104,6 +109,14 @@ pub struct Ctx<'a, T> {
     /// Set once `failsafe`/`checkpoint` has been crossed; used to detect
     /// operators that violate the cautious contract.
     pub(crate) past_failsafe: bool,
+    /// Chaos hook: when set, the first `failsafe`/`checkpoint` crossing
+    /// returns [`Abort::Injected`] instead of proceeding. By the cautious
+    /// contract no shared state has been written at that point, so the forced
+    /// abort is a free rollback — exactly like a real conflict, minus the
+    /// conflict. Executors arm this per attempt from their
+    /// [`ChaosPolicy`](galois_runtime::chaos::ChaosPolicy); it is never set
+    /// in serial or inspect invocations (inspect must mark deterministically).
+    pub(crate) inject_abort: bool,
 }
 
 impl<T> std::fmt::Debug for Ctx<'_, T> {
@@ -204,13 +217,21 @@ impl<'a, T> Ctx<'a, T> {
     ///
     /// Returns [`Abort::Inspected`] in the deterministic inspect phase, which
     /// ends the invocation — by the cautious contract no shared state has
-    /// been written yet, so stopping here is a free rollback.
+    /// been written yet, so stopping here is a free rollback. Returns
+    /// [`Abort::Injected`] when a chaos policy armed this invocation.
     #[inline]
     pub fn failsafe(&mut self) -> OpResult {
         self.past_failsafe = true;
         match self.mode {
             Mode::Inspect => Err(Abort::Inspected),
-            _ => Ok(()),
+            _ => {
+                if self.inject_abort {
+                    self.inject_abort = false;
+                    self.stats.injected_aborts += 1;
+                    return Err(Abort::Injected);
+                }
+                Ok(())
+            }
         }
     }
 
@@ -244,6 +265,10 @@ impl<'a, T> Ctx<'a, T> {
                 *self.stash = Some(Box::new(v));
             }
             Err(Abort::Inspected)
+        } else if self.inject_abort {
+            self.inject_abort = false;
+            self.stats.injected_aborts += 1;
+            Err(Abort::Injected)
         } else {
             Ok(v)
         }
@@ -349,7 +374,56 @@ mod tests {
             recorder: None,
             conflicts: None,
             past_failsafe: false,
+            inject_abort: false,
         }
+    }
+
+    #[test]
+    fn injected_abort_fires_once_and_counts_separately() {
+        let marks = MarkTable::new(2);
+        let mut stats = ThreadStats::default();
+        let (mut nb, mut ps, mut st) = (vec![], vec![], None);
+        let mut ctx = Ctx {
+            inject_abort: true,
+            ..fresh(
+                Mode::Speculative,
+                1,
+                &marks,
+                &mut nb,
+                &mut ps,
+                None,
+                &mut st,
+                &mut stats,
+            )
+        };
+        assert_eq!(ctx.acquire(LockId(0)), Ok(()), "acquires are untouched");
+        assert_eq!(ctx.failsafe(), Err(Abort::Injected));
+        assert_eq!(ctx.failsafe(), Ok(()), "the armed abort fires only once");
+        assert_eq!(stats.injected_aborts, 1);
+        assert_eq!(stats.aborted, 0, "injected aborts are not real conflicts");
+    }
+
+    #[test]
+    fn injected_abort_fires_at_checkpoint_too() {
+        let marks = MarkTable::new(1);
+        let mut stats = ThreadStats::default();
+        let (mut nb, mut ps, mut st) = (vec![], vec![], None);
+        let mut ctx = Ctx {
+            inject_abort: true,
+            ..fresh(
+                Mode::Commit,
+                1,
+                &marks,
+                &mut nb,
+                &mut ps,
+                None,
+                &mut st,
+                &mut stats,
+            )
+        };
+        assert_eq!(ctx.checkpoint(5u8).unwrap_err(), Abort::Injected);
+        assert_eq!(ctx.checkpoint(5u8), Ok(5));
+        assert_eq!(stats.injected_aborts, 1);
     }
 
     #[test]

@@ -55,7 +55,7 @@ use crate::marks::{LockId, MarkTable};
 use crate::ops::Operator;
 use crate::task::{assign_ids, spread_for_locality, PendingItem, WorkItem};
 use crate::window::AdaptiveWindow;
-use galois_runtime::pool::{chunk_range, run_on_threads};
+use galois_runtime::pool::{chunk_range, run_on_threads_chaos};
 use galois_runtime::probe::{attribute_conflicts, RoundRecord};
 use galois_runtime::simtime::{ExecTrace, PhaseTrace, RoundTrace};
 use galois_runtime::stats::{ExecStats, ThreadStats};
@@ -276,7 +276,7 @@ where
         time_phases,
         conflict_top_k,
     };
-    let barrier = SenseBarrier::new(threads);
+    let barrier = SenseBarrier::with_chaos(threads, cfg.chaos.clone());
     let initial_cell: Mutex<Option<Vec<WorkItem<T>>>> = Mutex::new(Some(initial));
     let collected: Mutex<Vec<(ThreadStats, Vec<Access>)>> = Mutex::new(Vec::new());
     let leader_out: Mutex<Option<(u64, Vec<RoundTrace>)>> = Mutex::new(None);
@@ -285,7 +285,7 @@ where
     // callbacks see rounds strictly in order.
     let hub_cell: Mutex<Option<&mut ProbeHub<'_>>> = Mutex::new(probing.then_some(hub));
 
-    run_on_threads(threads, |tid| {
+    run_on_threads_chaos(threads, cfg.chaos.as_deref(), |tid| {
         let mut stats = ThreadStats::default();
         let mut accesses: Vec<Access> = Vec::new();
         let mut probe: Option<&mut ProbeHub<'_>> = (tid == 0)
@@ -662,6 +662,9 @@ fn inspect_slot<T: Send, O: Operator<T>>(
             recorder: cfg.record_access.then_some(accesses),
             conflicts,
             past_failsafe: false,
+            // Never inject during inspect: marking must be a pure function
+            // of the round's membership or the schedule itself would change.
+            inject_abort: false,
         };
         op.run(&item.task, &mut ctx)
     };
@@ -696,33 +699,64 @@ fn commit_slot<T: Send, O: Operator<T>>(
         slot.committed = false;
         slot.stash = None;
     } else {
-        {
-            let Slot {
-                item,
-                neighborhood,
-                stash,
-                pushes,
-                ..
-            } = slot;
-            let item = item.as_ref().expect("slot carries a task");
-            let mut ctx = Ctx {
-                mode: Mode::Commit,
-                mark_value,
-                tid,
-                marks,
-                neighborhood,
-                pushes,
-                flags: None,
-                stash,
-                allow_stash: false,
-                stats,
-                recorder: cfg.record_access.then_some(accesses),
-                conflicts: None,
-                past_failsafe: false,
+        // Chaos: force at most one spurious abort at this task's failsafe
+        // point, then retry *in place* until the commit goes through. The
+        // retry is schedule-invisible: the cautious contract guarantees no
+        // shared writes happened before the failsafe, the round's marks are
+        // still owned by this task, and the round log only sees the final
+        // committed outcome — so no chaos seed can perturb the schedule.
+        //
+        // Tasks carrying a checkpointed continuation are exempt: `take()`
+        // consumes the stash *before* the failsafe crossing, so a forced
+        // abort there would retry by re-growing the neighborhood against a
+        // mesh other commits already changed — not a free rollback.
+        let mut inject = slot.stash.is_none()
+            && cfg
+                .chaos
+                .as_deref()
+                .is_some_and(|c| c.inject_det_abort(task_id));
+        loop {
+            let result = {
+                let Slot {
+                    item,
+                    neighborhood,
+                    stash,
+                    pushes,
+                    ..
+                } = slot;
+                let item = item.as_ref().expect("slot carries a task");
+                let mut ctx = Ctx {
+                    mode: Mode::Commit,
+                    mark_value,
+                    tid,
+                    marks,
+                    neighborhood,
+                    pushes,
+                    flags: None,
+                    stash,
+                    allow_stash: false,
+                    stats,
+                    recorder: cfg.record_access.then_some(accesses),
+                    conflicts: None,
+                    past_failsafe: false,
+                    inject_abort: inject,
+                };
+                let r = op.run(&item.task, &mut ctx);
+                if r.is_ok() {
+                    ctx.record_neighborhood_writes();
+                }
+                r
             };
-            op.run(&item.task, &mut ctx)
-                .expect("a selected task commits unconditionally");
-            ctx.record_neighborhood_writes();
+            match result {
+                Ok(()) => break,
+                Err(Abort::Injected) => {
+                    inject = false;
+                    slot.pushes.clear();
+                }
+                Err(other) => {
+                    panic!("a selected task commits unconditionally: {other}")
+                }
+            }
         }
         // Key the created tasks deterministically here, on the worker, so
         // the leader only moves whole buffers (§3.2 id assignment).
@@ -791,6 +825,43 @@ mod tests {
                 Some(r) => assert_eq!(&got, r, "threads={threads} changed the schedule"),
             }
         }
+    }
+
+    #[test]
+    fn chaos_never_perturbs_the_deterministic_schedule() {
+        // The invariance contract: a chaos seed may skew thread starts,
+        // jitter barriers, shuffle worklist chunks and force spurious
+        // commit-phase aborts, but the committed schedule — and therefore
+        // the output, the round count and the commit count — must be
+        // byte-identical to the chaos-free run.
+        let run_with = |threads: usize, chaos: Option<u64>| {
+            let log = Mutex::new(Vec::new());
+            let marks = MarkTable::new(1);
+            let op = trace_op(&log);
+            let mut exec = Executor::new().threads(threads).schedule(det());
+            if let Some(seed) = chaos {
+                exec = exec.chaos(seed);
+            }
+            let report = exec.iterate((0..40u64).collect()).run(&marks, &op);
+            drop(op);
+            (log.into_inner().unwrap(), report.stats)
+        };
+        let (ref_log, ref_stats) = run_with(1, None);
+        let mut saw_injection = false;
+        for threads in [1usize, 2, 4] {
+            for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+                let (log, stats) = run_with(threads, Some(seed));
+                assert_eq!(log, ref_log, "threads={threads} seed={seed}");
+                assert_eq!(
+                    stats.rounds, ref_stats.rounds,
+                    "threads={threads} seed={seed}"
+                );
+                assert_eq!(stats.committed, ref_stats.committed);
+                assert_eq!(stats.aborted, ref_stats.aborted, "injected aborts leaked");
+                saw_injection |= stats.injected_aborts > 0;
+            }
+        }
+        assert!(saw_injection, "chaos never actually fired an abort");
     }
 
     #[test]

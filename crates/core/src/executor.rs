@@ -63,9 +63,11 @@ use crate::ops::Operator;
 use crate::serial;
 use crate::spec;
 use crate::window::WindowPolicy;
+use galois_runtime::chaos::ChaosPolicy;
 use galois_runtime::probe::{Probe, RoundLog, RoundRecord};
 use galois_runtime::simtime::ExecTrace;
 use galois_runtime::stats::ExecStats;
+use std::sync::Arc;
 
 /// Options of the deterministic (DIG) scheduler.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,6 +141,7 @@ pub struct Executor {
     pub(crate) record_trace: bool,
     pub(crate) record_access: bool,
     pub(crate) record_rounds: bool,
+    pub(crate) chaos: Option<Arc<ChaosPolicy>>,
 }
 
 impl Default for Executor {
@@ -150,6 +153,7 @@ impl Default for Executor {
             record_trace: false,
             record_access: false,
             record_rounds: false,
+            chaos: None,
         }
     }
 }
@@ -199,6 +203,23 @@ impl Executor {
         self
     }
 
+    /// Installs a seeded schedule-chaos policy (see
+    /// [`galois_runtime::chaos`]): adversarial steal/spill/refill order,
+    /// barrier jitter, thread start skew, and forced spurious aborts at the
+    /// failsafe point, all driven by `seed`.
+    ///
+    /// Under [`Schedule::Deterministic`] neither the seed nor the presence of
+    /// chaos may change the output or the canonical round log — that is the
+    /// invariance the differential harness proves. Under
+    /// [`Schedule::Speculative`] chaos perturbs the schedule for real; the
+    /// output must still validate against the serial oracle.
+    /// [`Schedule::Serial`] ignores chaos entirely (it is the oracle).
+    /// Without a policy installed the hooks cost one branch each.
+    pub fn chaos(mut self, seed: u64) -> Self {
+        self.chaos = Some(Arc::new(ChaosPolicy::new(seed)));
+        self
+    }
+
     /// Records a [`RoundLog`] internally and returns it in
     /// [`RunReport::round_log`]. Equivalent to attaching a fresh `RoundLog`
     /// via [`LoopSpec::probe`] but without threading a borrow through the
@@ -223,6 +244,7 @@ impl Executor {
             tasks,
             ids: None,
             probe: None,
+            chaos: self.chaos.clone(),
         }
     }
 
@@ -271,6 +293,9 @@ pub struct LoopSpec<'e, 'p, T> {
     #[allow(clippy::type_complexity)]
     ids: Option<(Box<dyn Fn(&T) -> u64 + Sync + 'p>, usize)>,
     probe: Option<&'p mut dyn Probe>,
+    /// Effective chaos policy: seeded from the executor, overridable per
+    /// loop via [`LoopSpec::chaos`].
+    chaos: Option<Arc<ChaosPolicy>>,
 }
 
 impl<T: Send> std::fmt::Debug for LoopSpec<'_, '_, T> {
@@ -321,6 +346,14 @@ impl<'e, 'p, T: Send> LoopSpec<'e, 'p, T> {
         self
     }
 
+    /// Installs (or overrides) a schedule-chaos policy for this loop only,
+    /// without touching the shared [`Executor`]. See [`Executor::chaos`] for
+    /// semantics.
+    pub fn chaos(mut self, seed: u64) -> Self {
+        self.chaos = Some(Arc::new(ChaosPolicy::new(seed)));
+        self
+    }
+
     /// Runs the loop with operator `op`, synchronizing through `marks`.
     ///
     /// `marks` must cover every [`crate::LockId`] the operator acquires, and
@@ -339,8 +372,17 @@ impl<'e, 'p, T: Send> LoopSpec<'e, 'p, T> {
             tasks,
             ids,
             probe,
+            chaos,
         } = self;
         debug_assert!(marks.all_unowned(), "mark table must start unowned");
+        // Materialize the effective configuration: the loop-level chaos
+        // override wins over the executor's. Cloning is cheap (small enums
+        // plus an Arc) and keeps the executors' `cfg` plumbing unchanged.
+        let cfg = Executor {
+            chaos,
+            ..exec.clone()
+        };
+        let exec = &cfg;
         let mut hub = ProbeHub::new(probe, exec.record_rounds);
         let mut report = match &exec.schedule {
             Schedule::Serial => serial::run(exec, marks, tasks, op),
@@ -493,6 +535,19 @@ mod tests {
         assert!(!e.record_trace);
         assert!(!e.record_access);
         assert!(!e.record_rounds);
+        assert!(e.chaos.is_none());
+    }
+
+    #[test]
+    fn chaos_compares_by_seed() {
+        // Executor derives PartialEq; ChaosPolicy equality is by seed, so
+        // two builders with the same seed compare equal (the ticket state is
+        // not identity).
+        let a = Executor::new().chaos(9);
+        let b = Executor::new().chaos(9);
+        assert_eq!(a, b);
+        assert_ne!(a, Executor::new().chaos(10));
+        assert_ne!(a, Executor::new());
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub mod window;
 
 pub use ctx::{Abort, Access, Ctx, OpResult};
 pub use executor::{DetOptions, Executor, LoopSpec, RunReport, Schedule, WorklistPolicy};
+pub use galois_runtime::chaos::ChaosPolicy;
 pub use galois_runtime::probe::{Probe, RoundLog, RoundRecord};
 pub use marks::{LockId, MarkTable};
 pub use ops::Operator;

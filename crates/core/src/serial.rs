@@ -46,6 +46,8 @@ where
             recorder: cfg.record_access.then_some(&mut accesses),
             conflicts: None,
             past_failsafe: false,
+            // The serial executor is the chaos-free oracle: never inject.
+            inject_abort: false,
         };
         op.run(&task, &mut ctx)
             .expect("serial execution cannot abort");

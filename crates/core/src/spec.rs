@@ -19,12 +19,12 @@
 //! deterministic rounds they are **not** canonical: thread interleaving is
 //! real nondeterminism here.
 
-use crate::ctx::{Access, Ctx, Mode};
+use crate::ctx::{Abort, Access, Ctx, Mode};
 use crate::executor::WorklistPolicy;
 use crate::executor::{Executor, ProbeHub, RunReport};
 use crate::marks::MarkTable;
 use crate::ops::Operator;
-use galois_runtime::pool::run_on_threads;
+use galois_runtime::pool::run_on_threads_chaos;
 use galois_runtime::probe::{attribute_conflicts, RoundRecord};
 use galois_runtime::simtime::ExecTrace;
 use galois_runtime::stats::{ExecStats, ThreadStats};
@@ -84,8 +84,8 @@ where
     let time_epochs = probing && hub.wants_timing();
     let start = Instant::now();
     let bag: AnyBag<T> = match cfg.worklist {
-        WorklistPolicy::Lifo => AnyBag::Lifo(ChunkedBag::new(threads)),
-        WorklistPolicy::Fifo => AnyBag::Fifo(ChunkedFifo::new(threads)),
+        WorklistPolicy::Lifo => AnyBag::Lifo(ChunkedBag::with_chaos(threads, cfg.chaos.clone())),
+        WorklistPolicy::Fifo => AnyBag::Fifo(ChunkedFifo::with_chaos(threads, cfg.chaos.clone())),
     };
     let terminator = Terminator::new();
     terminator.register(tasks.len());
@@ -96,7 +96,7 @@ where
     type Collected = (ThreadStats, Vec<Access>, Vec<EpochAcc>);
     let collected: Mutex<Vec<Collected>> = Mutex::new(Vec::new());
 
-    run_on_threads(threads, |tid| {
+    run_on_threads_chaos(threads, cfg.chaos.as_deref(), |tid| {
         let mut stats = ThreadStats::default();
         let mut accesses: Vec<Access> = Vec::new();
         let mut neighborhood: Vec<crate::marks::LockId> = Vec::new();
@@ -137,6 +137,14 @@ where
             );
             neighborhood.clear();
             pushes.clear();
+            // Chaos: a pure draw keyed on the per-attempt id decides whether
+            // this attempt is forced to abort at its failsafe point. Keying
+            // on the attempt (not the task) guarantees termination: the
+            // retry gets a fresh id and, almost surely, a non-aborting draw.
+            let inject = cfg
+                .chaos
+                .as_deref()
+                .is_some_and(|c| c.inject_spec_abort(mark_value));
             let result = {
                 let mut ctx = Ctx {
                     mode: Mode::Speculative,
@@ -152,6 +160,7 @@ where
                     recorder: cfg.record_access.then_some(&mut accesses),
                     conflicts: collect_conflicts.then_some(&mut epoch_conflicts),
                     past_failsafe: false,
+                    inject_abort: inject,
                 };
                 let r = op.run(&task, &mut ctx);
                 if r.is_ok() {
@@ -197,6 +206,13 @@ where
                         }
                     }
                     terminator.finish_one();
+                }
+                Err(Abort::Injected) => {
+                    // Spurious abort forced by the chaos policy: re-enqueue
+                    // like a conflict, but the real-conflict counter (and so
+                    // the Figure 4 abort ratio) must not move.
+                    bag.push(tid, task);
+                    std::hint::spin_loop();
                 }
                 Err(_) => {
                     stats.aborted += 1;
@@ -327,6 +343,26 @@ mod tests {
             assert_eq!(total, (0..1000u64).sum::<u64>(), "threads={threads}");
             assert!(marks.all_unowned());
         }
+    }
+
+    #[test]
+    fn chaos_injection_preserves_output_and_real_abort_count() {
+        let buckets: Vec<AtomicU64> = (0..7).map(|_| AtomicU64::new(0)).collect();
+        let marks = MarkTable::new(7);
+        let op = histogram_op(&buckets);
+        let report = Executor::new()
+            .threads(2)
+            .schedule(Schedule::Speculative)
+            .chaos(42)
+            .iterate((0..1000u64).collect())
+            .run(&marks, &op);
+        assert_eq!(report.stats.committed, 1000);
+        let total: u64 = buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, (0..1000u64).sum::<u64>());
+        // With ~1/4 of attempts force-aborted, injections must have fired
+        // and must be counted apart from real conflicts.
+        assert!(report.stats.injected_aborts > 0);
+        assert!(marks.all_unowned());
     }
 
     #[test]

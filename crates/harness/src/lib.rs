@@ -1,0 +1,656 @@
+//! Cross-executor differential harness.
+//!
+//! The paper's determinism claim is a *portability* claim: a deterministic
+//! Galois run is a pure function of the algorithm and its input, not of the
+//! thread count or of how the OS happens to interleave threads. The chaos
+//! layer ([`galois_runtime::chaos`]) makes "how the OS interleaves threads"
+//! an explicit, seeded input; this crate closes the loop by running every
+//! benchmark application under three executors and checking what each one
+//! owes:
+//!
+//! - **serial** — the semantic oracle; one thread, no chaos, ever.
+//! - **speculative** (`g-n`) — output need only *validate* (per-app
+//!   verifier, plus equality with the oracle where the output value is
+//!   unique, e.g. BFS distances and the max-flow value).
+//! - **deterministic** (`g-d`) — output *and* the canonical round log must
+//!   be byte-identical across **every** (thread count, chaos seed) pair.
+//!
+//! On a deterministic divergence the harness does not just fail: it shrinks
+//! the failing matrix to a minimal `(app, threads, seeds)` cell pair and
+//! prints a one-line `cargo run` reproduction command, so a scheduler bug
+//! found on an 8-thread × 8-seed sweep arrives as a two-run repro.
+
+use galois_core::{DetOptions, Executor, RoundLog, RunReport, Schedule, WorklistPolicy};
+use galois_graph::{gen, FlowNetwork};
+use galois_mesh::check;
+use galois_runtime::stats::ExecStats;
+use std::fmt;
+
+pub use galois_apps as apps;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher — the harness's notion of "byte-identical"
+/// without pulling in an external hashing crate.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The benchmark applications the harness covers (§4.1 of the paper, plus
+/// maximal matching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    Bfs,
+    Mis,
+    Mm,
+    Dt,
+    Dmr,
+    Pfp,
+}
+
+impl App {
+    pub const ALL: [App; 6] = [App::Bfs, App::Mis, App::Mm, App::Dt, App::Dmr, App::Pfp];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Bfs => "bfs",
+            App::Mis => "mis",
+            App::Mm => "mm",
+            App::Dt => "dt",
+            App::Dmr => "dmr",
+            App::Pfp => "pfp",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<App> {
+        App::ALL.into_iter().find(|a| a.name() == name)
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which executor a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    Serial,
+    Speculative,
+    Deterministic,
+}
+
+impl Variant {
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Serial => "serial",
+            Variant::Speculative => "speculative",
+            Variant::Deterministic => "deterministic",
+        }
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What one run is reduced to for cross-run comparison.
+///
+/// `fingerprint` folds together everything that must be invariant for a
+/// deterministic run: the output hash, the canonical round log hash, and
+/// the schedule-derived counters. `injected_aborts` is deliberately **not**
+/// part of it — it is seed-dependent by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    pub fingerprint: u64,
+    pub output_hash: u64,
+    pub log_hash: u64,
+    pub rounds: u64,
+    pub committed: u64,
+    pub aborted: u64,
+    pub injected_aborts: u64,
+}
+
+fn outcome(output_hash: u64, logs: Vec<RoundLog>, stats: &ExecStats) -> RunOutcome {
+    // Renumber rounds across multi-pass runs (pfp bouts) into one monotone
+    // sequence, exactly as the CLI's --round-log writer does. The hash
+    // covers the schedule-derived scalars of each round but NOT the
+    // conflict attribution: conflict entries name abstract lock ids, and
+    // for the mesh apps those are arena triangle ids whose allocation
+    // order is thread-count-dependent even though the schedule (and the
+    // geometry, covered by `output_hash`) is not.
+    let mut log_hash = Fnv64::new();
+    let mut rounds = 0u64;
+    for log in logs {
+        for rec in log.into_records() {
+            log_hash.write_u64(rounds);
+            log_hash.write_u64(rec.window);
+            log_hash.write_u64(rec.attempted);
+            log_hash.write_u64(rec.committed);
+            log_hash.write_u64(rec.failed);
+            rounds += 1;
+        }
+    }
+    let log_hash = log_hash.finish();
+    let mut fp = Fnv64::new();
+    fp.write_u64(output_hash);
+    fp.write_u64(log_hash);
+    fp.write_u64(rounds);
+    fp.write_u64(stats.committed);
+    fp.write_u64(stats.aborted);
+    RunOutcome {
+        fingerprint: fp.finish(),
+        output_hash,
+        log_hash,
+        rounds,
+        committed: stats.committed,
+        aborted: stats.aborted,
+        injected_aborts: stats.injected_aborts,
+    }
+}
+
+/// Hook that may replace the executor a run would use — the harness's
+/// mutation-testing seam. The identity hook is [`unperturbed`]; the
+/// harness's own tests plant scheduler perturbations here and assert the
+/// differential sweep catches them.
+pub type Mutation<'a> = &'a dyn Fn(App, Variant, usize, Option<u64>, Executor) -> Executor;
+
+/// The identity [`Mutation`].
+pub fn unperturbed(_: App, _: Variant, _: usize, _: Option<u64>, exec: Executor) -> Executor {
+    exec
+}
+
+/// The executor configuration each app runs under, mirroring the `galois`
+/// CLI: dt/dmr spread task ids for locality, bfs/pfp use FIFO worklists.
+fn executor_for(app: App, variant: Variant, threads: usize, chaos_seed: Option<u64>) -> Executor {
+    let (spread, fifo) = match app {
+        App::Dt | App::Dmr => (16, false),
+        App::Bfs | App::Pfp => (1, true),
+        App::Mis | App::Mm => (1, false),
+    };
+    let schedule = match variant {
+        Variant::Serial => Schedule::Serial,
+        Variant::Speculative => Schedule::Speculative,
+        Variant::Deterministic => Schedule::Deterministic(DetOptions {
+            locality_spread: spread,
+            ..Default::default()
+        }),
+    };
+    let mut exec = Executor::new()
+        .threads(threads)
+        .schedule(schedule)
+        .worklist(if fifo {
+            WorklistPolicy::Fifo
+        } else {
+            WorklistPolicy::Lifo
+        })
+        // Only deterministic logs are canonical; speculative epochs reflect
+        // real nondeterminism and must stay out of the fingerprint.
+        .record_rounds(variant == Variant::Deterministic);
+    if let Some(seed) = chaos_seed {
+        exec = exec.chaos(seed);
+    }
+    exec
+}
+
+fn take_logs(report: &mut RunReport) -> Vec<RoundLog> {
+    report.take_round_log().into_iter().collect()
+}
+
+/// Runs one `(app, variant, threads, chaos seed)` cell: builds the input
+/// from `input_seed`, runs, validates the output, and reduces the run to a
+/// [`RunOutcome`]. Validation failure is an `Err` with the verifier's
+/// message.
+pub fn run_app(
+    app: App,
+    variant: Variant,
+    threads: usize,
+    chaos_seed: Option<u64>,
+    input_seed: u64,
+    mutation: Mutation,
+) -> Result<RunOutcome, String> {
+    let exec = mutation(
+        app,
+        variant,
+        threads,
+        chaos_seed,
+        executor_for(app, variant, threads, chaos_seed),
+    );
+    match app {
+        App::Bfs => {
+            let g = gen::uniform_random(2_000, 5, input_seed);
+            let (dist, mut r) = apps::bfs::galois(&g, 0, &exec);
+            apps::bfs::verify(&g, 0, &dist).map_err(|e| format!("bfs: {e}"))?;
+            let mut h = Fnv64::new();
+            for &d in &dist {
+                h.write_u32(d);
+            }
+            Ok(outcome(h.finish(), take_logs(&mut r), &r.stats))
+        }
+        App::Mis => {
+            let g = gen::uniform_random_undirected(1_500, 4, input_seed);
+            let (flags, mut r) = apps::mis::galois(&g, &exec);
+            apps::mis::verify(&g, &flags).map_err(|e| format!("mis: {e}"))?;
+            let mut h = Fnv64::new();
+            for &f in &flags {
+                h.write_u32(f);
+            }
+            Ok(outcome(h.finish(), take_logs(&mut r), &r.stats))
+        }
+        App::Mm => {
+            let g = gen::uniform_random_undirected(1_500, 4, input_seed);
+            let (mate, mut r) = apps::mm::galois(&g, &exec);
+            apps::mm::verify(&g, &mate).map_err(|e| format!("mm: {e}"))?;
+            let mut h = Fnv64::new();
+            for &m in &mate {
+                h.write_u32(m);
+            }
+            Ok(outcome(h.finish(), take_logs(&mut r), &r.stats))
+        }
+        App::Dt => {
+            let pts = galois_geometry::point::random_points(300, input_seed);
+            let (mesh, mut r) = apps::dt::galois(&pts, input_seed, &exec);
+            check::validate(&mesh).map_err(|e| format!("dt structure: {e}"))?;
+            check::check_delaunay(&mesh).map_err(|e| format!("dt delaunay: {e}"))?;
+            Ok(outcome(hash_mesh(&mesh), take_logs(&mut r), &r.stats))
+        }
+        App::Dmr => {
+            let mesh = apps::dmr::make_input(120, input_seed);
+            let mut r = apps::dmr::galois(&mesh, &exec);
+            check::validate(&mesh).map_err(|e| format!("dmr structure: {e}"))?;
+            check::check_delaunay(&mesh).map_err(|e| format!("dmr delaunay: {e}"))?;
+            let bad = check::quality(&mesh).bad;
+            if bad != 0 {
+                return Err(format!("dmr: {bad} bad triangles survive refinement"));
+            }
+            Ok(outcome(hash_mesh(&mesh), take_logs(&mut r), &r.stats))
+        }
+        App::Pfp => {
+            let net = FlowNetwork::random(96, 4, 100, input_seed);
+            let (flow, mut r) = apps::pfp::galois(&net, &exec);
+            let checked = net.verify_flow().map_err(|e| format!("pfp: {e}"))?;
+            if checked != flow {
+                return Err(format!("pfp: reported flow {flow} != recomputed {checked}"));
+            }
+            let logs: Vec<RoundLog> = r
+                .reports
+                .iter_mut()
+                .filter_map(|b| b.take_round_log())
+                .collect();
+            let mut h = Fnv64::new();
+            h.write_i64(flow);
+            Ok(outcome(h.finish(), logs, &r.stats))
+        }
+    }
+}
+
+fn hash_mesh(mesh: &galois_mesh::Mesh) -> u64 {
+    let mut h = Fnv64::new();
+    for tri in check::canonical_triangles(mesh) {
+        for (x, y) in tri {
+            h.write_i64(x);
+            h.write_i64(y);
+        }
+    }
+    h.finish()
+}
+
+/// One differential sweep's shape.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    pub apps: Vec<App>,
+    pub threads: Vec<usize>,
+    pub chaos_seeds: Vec<u64>,
+    pub input_seed: u64,
+    /// Also run the speculative executor over the matrix and validate each
+    /// run against the serial oracle. Off for pure det-invariance sweeps.
+    pub check_spec: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            apps: App::ALL.to_vec(),
+            threads: vec![1, 2, 4, 8],
+            chaos_seeds: (1..=8).collect(),
+            input_seed: 42,
+            check_spec: true,
+        }
+    }
+}
+
+impl DiffConfig {
+    /// The one-line reproduction command for a (sub)matrix of this sweep.
+    pub fn repro_line(&self, app: App, threads: &[usize], seeds: &[u64]) -> String {
+        let join_usize = |v: &[usize]| {
+            v.iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let join_u64 = |v: &[u64]| {
+            v.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "cargo run --release -p galois-harness --bin differential -- \
+             --app {app} --threads {} --chaos-seeds {} --input-seed {}",
+            join_usize(threads),
+            join_u64(seeds),
+            self.input_seed,
+        )
+    }
+}
+
+/// A differential failure, shrunk to a minimal reproduction.
+#[derive(Debug, Clone)]
+pub struct DiffFailure {
+    pub app: App,
+    /// Human-readable account of what diverged or failed validation.
+    pub detail: String,
+    /// One-line `cargo run` command reproducing the failure.
+    pub repro: String,
+}
+
+impl fmt::Display for DiffFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}\n  repro: {}", self.app, self.detail, self.repro)
+    }
+}
+
+/// A successful sweep's summary.
+#[derive(Debug, Clone)]
+pub struct DiffSummary {
+    /// Total individual runs executed.
+    pub runs: usize,
+    /// The (app, deterministic fingerprint) pairs the sweep converged on.
+    pub det_fingerprints: Vec<(App, u64)>,
+}
+
+fn diverges(a: &RunOutcome, b: &RunOutcome) -> Option<String> {
+    if a.fingerprint == b.fingerprint {
+        return None;
+    }
+    let mut parts = Vec::new();
+    if a.output_hash != b.output_hash {
+        parts.push(format!(
+            "output {:016x} vs {:016x}",
+            a.output_hash, b.output_hash
+        ));
+    }
+    if a.log_hash != b.log_hash {
+        parts.push(format!(
+            "round log {:016x} vs {:016x}",
+            a.log_hash, b.log_hash
+        ));
+    }
+    if a.rounds != b.rounds {
+        parts.push(format!("rounds {} vs {}", a.rounds, b.rounds));
+    }
+    if a.committed != b.committed {
+        parts.push(format!("committed {} vs {}", a.committed, b.committed));
+    }
+    if a.aborted != b.aborted {
+        parts.push(format!("aborted {} vs {}", a.aborted, b.aborted));
+    }
+    Some(parts.join(", "))
+}
+
+/// Shrinks a deterministic divergence between the reference cell
+/// `(t0, s0)` and a failing cell `(tb, sb)` to a minimal axis: a single
+/// chaos seed if thread count alone reproduces it, a single thread count
+/// if the seed alone does, both axes otherwise.
+fn minimize(
+    app: App,
+    cfg: &DiffConfig,
+    mutation: Mutation,
+    reference: &RunOutcome,
+    (t0, s0): (usize, u64),
+    (tb, sb): (usize, u64),
+) -> (Vec<usize>, Vec<u64>) {
+    if sb != s0 && tb != t0 {
+        // Both axes moved; probe each alone (two cheap extra runs).
+        if let Ok(out) = run_app(
+            app,
+            Variant::Deterministic,
+            t0,
+            Some(sb),
+            cfg.input_seed,
+            mutation,
+        ) {
+            if diverges(reference, &out).is_some() {
+                return (vec![t0], vec![s0, sb]);
+            }
+        }
+        if let Ok(out) = run_app(
+            app,
+            Variant::Deterministic,
+            tb,
+            Some(s0),
+            cfg.input_seed,
+            mutation,
+        ) {
+            if diverges(reference, &out).is_some() {
+                return (vec![t0, tb], vec![s0]);
+            }
+        }
+        (vec![t0, tb], vec![s0, sb])
+    } else if tb != t0 {
+        (vec![t0, tb], vec![s0])
+    } else {
+        (vec![t0], vec![s0, sb])
+    }
+}
+
+/// Runs the differential sweep: serial oracle, deterministic invariance
+/// matrix, and (optionally) speculative validation, for every configured
+/// app. The first failure is minimized and returned.
+pub fn run_differential(cfg: &DiffConfig, mutation: Mutation) -> Result<DiffSummary, DiffFailure> {
+    assert!(!cfg.threads.is_empty() && !cfg.chaos_seeds.is_empty());
+    let mut runs = 0usize;
+    let mut det_fingerprints = Vec::new();
+    for &app in &cfg.apps {
+        // Serial oracle: one thread, no chaos, no mutation — ever.
+        let oracle =
+            run_app(app, Variant::Serial, 1, None, cfg.input_seed, &unperturbed).map_err(|e| {
+                DiffFailure {
+                    app,
+                    detail: format!("serial oracle failed validation: {e}"),
+                    repro: cfg.repro_line(app, &cfg.threads[..1], &cfg.chaos_seeds[..1]),
+                }
+            })?;
+        runs += 1;
+
+        // Deterministic invariance matrix.
+        let mut reference: Option<((usize, u64), RunOutcome)> = None;
+        for &t in &cfg.threads {
+            for &s in &cfg.chaos_seeds {
+                let out = run_app(
+                    app,
+                    Variant::Deterministic,
+                    t,
+                    Some(s),
+                    cfg.input_seed,
+                    mutation,
+                )
+                .map_err(|e| DiffFailure {
+                    app,
+                    detail: format!(
+                        "deterministic run (threads={t}, seed={s}) failed validation: {e}"
+                    ),
+                    repro: cfg.repro_line(app, &[t], &[s]),
+                })?;
+                runs += 1;
+                match &reference {
+                    None => reference = Some(((t, s), out)),
+                    Some((cell0, r)) => {
+                        if let Some(diff) = diverges(r, &out) {
+                            let (ts, ss) = minimize(app, cfg, mutation, r, *cell0, (t, s));
+                            return Err(DiffFailure {
+                                app,
+                                detail: format!(
+                                    "deterministic fingerprint diverged between \
+                                     (threads={}, seed={}) and (threads={t}, seed={s}): {diff}",
+                                    cell0.0, cell0.1,
+                                ),
+                                repro: cfg.repro_line(app, &ts, &ss),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let (_, det_ref) = reference.expect("non-empty matrix");
+
+        // Where the output value is mathematically unique, the deterministic
+        // answer must equal the oracle's, not merely validate.
+        if matches!(app, App::Bfs | App::Pfp) && det_ref.output_hash != oracle.output_hash {
+            return Err(DiffFailure {
+                app,
+                detail: format!(
+                    "deterministic output {:016x} != serial oracle {:016x}",
+                    det_ref.output_hash, oracle.output_hash
+                ),
+                repro: cfg.repro_line(app, &cfg.threads[..1], &cfg.chaos_seeds[..1]),
+            });
+        }
+
+        // Speculative runs: per-run validation plus oracle equality where
+        // the output value is unique. No cross-run invariance is owed.
+        if cfg.check_spec {
+            for &t in &cfg.threads {
+                for &s in &cfg.chaos_seeds {
+                    let out = run_app(
+                        app,
+                        Variant::Speculative,
+                        t,
+                        Some(s),
+                        cfg.input_seed,
+                        mutation,
+                    )
+                    .map_err(|e| DiffFailure {
+                        app,
+                        detail: format!(
+                            "speculative run (threads={t}, seed={s}) failed validation: {e}"
+                        ),
+                        repro: cfg.repro_line(app, &[t], &[s]),
+                    })?;
+                    runs += 1;
+                    if matches!(app, App::Bfs | App::Pfp) && out.output_hash != oracle.output_hash {
+                        return Err(DiffFailure {
+                            app,
+                            detail: format!(
+                                "speculative output (threads={t}, seed={s}) {:016x} \
+                                 != serial oracle {:016x}",
+                                out.output_hash, oracle.output_hash
+                            ),
+                            repro: cfg.repro_line(app, &[t], &[s]),
+                        });
+                    }
+                }
+            }
+        }
+        det_fingerprints.push((app, det_ref.fingerprint));
+    }
+    Ok(DiffSummary {
+        runs,
+        det_fingerprints,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        let mut h = Fnv64::new();
+        h.write_bytes(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv64::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn app_names_round_trip() {
+        for app in App::ALL {
+            assert_eq!(App::from_name(app.name()), Some(app));
+        }
+        assert_eq!(App::from_name("nope"), None);
+    }
+
+    #[test]
+    fn repro_line_is_a_single_cargo_command() {
+        let cfg = DiffConfig::default();
+        let line = cfg.repro_line(App::Mis, &[1, 4], &[3]);
+        assert!(line.starts_with("cargo run --release -p galois-harness"));
+        assert!(line.contains("--app mis"));
+        assert!(line.contains("--threads 1,4"));
+        assert!(line.contains("--chaos-seeds 3"));
+        assert!(line.contains("--input-seed 42"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn single_cell_runs_validate() {
+        // One cheap cell per variant exercises the whole run_app plumbing.
+        for variant in [
+            Variant::Serial,
+            Variant::Speculative,
+            Variant::Deterministic,
+        ] {
+            let threads = if variant == Variant::Serial { 1 } else { 2 };
+            let chaos = (variant != Variant::Serial).then_some(7u64);
+            let out = run_app(App::Mis, variant, threads, chaos, 42, &unperturbed)
+                .unwrap_or_else(|e| panic!("{variant}: {e}"));
+            assert!(out.committed > 0, "{variant} committed nothing");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Acceptance sweep for the differential harness.
+//!
+//! The issue's bar: deterministic output and the canonical round log are
+//! byte-identical across threads {1, 2, 4, 8} × at least 8 chaos seeds for
+//! every harness app, while speculative runs merely validate against the
+//! serial oracle.
+
+use galois_harness::{run_differential, unperturbed, App, DiffConfig};
+
+#[test]
+fn det_invariance_across_threads_and_chaos_seeds() {
+    let cfg = DiffConfig {
+        apps: App::ALL.to_vec(),
+        threads: vec![1, 2, 4, 8],
+        chaos_seeds: (1..=8).collect(),
+        input_seed: 42,
+        check_spec: false,
+    };
+    let summary = run_differential(&cfg, &unperturbed).unwrap_or_else(|f| panic!("{f}"));
+    // 1 serial oracle + a 4×8 deterministic matrix per app.
+    assert_eq!(summary.runs, App::ALL.len() * (1 + 4 * 8));
+    assert_eq!(summary.det_fingerprints.len(), App::ALL.len());
+}
+
+#[test]
+fn spec_validates_against_the_serial_oracle_under_chaos() {
+    // Smaller matrix: speculative runs owe validity, not invariance, so a
+    // couple of contended configurations per app suffice.
+    let cfg = DiffConfig {
+        apps: App::ALL.to_vec(),
+        threads: vec![2, 4],
+        chaos_seeds: vec![1, 2],
+        input_seed: 42,
+        check_spec: true,
+    };
+    let summary = run_differential(&cfg, &unperturbed).unwrap_or_else(|f| panic!("{f}"));
+    // Per app: 1 oracle + 4 det + 4 spec.
+    assert_eq!(summary.runs, App::ALL.len() * (1 + 4 + 4));
+}
+
+#[test]
+fn different_input_seeds_give_different_fingerprints() {
+    // Sanity check that the fingerprint actually covers the computation:
+    // changing the *input* must change it (otherwise the invariance
+    // assertions above would pass vacuously).
+    let run = |input_seed: u64| {
+        let cfg = DiffConfig {
+            apps: vec![App::Bfs],
+            threads: vec![2],
+            chaos_seeds: vec![1],
+            input_seed,
+            check_spec: false,
+        };
+        run_differential(&cfg, &unperturbed)
+            .unwrap_or_else(|f| panic!("{f}"))
+            .det_fingerprints[0]
+            .1
+    };
+    assert_ne!(run(42), run(43));
+}

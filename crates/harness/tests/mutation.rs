@@ -1,0 +1,86 @@
+//! Mutation test: the harness must *catch* a planted scheduler
+//! perturbation, not just pass when nothing is wrong. A detector that
+//! cannot detect is worse than none — it launders bugs as green CI.
+
+use galois_core::{DetOptions, Executor, Schedule};
+use galois_harness::{run_differential, App, DiffConfig, Variant};
+
+#[test]
+fn planted_scheduler_perturbation_is_caught_and_minimized() {
+    let cfg = DiffConfig {
+        apps: vec![App::Mis],
+        threads: vec![1, 2, 4],
+        chaos_seeds: vec![1, 2, 3],
+        input_seed: 42,
+        check_spec: false,
+    };
+    // The plant: at 4 threads the deterministic executor silently uses a
+    // different locality spread, which changes task-id assignment and
+    // therefore the schedule — exactly the class of "works on my thread
+    // count" bug the harness exists to catch.
+    let planted = |app: App, variant: Variant, threads: usize, _: Option<u64>, exec: Executor| {
+        if app == App::Mis && variant == Variant::Deterministic && threads == 4 {
+            exec.schedule(Schedule::Deterministic(DetOptions {
+                locality_spread: 16,
+                ..Default::default()
+            }))
+        } else {
+            exec
+        }
+    };
+    let failure = run_differential(&cfg, &planted).expect_err("planted bug must be caught");
+    assert_eq!(failure.app, App::Mis);
+    // Minimization: the plant is thread-count-dependent and seed-blind, so
+    // the repro must pin a single seed and exactly the two thread counts.
+    assert!(
+        failure.repro.contains("--app mis"),
+        "repro names the app: {}",
+        failure.repro
+    );
+    assert!(
+        failure.repro.contains("--threads 1,4"),
+        "repro pins the divergent thread pair: {}",
+        failure.repro
+    );
+    assert!(
+        failure.repro.contains("--chaos-seeds 1 "),
+        "repro shrinks to a single seed: {}",
+        failure.repro
+    );
+    assert!(!failure.repro.contains('\n'), "repro is one line");
+}
+
+#[test]
+fn seed_dependent_perturbation_shrinks_to_the_seed_axis() {
+    let cfg = DiffConfig {
+        apps: vec![App::Mis],
+        threads: vec![2],
+        chaos_seeds: vec![1, 2, 3],
+        input_seed: 42,
+        check_spec: false,
+    };
+    // A perturbation keyed on the chaos seed instead: seed 3 flips the
+    // locality spread. The minimized repro must keep one thread count and
+    // the two divergent seeds.
+    let planted = |_: App, variant: Variant, _: usize, seed: Option<u64>, exec: Executor| {
+        if variant == Variant::Deterministic && seed == Some(3) {
+            exec.schedule(Schedule::Deterministic(DetOptions {
+                locality_spread: 16,
+                ..Default::default()
+            }))
+        } else {
+            exec
+        }
+    };
+    let failure = run_differential(&cfg, &planted).expect_err("planted bug must be caught");
+    assert!(
+        failure.repro.contains("--threads 2 "),
+        "repro keeps the single thread count: {}",
+        failure.repro
+    );
+    assert!(
+        failure.repro.contains("--chaos-seeds 1,3"),
+        "repro pins the divergent seed pair: {}",
+        failure.repro
+    );
+}

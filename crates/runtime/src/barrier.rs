@@ -7,7 +7,9 @@
 //! spins briefly and then yields, which behaves sensibly both on dedicated
 //! cores and on the oversubscribed single-core host used for testing.
 
+use crate::chaos::ChaosPolicy;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A reusable barrier for a fixed set of threads.
 ///
@@ -34,6 +36,8 @@ pub struct SenseBarrier {
     count: AtomicUsize,
     sense: AtomicBool,
     total: usize,
+    /// Optional adversarial arrival jitter; `None` costs one branch.
+    chaos: Option<Arc<ChaosPolicy>>,
 }
 
 impl std::fmt::Debug for SenseBarrier {
@@ -52,11 +56,23 @@ impl SenseBarrier {
     ///
     /// Panics if `total == 0`.
     pub fn new(total: usize) -> Self {
+        Self::with_chaos(total, None)
+    }
+
+    /// Creates a barrier that injects a drawn spin delay before each arrival
+    /// when a [`ChaosPolicy`] is installed, perturbing arrival order (and
+    /// therefore which thread is the leader of each phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`.
+    pub fn with_chaos(total: usize, chaos: Option<Arc<ChaosPolicy>>) -> Self {
         assert!(total > 0, "barrier needs at least one participant");
         SenseBarrier {
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
             total,
+            chaos,
         }
     }
 
@@ -72,6 +88,9 @@ impl SenseBarrier {
     pub fn wait(&self) -> bool {
         if self.total == 1 {
             return true;
+        }
+        if let Some(c) = &self.chaos {
+            ChaosPolicy::spin(c.barrier_jitter_spins());
         }
         let my_sense = !self.sense.load(Ordering::Relaxed);
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
@@ -152,5 +171,22 @@ mod tests {
     fn debug_is_nonempty() {
         let b = SenseBarrier::new(2);
         assert!(format!("{b:?}").contains("SenseBarrier"));
+    }
+
+    #[test]
+    fn chaos_jitter_preserves_synchronization() {
+        const THREADS: usize = 4;
+        const PHASES: u64 = 50;
+        let chaos = Arc::new(ChaosPolicy::new(77));
+        let b = SenseBarrier::with_chaos(THREADS, Some(chaos));
+        let counter = AtomicU64::new(0);
+        run_on_threads(THREADS, |_| {
+            for phase in 1..=PHASES {
+                counter.fetch_add(1, Ordering::Relaxed);
+                b.wait();
+                assert_eq!(counter.load(Ordering::Relaxed), phase * THREADS as u64);
+                b.wait();
+            }
+        });
     }
 }

@@ -7,6 +7,8 @@
 //! - [`pool`]: a scoped thread pool that runs one worker closure per thread.
 //! - [`barrier`]: a sense-reversing centralized barrier.
 //! - [`worklist`]: concurrent chunked work bags with per-thread locality.
+//! - [`chaos`]: seeded adversarial-schedule injection ([`ChaosPolicy`]) used
+//!   by the differential test harness to prove schedule invariance.
 //! - [`padded`]: cache-line padded cells and per-thread counter arrays.
 //! - [`stats`]: mergeable per-thread execution statistics.
 //! - [`probe`]: round-level observability — the [`Probe`] trait and the
@@ -36,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod barrier;
+pub mod chaos;
 pub mod padded;
 pub mod pool;
 pub mod probe;
@@ -46,6 +49,7 @@ pub mod stats;
 pub mod worklist;
 
 pub use barrier::SenseBarrier;
+pub use chaos::ChaosPolicy;
 pub use pool::run_on_threads;
 pub use probe::{Probe, RoundLog, RoundRecord};
 pub use stats::ExecStats;

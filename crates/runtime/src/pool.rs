@@ -6,6 +6,8 @@
 //! the only primitive needed; it is a thin wrapper over [`std::thread::scope`]
 //! so workers may borrow from the caller's stack.
 
+use crate::chaos::ChaosPolicy;
+
 /// Runs `f(tid)` once on each of `threads` threads and waits for all of them.
 ///
 /// Thread ids are `0..threads`. With `threads == 1` the closure runs on the
@@ -31,6 +33,20 @@ pub fn run_on_threads<F>(threads: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
+    run_on_threads_chaos(threads, None, f)
+}
+
+/// [`run_on_threads`] with an optional per-thread start skew drawn from a
+/// [`ChaosPolicy`].
+///
+/// With a policy installed, each worker burns a drawn spin budget before
+/// entering `f`, staggering thread start order adversarially (schedulers that
+/// are schedule-invariant must not care which thread reaches the first
+/// barrier first). With `None` this is exactly [`run_on_threads`].
+pub fn run_on_threads_chaos<F>(threads: usize, chaos: Option<&ChaosPolicy>, f: F)
+where
+    F: Fn(usize) + Sync,
+{
     assert!(threads > 0, "thread count must be positive");
     if threads == 1 {
         f(0);
@@ -39,7 +55,15 @@ where
     std::thread::scope(|scope| {
         for tid in 1..threads {
             let f = &f;
-            scope.spawn(move || f(tid));
+            scope.spawn(move || {
+                if let Some(c) = chaos {
+                    ChaosPolicy::spin(c.start_skew_spins(tid));
+                }
+                f(tid)
+            });
+        }
+        if let Some(c) = chaos {
+            ChaosPolicy::spin(c.start_skew_spins(0));
         }
         f(0);
     });
@@ -103,6 +127,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_threads_panics() {
         run_on_threads(0, |_| {});
+    }
+
+    #[test]
+    fn chaos_skew_still_runs_every_tid_once() {
+        let chaos = crate::chaos::ChaosPolicy::new(1234);
+        let seen = [const { AtomicUsize::new(0) }; 4];
+        run_on_threads_chaos(4, Some(&chaos), |tid| {
+            seen[tid].fetch_add(1, Ordering::Relaxed);
+        });
+        for s in &seen {
+            assert_eq!(s.load(Ordering::Relaxed), 1);
+        }
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub struct ThreadStats {
     /// retiring whole rounds with an epoch bump (one tally per neighborhood
     /// location per attempted task).
     pub releases_avoided: u64,
+    /// Spurious aborts forced by a chaos policy at the failsafe point. Kept
+    /// separate from [`aborted`](Self::aborted), which counts only *real*
+    /// conflicts, so abort-ratio assertions and the Figure 4 tables stay
+    /// truthful under chaos injection.
+    pub injected_aborts: u64,
 }
 
 impl ThreadStats {
@@ -37,6 +42,7 @@ impl ThreadStats {
         self.inspected += other.inspected;
         self.mark_releases += other.mark_releases;
         self.releases_avoided += other.releases_avoided;
+        self.injected_aborts += other.injected_aborts;
     }
 }
 
@@ -59,6 +65,10 @@ pub struct ExecStats {
     /// Release CASes avoided by epoch-retiring whole rounds (deterministic
     /// runs only).
     pub releases_avoided: u64,
+    /// Chaos-forced spurious aborts, excluded from [`abort_ratio`]
+    /// (see [`Self::abort_ratio`]): `aborted` stays real-conflicts-only.
+    /// Seed-dependent, so excluded from canonical fingerprints too.
+    pub injected_aborts: u64,
     /// Initial tasks silently dropped because their pre-assigned id
     /// duplicated an earlier task's (see `Executor::run_with_ids`). Non-zero
     /// values usually indicate an unintended id collision in the caller's id
@@ -87,6 +97,7 @@ impl ExecStats {
             rounds: 0,
             mark_releases: total.mark_releases,
             releases_avoided: total.releases_avoided,
+            injected_aborts: total.injected_aborts,
             dedup_dropped: 0,
             elapsed: Duration::ZERO,
             threads: n,
@@ -131,8 +142,8 @@ impl std::fmt::Display for ExecStats {
         write!(
             f,
             "committed={} aborted={} (ratio {:.4}) atomics={} rounds={} \
-             mark_releases={} releases_avoided={} dedup_dropped={} \
-             threads={} elapsed={:?}",
+             mark_releases={} releases_avoided={} injected_aborts={} \
+             dedup_dropped={} threads={} elapsed={:?}",
             self.committed,
             self.aborted,
             self.abort_ratio(),
@@ -140,6 +151,7 @@ impl std::fmt::Display for ExecStats {
             self.rounds,
             self.mark_releases,
             self.releases_avoided,
+            self.injected_aborts,
             self.dedup_dropped,
             self.threads,
             self.elapsed,
@@ -160,6 +172,7 @@ mod tests {
             inspected: 4,
             mark_releases: 5,
             releases_avoided: 6,
+            injected_aborts: 7,
         };
         let b = ThreadStats {
             committed: 10,
@@ -168,6 +181,7 @@ mod tests {
             inspected: 40,
             mark_releases: 50,
             releases_avoided: 60,
+            injected_aborts: 70,
         };
         a.merge(&b);
         assert_eq!(a.committed, 11);
@@ -176,6 +190,7 @@ mod tests {
         assert_eq!(a.inspected, 44);
         assert_eq!(a.mark_releases, 55);
         assert_eq!(a.releases_avoided, 66);
+        assert_eq!(a.injected_aborts, 77);
     }
 
     #[test]
@@ -204,6 +219,9 @@ mod tests {
         assert_eq!(s.abort_ratio(), 0.0);
         s.committed = 3;
         s.aborted = 1;
+        assert!((s.abort_ratio() - 0.25).abs() < 1e-12);
+        // Injected aborts are spurious: they must not move the ratio.
+        s.injected_aborts = 1_000;
         assert!((s.abort_ratio() - 0.25).abs() < 1e-12);
     }
 
@@ -234,6 +252,7 @@ mod tests {
         let s = ExecStats {
             mark_releases: 7,
             releases_avoided: 11,
+            injected_aborts: 5,
             dedup_dropped: 3,
             ..Default::default()
         };
@@ -241,6 +260,7 @@ mod tests {
         assert!(text.contains("committed=0"));
         assert!(text.contains("mark_releases=7"));
         assert!(text.contains("releases_avoided=11"));
+        assert!(text.contains("injected_aborts=5"));
         assert!(text.contains("dedup_dropped=3"));
     }
 }

@@ -10,8 +10,10 @@
 
 use parking_lot::Mutex;
 
+use crate::chaos::ChaosPolicy;
 use crate::padded::{CachePadded, PerThread};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 const CHUNK_CAPACITY: usize = 64;
 
@@ -61,6 +63,10 @@ pub struct ChunkedBag<T> {
     shared: CachePadded<Mutex<Vec<Chunk<T>>>>,
     /// Approximate number of items, used only for sizing hints.
     approx_len: AtomicUsize,
+    /// Optional adversarial spill/refill/steal-order perturbation. The bag
+    /// is unordered, so no perturbation can break correctness — only expose
+    /// schedules the OS never produces.
+    chaos: Option<Arc<ChaosPolicy>>,
 }
 
 impl<T> std::fmt::Debug for ChunkedBag<T> {
@@ -75,6 +81,12 @@ impl<T> std::fmt::Debug for ChunkedBag<T> {
 impl<T: Send> ChunkedBag<T> {
     /// Creates an empty bag for `threads` workers.
     pub fn new(threads: usize) -> Self {
+        Self::with_chaos(threads, None)
+    }
+
+    /// Creates an empty bag whose spill position, refill choice and
+    /// steal-victim order are perturbed by `chaos` (when `Some`).
+    pub fn with_chaos(threads: usize, chaos: Option<Arc<ChaosPolicy>>) -> Self {
         ChunkedBag {
             locals: PerThread::new(threads, |_| {
                 Mutex::new(Local {
@@ -84,6 +96,7 @@ impl<T: Send> ChunkedBag<T> {
             }),
             shared: CachePadded::new(Mutex::new(Vec::new())),
             approx_len: AtomicUsize::new(0),
+            chaos,
         }
     }
 
@@ -93,7 +106,14 @@ impl<T: Send> ChunkedBag<T> {
         let mut local = self.locals.get(tid).lock();
         if local.push.items.len() == CHUNK_CAPACITY {
             let full = std::mem::replace(&mut local.push, Chunk::new());
-            self.shared.lock().push(full);
+            let mut shared = self.shared.lock();
+            shared.push(full);
+            if let Some(c) = &self.chaos {
+                // Land the spilled chunk at a drawn position instead of the
+                // tail, perturbing which chunk the next refill sees.
+                let last = shared.len() - 1;
+                shared.swap(c.spill_index(last + 1), last);
+            }
         }
         local.push.items.push(item);
     }
@@ -121,7 +141,19 @@ impl<T: Send> ChunkedBag<T> {
                 self.approx_len.fetch_sub(1, Ordering::Relaxed);
                 return Some(item);
             }
-            if let Some(chunk) = self.shared.lock().pop() {
+            let refilled = {
+                let mut shared = self.shared.lock();
+                match &self.chaos {
+                    // Take a drawn chunk instead of the newest one.
+                    Some(c) if !shared.is_empty() => {
+                        let k = c.refill_index(shared.len());
+                        Some(shared.swap_remove(k))
+                    }
+                    Some(_) => None,
+                    None => shared.pop(),
+                }
+            };
+            if let Some(chunk) = refilled {
                 local.pop = chunk;
                 let item = local.pop.items.pop();
                 if item.is_some() {
@@ -132,19 +164,33 @@ impl<T: Send> ChunkedBag<T> {
         }
         // Steal: scan other threads' chunks.
         let threads = self.locals.len();
-        for victim in (tid + 1..threads).chain(0..tid) {
-            let mut other = match self.locals.get(victim).try_lock() {
-                Some(guard) => guard,
-                None => continue,
-            };
-            if let Some(item) = other.push.items.pop() {
-                self.approx_len.fetch_sub(1, Ordering::Relaxed);
-                return Some(item);
+        if let Some(c) = &self.chaos {
+            for victim in c.steal_order(tid, threads) {
+                if let Some(item) = self.steal_from(victim) {
+                    return Some(item);
+                }
             }
-            if let Some(item) = other.pop.items.pop() {
-                self.approx_len.fetch_sub(1, Ordering::Relaxed);
-                return Some(item);
+        } else {
+            for victim in (tid + 1..threads).chain(0..tid) {
+                if let Some(item) = self.steal_from(victim) {
+                    return Some(item);
+                }
             }
+        }
+        None
+    }
+
+    /// One steal attempt against `victim`'s local chunks (`None` when the
+    /// victim is busy or empty).
+    fn steal_from(&self, victim: usize) -> Option<T> {
+        let mut other = self.locals.get(victim).try_lock()?;
+        if let Some(item) = other.push.items.pop() {
+            self.approx_len.fetch_sub(1, Ordering::Relaxed);
+            return Some(item);
+        }
+        if let Some(item) = other.pop.items.pop() {
+            self.approx_len.fetch_sub(1, Ordering::Relaxed);
+            return Some(item);
         }
         None
     }
@@ -166,6 +212,9 @@ pub struct ChunkedFifo<T> {
     locals: PerThread<Mutex<Local<T>>>,
     shared: CachePadded<Mutex<std::collections::VecDeque<Chunk<T>>>>,
     approx_len: AtomicUsize,
+    /// Optional adversarial perturbation; the queue is only *roughly* FIFO,
+    /// so chaos stretches "roughly" without breaking the pool contract.
+    chaos: Option<Arc<ChaosPolicy>>,
 }
 
 impl<T> std::fmt::Debug for ChunkedFifo<T> {
@@ -180,6 +229,12 @@ impl<T> std::fmt::Debug for ChunkedFifo<T> {
 impl<T: Send> ChunkedFifo<T> {
     /// Creates an empty queue for `threads` workers.
     pub fn new(threads: usize) -> Self {
+        Self::with_chaos(threads, None)
+    }
+
+    /// Creates an empty queue whose spill side, refill side and steal-victim
+    /// order are perturbed by `chaos` (when `Some`).
+    pub fn with_chaos(threads: usize, chaos: Option<Arc<ChaosPolicy>>) -> Self {
         ChunkedFifo {
             locals: PerThread::new(threads, |_| {
                 Mutex::new(Local {
@@ -189,6 +244,7 @@ impl<T: Send> ChunkedFifo<T> {
             }),
             shared: CachePadded::new(Mutex::new(std::collections::VecDeque::new())),
             approx_len: AtomicUsize::new(0),
+            chaos,
         }
     }
 
@@ -199,7 +255,12 @@ impl<T: Send> ChunkedFifo<T> {
         local.push.items.push(item);
         if local.push.items.len() == CHUNK_CAPACITY {
             let full = std::mem::replace(&mut local.push, Chunk::new());
-            self.shared.lock().push_back(full);
+            let mut shared = self.shared.lock();
+            // Chaos: spill to the front sometimes, jumping the FIFO line.
+            match &self.chaos {
+                Some(c) if c.spill_index(2) == 0 => shared.push_front(full),
+                _ => shared.push_back(full),
+            }
         }
     }
 
@@ -216,7 +277,16 @@ impl<T: Send> ChunkedFifo<T> {
                 }
                 return item;
             }
-            if let Some(mut chunk) = self.shared.lock().pop_front() {
+            let refilled = {
+                let mut shared = self.shared.lock();
+                // Chaos: refill from the back sometimes, reversing the
+                // rough-FIFO drain order for a whole chunk.
+                match &self.chaos {
+                    Some(c) if c.refill_index(2) == 0 => shared.pop_back(),
+                    _ => shared.pop_front(),
+                }
+            };
+            if let Some(mut chunk) = refilled {
                 chunk.items.reverse();
                 local.pop = chunk;
                 continue;
@@ -231,23 +301,37 @@ impl<T: Send> ChunkedFifo<T> {
             drop(local);
             // Steal a partially filled chunk from another thread.
             let threads = self.locals.len();
-            for victim in (tid + 1..threads).chain(0..tid) {
-                let mut other = match self.locals.get(victim).try_lock() {
-                    Some(g) => g,
-                    None => continue,
-                };
-                if let Some(item) = other.pop.items.pop() {
-                    self.approx_len.fetch_sub(1, Ordering::Relaxed);
-                    return Some(item);
+            if let Some(c) = &self.chaos {
+                for victim in c.steal_order(tid, threads) {
+                    if let Some(item) = self.steal_from(victim) {
+                        return Some(item);
+                    }
                 }
-                if !other.push.items.is_empty() {
-                    let item = other.push.items.remove(0);
-                    self.approx_len.fetch_sub(1, Ordering::Relaxed);
-                    return Some(item);
+            } else {
+                for victim in (tid + 1..threads).chain(0..tid) {
+                    if let Some(item) = self.steal_from(victim) {
+                        return Some(item);
+                    }
                 }
             }
             return None;
         }
+    }
+
+    /// One steal attempt against `victim`'s local chunks (`None` when the
+    /// victim is busy or empty).
+    fn steal_from(&self, victim: usize) -> Option<T> {
+        let mut other = self.locals.get(victim).try_lock()?;
+        if let Some(item) = other.pop.items.pop() {
+            self.approx_len.fetch_sub(1, Ordering::Relaxed);
+            return Some(item);
+        }
+        if !other.push.items.is_empty() {
+            let item = other.push.items.remove(0);
+            self.approx_len.fetch_sub(1, Ordering::Relaxed);
+            return Some(item);
+        }
+        None
     }
 
     /// Approximate number of items (racy; for sizing hints only).
@@ -540,6 +624,46 @@ mod tests {
             assert!(seen.lock().unwrap().insert(x));
         }
         assert_eq!(seen.lock().unwrap().len(), THREADS * 400);
+    }
+
+    #[test]
+    fn chaos_bag_loses_nothing() {
+        const THREADS: usize = 4;
+        let chaos = Arc::new(ChaosPolicy::new(2024));
+        let bag: ChunkedBag<usize> = ChunkedBag::with_chaos(THREADS, Some(chaos));
+        let seen = StdMutex::new(HashSet::new());
+        run_on_threads(THREADS, |tid| {
+            for i in 0..500 {
+                bag.push(tid, tid * 500 + i);
+            }
+            while let Some(x) = bag.pop(tid) {
+                assert!(seen.lock().unwrap().insert(x));
+            }
+        });
+        while let Some(x) = bag.pop(0) {
+            assert!(seen.lock().unwrap().insert(x));
+        }
+        assert_eq!(seen.lock().unwrap().len(), THREADS * 500);
+    }
+
+    #[test]
+    fn chaos_fifo_loses_nothing() {
+        const THREADS: usize = 4;
+        let chaos = Arc::new(ChaosPolicy::new(31));
+        let q: ChunkedFifo<usize> = ChunkedFifo::with_chaos(THREADS, Some(chaos));
+        let seen = StdMutex::new(HashSet::new());
+        run_on_threads(THREADS, |tid| {
+            for i in 0..500 {
+                q.push(tid, tid * 500 + i);
+            }
+            while let Some(x) = q.pop(tid) {
+                assert!(seen.lock().unwrap().insert(x));
+            }
+        });
+        while let Some(x) = q.pop(0) {
+            assert!(seen.lock().unwrap().insert(x));
+        }
+        assert_eq!(seen.lock().unwrap().len(), THREADS * 500);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Property tests for the chunked work bags.
+//!
+//! The bags move work in 64-task chunks, so the interesting states all sit
+//! at chunk boundaries: a push chunk that is exactly full but not yet
+//! spilled, a pop chunk that runs empty and must refill from the shared
+//! list, a steal that lands on a partially filled chunk. Sizes here are
+//! drawn as `chunks * CHUNK_CAPACITY + delta` to concentrate cases on those
+//! boundaries, and every property also runs under a drawn chaos seed —
+//! the bags are unordered (or FIFO only per-thread), so no seed may ever
+//! lose, duplicate, or invent an item.
+
+use galois_runtime::chaos::ChaosPolicy;
+use galois_runtime::worklist::{ChunkedBag, ChunkedFifo};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Mirrors the private `worklist::CHUNK_CAPACITY`; the boundary cases
+/// below are only interesting if this stays in sync.
+const CHUNK_CAPACITY: usize = 64;
+
+/// Seed 0 means "no chaos" so every property covers the unperturbed bag
+/// too; any other seed wraps a live policy.
+fn chaos(seed: u64) -> Option<Arc<ChaosPolicy>> {
+    (seed != 0).then(|| Arc::new(ChaosPolicy::new(seed)))
+}
+
+fn drain<T>(pop: impl Fn() -> Option<T>) -> Vec<T> {
+    let mut out = Vec::new();
+    while let Some(v) = pop() {
+        out.push(v);
+    }
+    out
+}
+
+proptest! {
+    /// Cross-thread drain of the bag: when `n < CHUNK_CAPACITY` the items
+    /// never spill, so the popper must steal from the pusher's partially
+    /// filled push chunk; at exact multiples the popper's local chunks run
+    /// empty and it refills whole chunks from the shared list. Either way
+    /// every item comes back exactly once.
+    fn bag_cross_thread_drain_round_trips(
+        chunks in 0usize..3,
+        delta in 0usize..3,
+        threads in 2usize..5,
+        seed in 0u64..1024,
+    ) {
+        let n = chunks * CHUNK_CAPACITY + delta;
+        let bag: ChunkedBag<usize> = ChunkedBag::with_chaos(threads, chaos(seed));
+        for i in 0..n {
+            bag.push(0, i);
+        }
+        // Pop from the *last* thread: its local chunks are empty, so the
+        // first pop exercises the refill/steal path, not the local cache.
+        let got = drain(|| bag.pop(threads - 1));
+        prop_assert_eq!(got.len(), n, "bag lost or duplicated items");
+        let set: HashSet<usize> = got.iter().copied().collect();
+        prop_assert_eq!(set.len(), n, "bag duplicated an item");
+        prop_assert!(set.iter().all(|&v| v < n), "bag invented an item");
+        prop_assert!(bag.pop(0).is_none(), "bag non-empty after full drain");
+    }
+
+    /// Interleaved push/pop sequences against a model multiset: pops that
+    /// land mid-spill (push chunk full, shared list growing) must still
+    /// only ever return items that were pushed and not yet popped.
+    fn bag_interleaved_ops_match_a_model(
+        ops in proptest::collection::vec((0u8..4, 0usize..4), 0..400),
+        threads in 1usize..5,
+        seed in 0u64..1024,
+    ) {
+        let bag: ChunkedBag<usize> = ChunkedBag::with_chaos(threads, chaos(seed));
+        let mut live: HashSet<usize> = HashSet::new();
+        let mut next = 0usize;
+        for (op, tid) in ops {
+            let tid = tid % threads;
+            if op < 3 {
+                // Bias 3:1 toward pushes so runs actually cross the
+                // spill boundary instead of staying near empty.
+                bag.push(tid, next);
+                live.insert(next);
+                next += 1;
+            } else {
+                match bag.pop(tid) {
+                    Some(v) => prop_assert!(live.remove(&v), "popped {v} twice or never pushed"),
+                    None => prop_assert!(live.is_empty(), "pop returned None with items live"),
+                }
+            }
+        }
+        let rest = drain(|| bag.pop(0));
+        for v in &rest {
+            prop_assert!(live.remove(v), "drain returned {v} twice or never pushed");
+        }
+        prop_assert!(live.is_empty(), "items lost: {live:?}");
+    }
+
+    /// Single-producer single-consumer FIFO exactness across chunk
+    /// boundaries, chaos-free: the per-thread FIFO contract must survive
+    /// the internal chunk spill/refill (chunks are stored reversed in the
+    /// pop cache, which is exactly the kind of thing this would catch).
+    fn fifo_is_exactly_fifo_per_thread(
+        chunks in 0usize..3,
+        delta in 0usize..3,
+    ) {
+        let n = chunks * CHUNK_CAPACITY + delta;
+        let fifo: ChunkedFifo<usize> = ChunkedFifo::new(1);
+        for i in 0..n {
+            fifo.push(0, i);
+        }
+        let got = drain(|| fifo.pop(0));
+        prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Under chaos the FIFO's *chunk* order may be perturbed (that is the
+    /// point), but the bag contract still holds: cross-thread drain
+    /// returns every pushed item exactly once.
+    fn fifo_under_chaos_loses_nothing(
+        chunks in 0usize..3,
+        delta in 0usize..3,
+        threads in 2usize..5,
+        seed in 1u64..1024,
+    ) {
+        let n = chunks * CHUNK_CAPACITY + delta;
+        let fifo: ChunkedFifo<usize> = ChunkedFifo::with_chaos(threads, chaos(seed));
+        for i in 0..n {
+            fifo.push(0, i);
+        }
+        let got = drain(|| fifo.pop(threads - 1));
+        let set: HashSet<usize> = got.iter().copied().collect();
+        prop_assert_eq!(got.len(), n);
+        prop_assert_eq!(set.len(), n);
+        prop_assert!(fifo.pop(0).is_none());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Real concurrency: producers spill chunks while consumers drain.
+    /// Two producer threads push disjoint ranges as two consumer threads
+    /// pop until everything has been seen, so refills and steals race
+    /// against in-progress spills. The union of what the consumers saw
+    /// must be exactly what the producers pushed.
+    fn bag_concurrent_drain_during_spill(
+        per_producer in 1usize..(3 * CHUNK_CAPACITY),
+        seed in 0u64..1024,
+    ) {
+        let total = 2 * per_producer;
+        let bag: ChunkedBag<usize> = ChunkedBag::with_chaos(4, chaos(seed));
+        let popped = AtomicUsize::new(0);
+        let mut seen: Vec<Vec<usize>> = Vec::new();
+        std::thread::scope(|s| {
+            for p in 0..2usize {
+                let bag = &bag;
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        bag.push(p, p * per_producer + i);
+                    }
+                });
+            }
+            let consumers: Vec<_> = (0..2usize)
+                .map(|c| {
+                    let (bag, popped) = (&bag, &popped);
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            if let Some(v) = bag.pop(2 + c) {
+                                mine.push(v);
+                                popped.fetch_add(1, Ordering::Relaxed);
+                            } else if popped.load(Ordering::Relaxed) == total {
+                                return mine;
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for c in consumers {
+                seen.push(c.join().unwrap());
+            }
+        });
+        let union: HashSet<usize> = seen.iter().flatten().copied().collect();
+        let count: usize = seen.iter().map(Vec::len).sum();
+        prop_assert_eq!(count, total, "concurrent drain lost or duplicated items");
+        prop_assert_eq!(union.len(), total);
+        prop_assert!(union.iter().all(|&v| v < total));
+    }
+}

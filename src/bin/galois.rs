@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! galois <app> [--variant seq|g-n|g-d|pbbs] [--threads N] [--size N] [--seed N] [--verify]
-//!        [--round-log FILE]
+//!        [--round-log FILE] [--chaos-seed N]
 //!
 //! apps: bfs, mis, dt, dmr, pfp
 //! ```
@@ -15,6 +15,12 @@
 //! log as canonical JSONL: for `g-d` the file is byte-identical at any
 //! thread count, so two runs can be diffed to find the first divergent
 //! round.
+//!
+//! `--chaos-seed N` (executor variants only) installs a seeded
+//! schedule-chaos policy: thread start skew, barrier jitter, shuffled
+//! worklist chunk traffic and forced spurious aborts. `g-d` output and
+//! round logs must be byte-identical regardless of the seed — that is the
+//! invariance the flag exists to stress.
 
 use deterministic_galois::apps::{bfs, dmr, dt, mis, mm, pfp};
 use deterministic_galois::core::{
@@ -34,12 +40,14 @@ struct Args {
     seed: u64,
     verify: bool,
     round_log: Option<String>,
+    chaos_seed: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: galois <bfs|mis|mm|dt|dmr|pfp> [--variant seq|g-n|g-d|pbbs] \
-         [--threads N] [--size N] [--seed N] [--verify] [--round-log FILE]"
+         [--threads N] [--size N] [--seed N] [--verify] [--round-log FILE] \
+         [--chaos-seed N]"
     );
     exit(2);
 }
@@ -53,6 +61,7 @@ fn parse_args() -> Args {
         seed: 42,
         verify: false,
         round_log: None,
+        chaos_seed: None,
     };
     let mut it = std::env::args().skip(1);
     let Some(app) = it.next() else { usage() };
@@ -69,6 +78,9 @@ fn parse_args() -> Args {
             "--seed" => val(&mut |v| args.seed = v.parse().unwrap_or_else(|_| usage())),
             "--verify" => args.verify = true,
             "--round-log" => val(&mut |v| args.round_log = Some(v)),
+            "--chaos-seed" => {
+                val(&mut |v| args.chaos_seed = Some(v.parse().unwrap_or_else(|_| usage())))
+            }
             _ => usage(),
         }
     }
@@ -88,7 +100,7 @@ fn executor(args: &Args, spread: usize, fifo: bool) -> Executor {
             exit(2);
         }
     };
-    Executor::new()
+    let mut exec = Executor::new()
         .threads(args.threads)
         .schedule(schedule)
         .worklist(if fifo {
@@ -96,7 +108,11 @@ fn executor(args: &Args, spread: usize, fifo: bool) -> Executor {
         } else {
             WorklistPolicy::Lifo
         })
-        .record_rounds(args.round_log.is_some())
+        .record_rounds(args.round_log.is_some());
+    if let Some(seed) = args.chaos_seed {
+        exec = exec.chaos(seed);
+    }
+    exec
 }
 
 /// Extracts a run's round log (if `--round-log` asked for one) and returns
@@ -133,6 +149,10 @@ fn main() {
     let args = parse_args();
     if args.round_log.is_some() && !matches!(args.variant.as_str(), "g-d" | "g-n") {
         eprintln!("--round-log requires an executor variant (g-d or g-n)");
+        exit(2);
+    }
+    if args.chaos_seed.is_some() && !matches!(args.variant.as_str(), "g-d" | "g-n") {
+        eprintln!("--chaos-seed requires an executor variant (g-d or g-n)");
         exit(2);
     }
     let t0 = std::time::Instant::now();

@@ -1,107 +1,72 @@
 //! Cross-crate portability tests: the deterministic scheduler must produce
 //! bit-identical outputs *and schedules* for every thread count, for every
-//! application (the paper's portability property).
+//! application (the paper's portability property). Thread counts include
+//! oversubscribed ones — see [`common::THREAD_COUNTS`].
 
+mod common;
+
+use common::{assert_portable, det_executor, det_executor_spread};
 use deterministic_galois::apps::{bfs, dmr, dt, mis, pfp};
-use deterministic_galois::core::{DetOptions, Executor, Schedule};
+use deterministic_galois::core::{Executor, Schedule};
 use deterministic_galois::geometry::point::random_points;
 use deterministic_galois::graph::{gen, FlowNetwork};
 use deterministic_galois::mesh::check;
 
-const THREAD_COUNTS: [usize; 3] = [1, 2, 5];
-
-fn det_executor(threads: usize) -> Executor {
-    Executor::new()
-        .threads(threads)
-        .schedule(Schedule::deterministic())
-}
-
 #[test]
 fn bfs_schedule_and_output_portable() {
     let g = gen::uniform_random(3_000, 5, 11);
-    let mut prev = None;
-    for threads in THREAD_COUNTS {
+    assert_portable("bfs", |threads| {
         let (dist, report) = bfs::galois(&g, 0, &det_executor(threads));
-        let sig = (
+        (
             dist,
             report.stats.committed,
             report.stats.aborted,
             report.stats.rounds,
-        );
-        if let Some(p) = &prev {
-            assert_eq!(&sig, p, "bfs changed at {threads} threads");
-        }
-        prev = Some(sig);
-    }
+        )
+    });
 }
 
 #[test]
 fn mis_set_portable() {
     let g = gen::uniform_random_undirected(2_000, 4, 12);
-    let mut prev = None;
-    for threads in THREAD_COUNTS {
+    assert_portable("mis", |threads| {
         let (flags, report) = mis::galois(&g, &det_executor(threads));
         mis::verify(&g, &flags).unwrap();
-        let sig = (flags, report.stats.committed, report.stats.rounds);
-        if let Some(p) = &prev {
-            assert_eq!(&sig, p, "mis changed at {threads} threads");
-        }
-        prev = Some(sig);
-    }
+        (flags, report.stats.committed, report.stats.rounds)
+    });
 }
 
 #[test]
 fn dt_geometry_portable() {
     let pts = random_points(600, 13);
-    let mut prev = None;
-    for threads in THREAD_COUNTS {
+    assert_portable("dt", |threads| {
         let (mesh, _) = dt::galois(&pts, 3, &det_executor(threads));
         check::check_delaunay(&mesh).unwrap();
-        let canon = check::canonical_triangles(&mesh);
-        if let Some(p) = &prev {
-            assert_eq!(&canon, p, "dt changed at {threads} threads");
-        }
-        prev = Some(canon);
-    }
+        check::canonical_triangles(&mesh)
+    });
 }
 
 #[test]
 fn dmr_geometry_portable_with_locality_spread() {
     // The generated g-d uses the §3.3 optimizations, including locality
     // spreading; determinism must hold with them enabled.
-    let mut prev = None;
-    for threads in THREAD_COUNTS {
+    assert_portable("dmr", |threads| {
         let mesh = dmr::make_input(150, 14);
-        let exec = Executor::new()
-            .threads(threads)
-            .schedule(Schedule::Deterministic(DetOptions {
-                locality_spread: 16,
-                ..Default::default()
-            }));
-        dmr::galois(&mesh, &exec);
+        dmr::galois(&mesh, &det_executor_spread(threads, 16));
         check::validate(&mesh).unwrap();
         check::check_delaunay(&mesh).unwrap();
         assert_eq!(check::quality(&mesh).bad, 0);
-        let canon = check::canonical_triangles(&mesh);
-        if let Some(p) = &prev {
-            assert_eq!(&canon, p, "dmr changed at {threads} threads");
-        }
-        prev = Some(canon);
-    }
+        check::canonical_triangles(&mesh)
+    });
 }
 
 #[test]
 fn pfp_flow_and_schedule_portable() {
     let net = FlowNetwork::random(128, 4, 100, 15);
-    let mut prev = None;
-    for threads in THREAD_COUNTS {
+    assert_portable("pfp", |threads| {
         let (flow, report) = pfp::galois(&net, &det_executor(threads));
-        let sig = (flow, report.stats.committed, report.bouts);
-        if let Some(p) = &prev {
-            assert_eq!(&sig, p, "pfp changed at {threads} threads");
-        }
-        prev = Some(sig);
-    }
+        (flow, report.stats.committed, report.bouts)
+    });
 }
 
 #[test]
@@ -130,4 +95,22 @@ fn window_policy_is_part_of_the_algorithm_not_a_parameter() {
         .worklist(WorklistPolicy::Fifo);
     let (b, _) = mis::galois(&g, &exec_fifo);
     assert_eq!(a, b, "worklist policy must not affect deterministic output");
+}
+
+#[test]
+fn chaos_seed_does_not_leak_into_deterministic_output() {
+    // The chaos layer's contract, end to end at the app level: seeds may
+    // reorder thread arrivals and force spurious aborts, but mis output and
+    // schedule counters match the chaos-free run at every thread count.
+    let g = gen::uniform_random_undirected(1_000, 4, 18);
+    let (baseline, base_report) = mis::galois(&g, &det_executor(2));
+    for threads in common::THREAD_COUNTS {
+        for seed in [3u64, 0x5EED] {
+            let exec = det_executor(threads).chaos(seed);
+            let (flags, report) = mis::galois(&g, &exec);
+            assert_eq!(flags, baseline, "threads={threads} seed={seed}");
+            assert_eq!(report.stats.rounds, base_report.stats.rounds);
+            assert_eq!(report.stats.committed, base_report.stats.committed);
+        }
+    }
 }
