@@ -9,22 +9,38 @@
 //! | pfp | 2^23 nodes × 4 random edges | RMF 18×18×24 ≈ 2^13 nodes (see below) |
 
 use galois_geometry::Point;
+use galois_graph::cache::{cache_dir_from_env, load_or_build_graph};
 use galois_graph::{gen, CsrGraph, FlowNetwork};
 use galois_mesh::Mesh;
 
 /// Deterministic seed for all benchmark inputs.
 pub const SEED: u64 = 0xA5F_2014;
 
+/// Threads used to *build* graph inputs. The parallel generators are
+/// byte-identical for every thread count, so this only affects setup time.
+const BUILD_THREADS: usize = 4;
+
+/// Builds `key` with the parallel generators, or loads it from the
+/// directory named by `GALOIS_CACHE_DIR` when that is set.
+fn cached(key: String, build: impl FnOnce() -> CsrGraph) -> CsrGraph {
+    let dir = cache_dir_from_env();
+    load_or_build_graph(dir.as_deref(), &key, build).0
+}
+
 /// BFS input graph.
 pub fn bfs_graph(scale: f64) -> CsrGraph {
     let n = ((150_000.0 * scale) as usize).max(1_000);
-    gen::uniform_random(n, 5, SEED)
+    cached(format!("uniform-n{n}-d5-s{SEED}"), || {
+        gen::uniform_random_parallel(n, 5, SEED, BUILD_THREADS)
+    })
 }
 
 /// MIS input graph (undirected).
 pub fn mis_graph(scale: f64) -> CsrGraph {
     let n = ((150_000.0 * scale) as usize).max(1_000);
-    gen::uniform_random_undirected(n, 4, SEED + 1)
+    cached(format!("uniform-und-n{n}-d4-s{}", SEED + 1), || {
+        gen::uniform_random_undirected_parallel(n, 4, SEED + 1, BUILD_THREADS)
+    })
 }
 
 /// DT input points.

@@ -1,0 +1,231 @@
+//! On-disk input cache.
+//!
+//! The paper's workloads regenerate their inputs on every run (§4.2); with
+//! the threads × seeds matrices the harness and bench drivers sweep, the
+//! same graph may otherwise be generated hundreds of times per machine.
+//! This module caches generated inputs under a directory, keyed by
+//! **generator name + parameters + seed** — exactly the arguments that
+//! determine the bytes, since every generator is a pure function of them.
+//!
+//! Two on-disk representations:
+//!
+//! - [`CsrGraph`]: the versioned binary CSR format of [`crate::io`]
+//!   (`.gcsr`), loadable with two bulk reads.
+//! - [`FlowNetwork`]: DIMACS max-flow text (`.dimacs`); the format
+//!   round-trips the network exactly (arc order is preserved, so the
+//!   rebuilt residual pairing is identical).
+//!
+//! A cache file that fails to decode — wrong magic, old version,
+//! truncation, checksum mismatch — is treated as a miss and silently
+//! regenerated and rewritten, never trusted. Writes go through a
+//! temporary file and an atomic rename, so a crashed run cannot leave a
+//! half-written cache entry behind.
+
+use crate::csr::CsrGraph;
+use crate::flow::FlowNetwork;
+use crate::io::{read_csr_binary, read_dimacs_flow, write_csr_binary, write_dimacs_flow};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+/// File extension of binary CSR cache entries.
+pub const GRAPH_EXT: &str = "gcsr";
+/// File extension of DIMACS flow-network cache entries.
+pub const FLOW_EXT: &str = "dimacs";
+
+/// Environment variable naming the cache directory for callers that take
+/// no explicit flag (the bench drivers).
+pub const CACHE_DIR_ENV: &str = "GALOIS_CACHE_DIR";
+
+/// What one cached load did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The input was decoded from a cache file; nothing was generated.
+    Hit,
+    /// The input was generated (no usable cache entry) and stored.
+    MissStored,
+    /// No cache directory was configured, or the input kind is not
+    /// cacheable; the input was generated and nothing was stored.
+    Disabled,
+}
+
+impl CacheOutcome {
+    /// Whether this load decoded a cache file instead of generating.
+    pub fn is_hit(self) -> bool {
+        self == CacheOutcome::Hit
+    }
+}
+
+impl std::fmt::Display for CacheOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::MissStored => "miss (stored)",
+            CacheOutcome::Disabled => "disabled",
+        })
+    }
+}
+
+/// The cache directory named by [`CACHE_DIR_ENV`], if set and non-empty.
+pub fn cache_dir_from_env() -> Option<PathBuf> {
+    match std::env::var(CACHE_DIR_ENV) {
+        Ok(dir) if !dir.is_empty() => Some(PathBuf::from(dir)),
+        _ => None,
+    }
+}
+
+/// The file a graph key maps to inside `dir`.
+///
+/// # Panics
+///
+/// Panics if the key contains characters outside `[A-Za-z0-9._-]` — keys
+/// are file names, and a path separator smuggled through a key must fail
+/// loudly, not escape the cache directory.
+pub fn entry_path(dir: &Path, key: &str, ext: &str) -> PathBuf {
+    assert!(
+        !key.is_empty()
+            && key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')),
+        "cache key {key:?} must be non-empty [A-Za-z0-9._-]"
+    );
+    dir.join(format!("{key}.{ext}"))
+}
+
+/// Stores `bytes_to` under `path` via a temporary file + atomic rename.
+fn store(path: &Path, write: impl FnOnce(&mut BufWriter<File>) -> std::io::Result<()>) {
+    let Some(dir) = path.parent() else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("input cache: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = File::create(&tmp).and_then(|f| {
+        let mut w = BufWriter::new(f);
+        write(&mut w)?;
+        std::io::Write::flush(&mut w)
+    });
+    let renamed = result.and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = renamed {
+        eprintln!("input cache: cannot store {}: {e}", path.display());
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+/// Loads the graph `key` from `dir`, or generates it with `build` and
+/// stores the result. With `dir == None`, just builds.
+///
+/// A present-but-undecodable entry (truncated, corrupt, wrong version) is
+/// regenerated and overwritten.
+pub fn load_or_build_graph(
+    dir: Option<&Path>,
+    key: &str,
+    build: impl FnOnce() -> CsrGraph,
+) -> (CsrGraph, CacheOutcome) {
+    let Some(dir) = dir else {
+        return (build(), CacheOutcome::Disabled);
+    };
+    let path = entry_path(dir, key, GRAPH_EXT);
+    if let Ok(f) = File::open(&path) {
+        match read_csr_binary(BufReader::new(f)) {
+            Ok(g) => return (g, CacheOutcome::Hit),
+            Err(e) => eprintln!("input cache: regenerating {}: {e}", path.display()),
+        }
+    }
+    let g = build();
+    store(&path, |w| write_csr_binary(&g, w));
+    (g, CacheOutcome::MissStored)
+}
+
+/// Loads the flow network `key` from `dir`, or generates it with `build`
+/// and stores the result (DIMACS text). With `dir == None`, just builds.
+pub fn load_or_build_flow(
+    dir: Option<&Path>,
+    key: &str,
+    build: impl FnOnce() -> FlowNetwork,
+) -> (FlowNetwork, CacheOutcome) {
+    let Some(dir) = dir else {
+        return (build(), CacheOutcome::Disabled);
+    };
+    let path = entry_path(dir, key, FLOW_EXT);
+    if let Ok(f) = File::open(&path) {
+        match read_dimacs_flow(BufReader::new(f)) {
+            Ok(net) => return (net, CacheOutcome::Hit),
+            Err(e) => eprintln!("input cache: regenerating {}: {e}", path.display()),
+        }
+    }
+    let net = build();
+    store(&path, |w| write_dimacs_flow(&net, w));
+    (net, CacheOutcome::MissStored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("galois-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn graph_miss_then_hit_round_trips() {
+        let dir = tmp_dir("graph");
+        let build = || gen::uniform_random(200, 4, 9);
+        let (a, out_a) = load_or_build_graph(Some(&dir), "uniform-n200-d4-s9", build);
+        assert_eq!(out_a, CacheOutcome::MissStored);
+        let (b, out_b) = load_or_build_graph(Some(&dir), "uniform-n200-d4-s9", || {
+            panic!("second load must not regenerate")
+        });
+        assert_eq!(out_b, CacheOutcome::Hit);
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flow_miss_then_hit_preserves_max_flow() {
+        let dir = tmp_dir("flow");
+        let build = || FlowNetwork::random(48, 3, 40, 4);
+        let (a, out_a) = load_or_build_flow(Some(&dir), "flowrand-n48-d3-c40-s4", build);
+        assert_eq!(out_a, CacheOutcome::MissStored);
+        let (b, out_b) = load_or_build_flow(Some(&dir), "flowrand-n48-d3-c40-s4", || {
+            panic!("second load must not regenerate")
+        });
+        assert_eq!(out_b, CacheOutcome::Hit);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.edmonds_karp(), b.edmonds_karp());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_dir_disables() {
+        let (g, out) = load_or_build_graph(None, "whatever", || gen::uniform_random(50, 2, 1));
+        assert_eq!(out, CacheOutcome::Disabled);
+        assert_eq!(g.num_nodes(), 50);
+    }
+
+    #[test]
+    fn corrupt_entry_regenerates() {
+        let dir = tmp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = entry_path(&dir, "k", GRAPH_EXT);
+        std::fs::write(&path, b"not a graph").unwrap();
+        let (g, out) = load_or_build_graph(Some(&dir), "k", || gen::uniform_random(30, 2, 2));
+        assert_eq!(out, CacheOutcome::MissStored);
+        assert_eq!(g, gen::uniform_random(30, 2, 2));
+        // The bad entry was replaced by a good one.
+        let (_, again) = load_or_build_graph(Some(&dir), "k", || panic!("should hit"));
+        assert_eq!(again, CacheOutcome::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache key")]
+    fn path_separators_in_keys_panic() {
+        entry_path(Path::new("/tmp"), "../escape", GRAPH_EXT);
+    }
+}

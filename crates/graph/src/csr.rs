@@ -1,8 +1,25 @@
 //! Compressed sparse row graphs.
 
+use galois_runtime::pool::{chunk_range, run_on_threads};
+use galois_runtime::scan::parallel_inclusive_scan;
+use galois_runtime::shared::SharedSlice;
+use galois_runtime::sort::parallel_sort_by_key;
+
 /// A node id. Graphs in this suite are bounded to `u32::MAX` nodes, matching
 //  the scaled-down inputs (DESIGN.md substitution 5).
 pub type NodeId = u32;
+
+/// Both directions of every non-self-loop edge, in input order.
+fn symmetric_closure(edges: &[(NodeId, NodeId)]) -> Vec<(NodeId, NodeId)> {
+    let mut both: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len() * 2);
+    for &(s, t) in edges {
+        if s != t {
+            both.push((s, t));
+            both.push((t, s));
+        }
+    }
+    both
+}
 
 /// An immutable directed graph in compressed sparse row form.
 ///
@@ -61,19 +78,146 @@ impl CsrGraph {
         CsrGraph { offsets, targets }
     }
 
+    /// Parallel [`from_edges`](Self::from_edges): counting sort with
+    /// per-thread histograms over contiguous edge chunks, a parallel prefix
+    /// sum for the offsets, and an order-preserving parallel scatter.
+    ///
+    /// The result is **byte-identical** to `from_edges(n, edges)` for every
+    /// `threads` value: edge chunks are contiguous and in order, and each
+    /// thread's scatter cursor starts at `offsets[v] + (edges of v owned by
+    /// earlier chunks)`, so every edge lands in exactly the slot the
+    /// sequential counting sort would give it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`, or if `edges.len() > u32::MAX`
+    /// (the parallel cursor stitching uses 32-bit per-chunk counts; the
+    /// suite's inputs are bounded far below this, matching [`NodeId`]).
+    pub fn from_edges_parallel(n: usize, edges: &[(NodeId, NodeId)], threads: usize) -> Self {
+        let m = edges.len();
+        // Small builds: the sequential oracle is faster than spawning.
+        let threads = threads.clamp(1, m.div_ceil(8192).max(1));
+        if threads == 1 {
+            return Self::from_edges(n, edges);
+        }
+        assert!(
+            u32::try_from(m).is_ok(),
+            "parallel CSR build limited to u32::MAX edges"
+        );
+
+        // Phase 1: per-thread degree histograms over contiguous edge chunks.
+        // Rows are allocated inside the worker so page-zeroing is parallel.
+        let mut counts: Vec<Vec<u32>> = (0..threads).map(|_| Vec::new()).collect();
+        {
+            let slots = SharedSlice::new(&mut counts);
+            let slots = &slots;
+            run_on_threads(threads, |tid| {
+                let mut local = vec![0u32; n];
+                for &(s, t) in &edges[chunk_range(m, threads, tid)] {
+                    assert!((s as usize) < n, "source {s} out of range");
+                    assert!((t as usize) < n, "target {t} out of range");
+                    local[s as usize] += 1;
+                }
+                // SAFETY: each tid writes only its own row slot.
+                unsafe { *slots.get_mut(tid) = local };
+            });
+        }
+
+        // Phase 2: offsets. `offsets[v + 1]` starts as v's total degree;
+        // an inclusive scan over `offsets[1..]` then yields the CSR offsets
+        // (`offsets[0]` stays 0). In the same pass each `counts[t][v]` is
+        // replaced by the *within-node* base of chunk t — the number of
+        // v-edges owned by earlier chunks — so the scatter phase needs no
+        // cross-thread coordination.
+        let mut offsets = vec![0u64; n + 1];
+        {
+            let shared_offsets = SharedSlice::new(&mut offsets);
+            let shared_offsets = &shared_offsets;
+            // Column-parallel pass over node chunks: thread `tid` owns the
+            // columns (nodes) in its chunk range across every counts row.
+            let count_rows: Vec<SharedSlice<'_, u32>> =
+                counts.iter_mut().map(|row| SharedSlice::new(row)).collect();
+            let count_rows = &count_rows;
+            run_on_threads(threads, |tid| {
+                for v in chunk_range(n, threads, tid) {
+                    let mut running = 0u32;
+                    for row in count_rows {
+                        // SAFETY: column v is owned exclusively by this tid.
+                        let slot = unsafe { row.get_mut(v) };
+                        let c = *slot;
+                        *slot = running;
+                        running += c;
+                    }
+                    // SAFETY: slot v + 1 is written only by this tid.
+                    unsafe { *shared_offsets.get_mut(v + 1) = running as u64 };
+                }
+            });
+        }
+        parallel_inclusive_scan(&mut offsets[1..], threads);
+
+        // Phase 3: scatter. Thread t walks its edge chunk in order, using
+        // its (now exclusive) counts row as the per-node cursor.
+        let mut targets = vec![0 as NodeId; m];
+        {
+            let shared_targets = SharedSlice::new(&mut targets);
+            let shared_targets = &shared_targets;
+            let offsets_ro: &[u64] = &offsets;
+            let counts_rows = SharedSlice::new(&mut counts);
+            let counts_rows = &counts_rows;
+            run_on_threads(threads, |tid| {
+                // SAFETY: row tid is touched only by thread tid in this phase.
+                let cursor: &mut Vec<u32> = unsafe { counts_rows.get_mut(tid) };
+                for &(s, t) in &edges[chunk_range(m, threads, tid)] {
+                    let slot = offsets_ro[s as usize] + cursor[s as usize] as u64;
+                    cursor[s as usize] += 1;
+                    // SAFETY: `slot` is unique per edge: offsets partition
+                    // by node, and the per-node cursors partition by chunk
+                    // and edge rank within the chunk.
+                    unsafe { *shared_targets.get_mut(slot as usize) = t };
+                }
+            });
+        }
+        CsrGraph { offsets, targets }
+    }
+
     /// Builds the undirected (symmetrized) version of an edge list: both
     /// directions are present and duplicate edges are removed.
     pub fn symmetrized(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
-        let mut both: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len() * 2);
-        for &(s, t) in edges {
-            if s != t {
-                both.push((s, t));
-                both.push((t, s));
-            }
-        }
+        let mut both = symmetric_closure(edges);
         both.sort_unstable();
         both.dedup();
         Self::from_edges(n, &both)
+    }
+
+    /// Parallel [`symmetrized`](Self::symmetrized): the doubled edge list is
+    /// sorted with the runtime's deterministic parallel stable sort (ties
+    /// are equal pairs, so stable and unstable orders coincide), deduped,
+    /// and built with [`from_edges_parallel`](Self::from_edges_parallel).
+    /// Byte-identical to the sequential version for every thread count.
+    pub fn symmetrized_parallel(n: usize, edges: &[(NodeId, NodeId)], threads: usize) -> Self {
+        let mut both = symmetric_closure(edges);
+        parallel_sort_by_key(&mut both, threads, |&pair| pair);
+        both.dedup();
+        Self::from_edges_parallel(n, &both, threads)
+    }
+
+    /// Reassembles a graph from raw CSR arrays (the binary cache reader).
+    ///
+    /// Returns `None` if the arrays are not structurally consistent (see
+    /// [`validate`](Self::validate)).
+    pub fn from_parts(offsets: Vec<u64>, targets: Vec<NodeId>) -> Option<Self> {
+        let g = CsrGraph { offsets, targets };
+        g.validate().then_some(g)
+    }
+
+    /// The raw CSR offset array (`num_nodes() + 1` entries).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw CSR target array, indexed by [`offsets`](Self::offsets).
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
     }
 
     /// Number of nodes.
@@ -192,6 +336,50 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_endpoint_panics() {
         let _ = CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // Adversarial shape: skewed degrees, duplicates, self loops, and
+        // enough edges to defeat the small-input sequential fallback.
+        let n = 50;
+        let edges: Vec<(NodeId, NodeId)> = (0..40_000u64)
+            .map(|i| {
+                let s = ((i * i) % 7 * 7 + i % 3) % n as u64;
+                let t = (i * 31) % n as u64;
+                (s as NodeId, t as NodeId)
+            })
+            .collect();
+        let seq = CsrGraph::from_edges(n, &edges);
+        for threads in [1, 2, 5, 8, 16] {
+            let par = CsrGraph::from_edges_parallel(n, &edges, threads);
+            assert_eq!(par.offsets, seq.offsets, "offsets at {threads} threads");
+            assert_eq!(par.targets, seq.targets, "targets at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_symmetrized_matches_sequential() {
+        let edges: Vec<(NodeId, NodeId)> = (0..30_000u64)
+            .map(|i| (((i * 13) % 64) as NodeId, ((i * 29 + 7) % 64) as NodeId))
+            .collect();
+        let seq = CsrGraph::symmetrized(64, &edges);
+        for threads in [2, 5, 8] {
+            assert_eq!(CsrGraph::symmetrized_parallel(64, &edges, threads), seq);
+        }
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (2, 0)]);
+        let rebuilt = CsrGraph::from_parts(g.offsets().to_vec(), g.targets().to_vec()).unwrap();
+        assert_eq!(rebuilt, g);
+        assert!(CsrGraph::from_parts(vec![0, 2], vec![1]).is_none(), "count");
+        assert!(CsrGraph::from_parts(vec![1, 1], vec![]).is_none(), "base");
+        assert!(
+            CsrGraph::from_parts(vec![0, 1], vec![7]).is_none(),
+            "target range"
+        );
     }
 
     #[test]

@@ -8,9 +8,33 @@
 //! or in the sequential baseline).
 
 use crate::csr::NodeId;
+use crate::gen::counter_stream;
+use galois_runtime::pool::{chunk_range, run_on_threads};
+use galois_runtime::shared::SharedSlice;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Writes node `s`'s `degree` capacitated out-edges from its counter
+/// stream: an unbiased distinct-from-self target, then a capacity in
+/// `1..=max_cap`.
+#[inline]
+fn fill_random_node(
+    out: &mut [(NodeId, NodeId, i64)],
+    n: usize,
+    s: NodeId,
+    max_cap: i64,
+    seed: u64,
+) {
+    let mut rng = counter_stream(seed, s as u64);
+    for slot in out.iter_mut() {
+        let mut t = rng.random_range(0..(n - 1) as NodeId);
+        if t >= s {
+            t += 1;
+        }
+        *slot = (s, t, rng.random_range(1..=max_cap));
+    }
+}
 
 /// A directed flow network with paired residual edges.
 #[derive(Debug)]
@@ -100,22 +124,80 @@ impl FlowNetwork {
         }
     }
 
+    /// The capacitated edge list behind [`random`](Self::random): each node
+    /// draws its `degree` (target, capacity) pairs from its own counter
+    /// stream (`seed ⊕ node id`, see [`crate::gen::counter_stream`]), with
+    /// the unbiased distinct-from-self target draw. Sequential oracle for
+    /// [`random_edges_parallel`](Self::random_edges_parallel).
+    pub fn random_edges(
+        n: usize,
+        degree: usize,
+        max_cap: i64,
+        seed: u64,
+    ) -> Vec<(NodeId, NodeId, i64)> {
+        assert!(n >= 2);
+        let mut edges = vec![(0 as NodeId, 0 as NodeId, 0i64); n * degree];
+        for s in 0..n {
+            fill_random_node(
+                &mut edges[s * degree..(s + 1) * degree],
+                n,
+                s as NodeId,
+                max_cap,
+                seed,
+            );
+        }
+        edges
+    }
+
+    /// Parallel [`random_edges`](Self::random_edges): nodes fanned over
+    /// `threads` threads, byte-identical output for any thread count.
+    pub fn random_edges_parallel(
+        n: usize,
+        degree: usize,
+        max_cap: i64,
+        seed: u64,
+        threads: usize,
+    ) -> Vec<(NodeId, NodeId, i64)> {
+        assert!(n >= 2);
+        let threads = threads.clamp(1, (n * degree).div_ceil(8192).max(1));
+        if threads == 1 {
+            return Self::random_edges(n, degree, max_cap, seed);
+        }
+        let mut edges = vec![(0 as NodeId, 0 as NodeId, 0i64); n * degree];
+        {
+            let shared = SharedSlice::new(&mut edges);
+            let shared = &shared;
+            run_on_threads(threads, |tid| {
+                for s in chunk_range(n, threads, tid) {
+                    // SAFETY: node ranges are disjoint across tids, so the
+                    // slots [s*degree, (s+1)*degree) are owned by this tid.
+                    let row = unsafe { shared.slice_mut(s * degree..(s + 1) * degree) };
+                    fill_random_node(row, n, s as NodeId, max_cap, seed);
+                }
+            });
+        }
+        edges
+    }
+
     /// The paper's pfp input: a random graph of `n` nodes with `degree`
     /// random neighbors each, random capacities in `1..=max_cap`, node 0 as
     /// source and node `n-1` as sink (§4.2, scaled).
     pub fn random(n: usize, degree: usize, max_cap: i64, seed: u64) -> Self {
-        assert!(n >= 2);
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut edges = Vec::with_capacity(n * degree);
-        for s in 0..n as NodeId {
-            for _ in 0..degree {
-                let mut t = rng.random_range(0..n as NodeId);
-                if t == s {
-                    t = (t + 1) % n as NodeId;
-                }
-                edges.push((s, t, rng.random_range(1..=max_cap)));
-            }
-        }
+        let edges = Self::random_edges(n, degree, max_cap, seed);
+        Self::from_edges(n, &edges, 0, (n - 1) as NodeId)
+    }
+
+    /// [`random`](Self::random) with parallel edge generation. The network
+    /// itself is identical for any thread count (the residual-graph build
+    /// is shared with the sequential path).
+    pub fn random_parallel(
+        n: usize,
+        degree: usize,
+        max_cap: i64,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        let edges = Self::random_edges_parallel(n, degree, max_cap, seed, threads);
         Self::from_edges(n, &edges, 0, (n - 1) as NodeId)
     }
 
@@ -389,6 +471,34 @@ mod tests {
         let a = FlowNetwork::random(32, 3, 50, 5);
         let b = FlowNetwork::random(32, 3, 50, 5);
         assert_eq!(a.edmonds_karp(), b.edmonds_karp());
+    }
+
+    #[test]
+    fn parallel_random_edges_are_thread_count_invariant() {
+        let seq = FlowNetwork::random_edges(300, 4, 75, 17);
+        for threads in [1, 2, 5, 8, 16] {
+            assert_eq!(
+                FlowNetwork::random_edges_parallel(300, 4, 75, 17, threads),
+                seq,
+                "flow edges diverged at {threads} threads"
+            );
+        }
+        // The built networks agree on everything observable.
+        let a = FlowNetwork::random(300, 4, 75, 17);
+        let b = FlowNetwork::random_parallel(300, 4, 75, 17, 8);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.edmonds_karp(), b.edmonds_karp());
+    }
+
+    #[test]
+    fn random_has_no_self_loops_and_exact_degree() {
+        let edges = FlowNetwork::random_edges(64, 4, 10, 3);
+        assert_eq!(edges.len(), 64 * 4);
+        for &(s, t, c) in &edges {
+            assert_ne!(s, t);
+            assert!((1..=10).contains(&c));
+        }
     }
 
     #[test]

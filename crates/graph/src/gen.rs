@@ -6,27 +6,130 @@
 //!   neighbors" — [`uniform_random`] plus capacities in [`crate::flow`].
 //! - Extra shapes for tests and ablations: [`grid2d`], [`rmat`].
 //!
-//! All generators are deterministic in their seed.
+//! # Determinism contract
+//!
+//! All generators are deterministic in their seed, and every generator
+//! draws from **counter-based per-unit RNG streams** (`seed ⊕ node id`, or
+//! `seed ⊕ edge id` for RMAT) rather than one sequential stream. That makes
+//! the work embarrassingly parallel without changing the output: the
+//! `*_parallel` variants fan the same per-unit streams over the runtime's
+//! scoped pool and are **byte-identical** to their sequential counterparts
+//! for every thread count — the PBBS notion of internal determinism
+//! ("All for One and One for All", PAPERS.md), applied to input setup. The
+//! sequential functions stay as the oracles the parallel paths are tested
+//! against (`crates/graph/tests/parallel_build.rs`).
 
 use crate::csr::{CsrGraph, NodeId};
+use galois_runtime::pool::{chunk_range, run_on_threads};
+use galois_runtime::scan::parallel_exclusive_scan;
+use galois_runtime::shared::SharedSlice;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
+/// The RNG stream owned by counter `c` (a node or edge id) under `seed`.
+///
+/// The golden-ratio multiply decorrelates adjacent counters before the
+/// SplitMix64 finalizer inside `seed_from_u64`; `c + 1` keeps counter 0
+/// from collapsing onto the bare seed.
+pub fn counter_stream(seed: u64, c: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ c.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Draws a uniformly random node `!= s`: drawing from `n - 1` candidates
+/// and shifting past `s` gives every other node probability `1/(n-1)`,
+/// unlike the old `(t + 1) % n` redirect, which silently gave `s + 1` a
+/// doubled share.
+#[inline]
+fn draw_non_self(rng: &mut SmallRng, n: usize, s: NodeId) -> NodeId {
+    let t = rng.random_range(0..(n - 1) as NodeId);
+    if t >= s {
+        t + 1
+    } else {
+        t
+    }
+}
+
+/// Writes node `s`'s `degree` out-edges into `out` (length `degree`).
+#[inline]
+fn fill_uniform_node(out: &mut [(NodeId, NodeId)], n: usize, s: NodeId, degree: usize, seed: u64) {
+    let mut rng = counter_stream(seed, s as u64);
+    for slot in out.iter_mut().take(degree) {
+        *slot = (s, draw_non_self(&mut rng, n, s));
+    }
+}
+
 /// Directed edge list where each node points to `degree` uniformly random
 /// distinct-from-self targets (duplicates between targets allowed, matching
-/// the PBBS generator).
+/// the PBBS generator). Sequential oracle for
+/// [`uniform_random_edges_parallel`].
 pub fn uniform_random_edges(n: usize, degree: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
     assert!(n >= 2 || degree == 0, "need at least two nodes for edges");
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut edges = Vec::with_capacity(n * degree);
-    for s in 0..n as NodeId {
-        for _ in 0..degree {
-            let mut t = rng.random_range(0..n as NodeId);
-            if t == s {
-                t = (t + 1) % n as NodeId;
+    let mut edges = vec![(0 as NodeId, 0 as NodeId); n * degree];
+    for s in 0..n {
+        fill_uniform_node(
+            &mut edges[s * degree..(s + 1) * degree],
+            n,
+            s as NodeId,
+            degree,
+            seed,
+        );
+    }
+    edges
+}
+
+/// Parallel [`uniform_random_edges`]: nodes are fanned over `threads`
+/// threads, each node drawing from its own counter stream, so the edge
+/// list is byte-identical for any thread count.
+pub fn uniform_random_edges_parallel(
+    n: usize,
+    degree: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<(NodeId, NodeId)> {
+    assert!(n >= 2 || degree == 0, "need at least two nodes for edges");
+    let threads = threads.clamp(1, (n * degree).div_ceil(8192).max(1));
+    if threads == 1 {
+        return uniform_random_edges(n, degree, seed);
+    }
+    let mut edges = vec![(0 as NodeId, 0 as NodeId); n * degree];
+    {
+        let shared = SharedSlice::new(&mut edges);
+        let shared = &shared;
+        run_on_threads(threads, |tid| {
+            for s in chunk_range(n, threads, tid) {
+                // SAFETY: node ranges are disjoint across tids, so the edge
+                // slots [s*degree, (s+1)*degree) are owned by this thread.
+                let row = unsafe { shared.slice_mut(s * degree..(s + 1) * degree) };
+                fill_uniform_node(row, n, s as NodeId, degree, seed);
             }
-            edges.push((s, t));
-        }
+        });
+    }
+    edges
+}
+
+/// The edge slots owned by nodes `range` of [`uniform_random_edges`] —
+/// exactly one worker's share of the parallel fill under a static
+/// partition. Exists so a single-core host can measure the per-chunk
+/// critical path of the parallel generator directly (bench `gen`):
+/// concatenating the chunks of any partition of `0..n` reproduces the
+/// full edge list byte for byte.
+pub fn uniform_random_edges_range(
+    n: usize,
+    degree: usize,
+    seed: u64,
+    range: std::ops::Range<usize>,
+) -> Vec<(NodeId, NodeId)> {
+    assert!(n >= 2 || degree == 0, "need at least two nodes for edges");
+    assert!(range.end <= n);
+    let mut edges = vec![(0 as NodeId, 0 as NodeId); range.len() * degree];
+    for (i, s) in range.enumerate() {
+        fill_uniform_node(
+            &mut edges[i * degree..(i + 1) * degree],
+            n,
+            s as NodeId,
+            degree,
+            seed,
+        );
     }
     edges
 }
@@ -36,79 +139,218 @@ pub fn uniform_random(n: usize, degree: usize, seed: u64) -> CsrGraph {
     CsrGraph::from_edges(n, &uniform_random_edges(n, degree, seed))
 }
 
+/// Parallel [`uniform_random`]: parallel generation and parallel CSR
+/// build, byte-identical to the sequential version for any thread count.
+pub fn uniform_random_parallel(n: usize, degree: usize, seed: u64, threads: usize) -> CsrGraph {
+    let edges = uniform_random_edges_parallel(n, degree, seed, threads);
+    CsrGraph::from_edges_parallel(n, &edges, threads)
+}
+
 /// Undirected (symmetrized) random k-out graph — the mis input.
 pub fn uniform_random_undirected(n: usize, degree: usize, seed: u64) -> CsrGraph {
     CsrGraph::symmetrized(n, &uniform_random_edges(n, degree, seed))
 }
 
+/// Parallel [`uniform_random_undirected`], byte-identical to the
+/// sequential version for any thread count.
+pub fn uniform_random_undirected_parallel(
+    n: usize,
+    degree: usize,
+    seed: u64,
+    threads: usize,
+) -> CsrGraph {
+    let edges = uniform_random_edges_parallel(n, degree, seed, threads);
+    CsrGraph::symmetrized_parallel(n, &edges, threads)
+}
+
+/// Number of edges row `y` of a `w × h` grid emits, and the offset of its
+/// first edge in the directed edge list.
+fn grid_row_shape(w: usize, h: usize, y: usize) -> (usize, usize) {
+    let horizontal = w.saturating_sub(1);
+    let full_row = horizontal + w; // horizontal + vertical links
+    let len = if y + 1 < h { full_row } else { horizontal };
+    (y * full_row, len)
+}
+
+/// Writes row `y`'s directed grid edges in the canonical x-major order.
+fn fill_grid_row(out: &mut [(NodeId, NodeId)], w: usize, h: usize, y: usize) {
+    let id = |x: usize, y: usize| (y * w + x) as NodeId;
+    let mut k = 0;
+    for x in 0..w {
+        if x + 1 < w {
+            out[k] = (id(x, y), id(x + 1, y));
+            k += 1;
+        }
+        if y + 1 < h {
+            out[k] = (id(x, y), id(x, y + 1));
+            k += 1;
+        }
+    }
+    debug_assert_eq!(k, out.len());
+}
+
 /// A `w × h` 4-neighbor grid, undirected. High-locality topology used by the
 /// locality ablations.
 pub fn grid2d(w: usize, h: usize) -> CsrGraph {
-    let n = w * h;
-    let id = |x: usize, y: usize| (y * w + x) as NodeId;
-    let mut edges = Vec::with_capacity(4 * n);
+    let mut edges = Vec::new();
     for y in 0..h {
-        for x in 0..w {
-            if x + 1 < w {
-                edges.push((id(x, y), id(x + 1, y)));
+        let (_, len) = grid_row_shape(w, h, y);
+        let start = edges.len();
+        edges.resize(start + len, (0, 0));
+        fill_grid_row(&mut edges[start..], w, h, y);
+    }
+    CsrGraph::symmetrized(w * h, &edges)
+}
+
+/// Parallel [`grid2d`]: rows are fanned over threads (each row's edge range
+/// is computable in closed form), then built with the parallel symmetrizer.
+/// Byte-identical to the sequential version for any thread count.
+pub fn grid2d_parallel(w: usize, h: usize, threads: usize) -> CsrGraph {
+    let total: usize = (0..h).map(|y| grid_row_shape(w, h, y).1).sum();
+    let threads = threads.clamp(1, total.div_ceil(8192).max(1));
+    if threads == 1 {
+        return grid2d(w, h);
+    }
+    let mut edges = vec![(0 as NodeId, 0 as NodeId); total];
+    {
+        let shared = SharedSlice::new(&mut edges);
+        let shared = &shared;
+        run_on_threads(threads, |tid| {
+            for y in chunk_range(h, threads, tid) {
+                let (start, len) = grid_row_shape(w, h, y);
+                // SAFETY: row ranges are disjoint across tids.
+                let row = unsafe { shared.slice_mut(start..start + len) };
+                fill_grid_row(row, w, h, y);
             }
-            if y + 1 < h {
-                edges.push((id(x, y), id(x, y + 1)));
-            }
+        });
+    }
+    CsrGraph::symmetrized_parallel(w * h, &edges, threads)
+}
+
+/// One RMAT dive: recursively picks a quadrant per level from edge `i`'s
+/// own counter stream; returns the edge, or `None` for a self loop.
+fn rmat_edge(seed: u64, i: u64, size: usize, a: f64, b: f64, c: f64) -> Option<(NodeId, NodeId)> {
+    let mut rng = counter_stream(seed, i);
+    let (mut x0, mut x1) = (0usize, size);
+    let (mut y0, mut y1) = (0usize, size);
+    while x1 - x0 > 1 {
+        let r: f64 = rng.random();
+        let (dx, dy) = if r < a {
+            (0, 0)
+        } else if r < a + b {
+            (1, 0)
+        } else if r < a + b + c {
+            (0, 1)
+        } else {
+            (1, 1)
+        };
+        let mx = (x0 + x1) / 2;
+        let my = (y0 + y1) / 2;
+        if dx == 0 {
+            x1 = mx;
+        } else {
+            x0 = mx;
+        }
+        if dy == 0 {
+            y1 = my;
+        } else {
+            y0 = my;
         }
     }
-    CsrGraph::symmetrized(n, &edges)
+    (x0 != y0).then_some((x0 as NodeId, y0 as NodeId))
+}
+
+fn rmat_scale(n: usize) -> usize {
+    1usize << (n.max(2) as f64).log2().ceil() as u32
 }
 
 /// RMAT-style power-law graph (Chakrabarti et al. parameters `a,b,c`;
 /// `d = 1 - a - b - c`). Node count is rounded up to a power of two.
+/// Each candidate edge draws from its own counter stream; self loops are
+/// dropped. Sequential oracle for [`rmat_parallel`].
 ///
 /// # Panics
 ///
 /// Panics if `a + b + c > 1`.
 pub fn rmat(n: usize, num_edges: usize, a: f64, b: f64, c: f64, seed: u64) -> CsrGraph {
     assert!(a + b + c <= 1.0 + 1e-9, "rmat probabilities exceed 1");
-    let scale = (n.max(2) as f64).log2().ceil() as u32;
-    let size = 1usize << scale;
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut edges = Vec::with_capacity(num_edges);
-    for _ in 0..num_edges {
-        let (mut x0, mut x1) = (0usize, size);
-        let (mut y0, mut y1) = (0usize, size);
-        while x1 - x0 > 1 {
-            let r: f64 = rng.random();
-            let (dx, dy) = if r < a {
-                (0, 0)
-            } else if r < a + b {
-                (1, 0)
-            } else if r < a + b + c {
-                (0, 1)
-            } else {
-                (1, 1)
-            };
-            let mx = (x0 + x1) / 2;
-            let my = (y0 + y1) / 2;
-            if dx == 0 {
-                x1 = mx;
-            } else {
-                x0 = mx;
-            }
-            if dy == 0 {
-                y1 = my;
-            } else {
-                y0 = my;
-            }
-        }
-        if x0 != y0 {
-            edges.push((x0 as NodeId, y0 as NodeId));
-        }
-    }
+    let size = rmat_scale(n);
+    let edges: Vec<(NodeId, NodeId)> = (0..num_edges as u64)
+        .filter_map(|i| rmat_edge(seed, i, size, a, b, c))
+        .collect();
     CsrGraph::from_edges(size, &edges)
+}
+
+/// Parallel [`rmat`]: candidate edges are fanned over threads, surviving
+/// edges packed back into candidate order with a parallel prefix sum over
+/// the per-chunk counts. Byte-identical to the sequential version for any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if `a + b + c > 1`.
+pub fn rmat_parallel(
+    n: usize,
+    num_edges: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+    seed: u64,
+    threads: usize,
+) -> CsrGraph {
+    assert!(a + b + c <= 1.0 + 1e-9, "rmat probabilities exceed 1");
+    let threads = threads.clamp(1, num_edges.div_ceil(8192).max(1));
+    if threads == 1 {
+        return rmat(n, num_edges, a, b, c, seed);
+    }
+    let size = rmat_scale(n);
+
+    // Phase 1: each thread dives its chunk of candidate edges.
+    let mut locals: Vec<Vec<(NodeId, NodeId)>> = (0..threads).map(|_| Vec::new()).collect();
+    {
+        let slots = SharedSlice::new(&mut locals);
+        let slots = &slots;
+        run_on_threads(threads, |tid| {
+            let local: Vec<(NodeId, NodeId)> = chunk_range(num_edges, threads, tid)
+                .filter_map(|i| rmat_edge(seed, i as u64, size, a, b, c))
+                .collect();
+            // SAFETY: each tid writes only its own slot.
+            unsafe { *slots.get_mut(tid) = local };
+        });
+    }
+
+    // Phase 2: pack surviving edges contiguously in candidate order.
+    let mut positions: Vec<u64> = locals.iter().map(|l| l.len() as u64).collect();
+    let total = parallel_exclusive_scan(&mut positions, threads) as usize;
+    let mut edges = vec![(0 as NodeId, 0 as NodeId); total];
+    {
+        let shared = SharedSlice::new(&mut edges);
+        let shared = &shared;
+        let locals = &locals;
+        let positions = &positions;
+        run_on_threads(threads, |tid| {
+            let start = positions[tid] as usize;
+            // SAFETY: output ranges are disjoint across tids.
+            let out = unsafe { shared.slice_mut(start..start + locals[tid].len()) };
+            out.copy_from_slice(&locals[tid]);
+        });
+    }
+    CsrGraph::from_edges_parallel(size, &edges, threads)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn edge_range_chunks_concatenate_to_the_full_list() {
+        let full = uniform_random_edges(103, 3, 5);
+        let mut glued = Vec::new();
+        for chunk in [0..29usize, 29..64, 64..103] {
+            glued.extend(uniform_random_edges_range(103, 3, 5, chunk));
+        }
+        assert_eq!(full, glued);
+    }
 
     #[test]
     fn uniform_random_shape() {
@@ -142,6 +384,54 @@ mod tests {
     }
 
     #[test]
+    fn self_loop_redirect_is_unbiased() {
+        // With the old `(t + 1) % n` redirect, target `s + 1` received the
+        // self-draw's probability mass on top of its own: a 2/n share where
+        // every other node got 1/n. The shifted draw gives each of the
+        // n - 1 legal targets exactly 1/(n-1). With 20k draws over 7 bins
+        // (expected 2857 each, σ ≈ 50), a ±10% band is ~5.7σ: tight enough
+        // to catch the doubled successor share, loose enough to never flake
+        // (the seed is fixed anyway).
+        let (n, degree) = (8usize, 20_000usize);
+        let edges = uniform_random_edges(n, degree, 1234);
+        for s in 0..n as NodeId {
+            let mut counts = vec![0usize; n];
+            for &(src, t) in &edges {
+                if src == s {
+                    counts[t as usize] += 1;
+                }
+            }
+            assert_eq!(counts[s as usize], 0, "self loop from {s}");
+            let expect = degree as f64 / (n - 1) as f64;
+            for (t, &c) in counts.iter().enumerate() {
+                if t == s as usize {
+                    continue;
+                }
+                assert!(
+                    (c as f64) > 0.9 * expect && (c as f64) < 1.1 * expect,
+                    "target {t} of source {s} drawn {c} times, expected ~{expect:.0}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_uniform_random_is_thread_count_invariant() {
+        let seq = uniform_random_edges(500, 5, 99);
+        for threads in [1, 2, 5, 8, 16] {
+            assert_eq!(
+                uniform_random_edges_parallel(500, 5, 99, threads),
+                seq,
+                "edges diverged at {threads} threads"
+            );
+        }
+        let g = uniform_random(500, 5, 99);
+        assert_eq!(uniform_random_parallel(500, 5, 99, 8), g);
+        let u = uniform_random_undirected(300, 4, 99);
+        assert_eq!(uniform_random_undirected_parallel(300, 4, 99, 8), u);
+    }
+
+    #[test]
     fn grid_degrees() {
         let g = grid2d(3, 3);
         assert_eq!(g.num_nodes(), 9);
@@ -161,6 +451,16 @@ mod tests {
     }
 
     #[test]
+    fn parallel_grid_matches_sequential() {
+        for (w, h) in [(1usize, 1usize), (1, 40), (40, 1), (63, 65), (100, 100)] {
+            let seq = grid2d(w, h);
+            for threads in [2, 5, 8] {
+                assert_eq!(grid2d_parallel(w, h, threads), seq, "{w}x{h}@{threads}");
+            }
+        }
+    }
+
+    #[test]
     fn rmat_generates_skewed_degrees() {
         let g = rmat(1 << 10, 8 * (1 << 10), 0.57, 0.19, 0.19, 3);
         assert!(g.validate());
@@ -170,5 +470,14 @@ mod tests {
             max_deg as f64 > 4.0 * avg,
             "power-law graph should have hubs (max {max_deg}, avg {avg:.1})"
         );
+    }
+
+    #[test]
+    fn parallel_rmat_matches_sequential() {
+        let seq = rmat(1 << 9, 10_000, 0.57, 0.19, 0.19, 5);
+        for threads in [2, 5, 8, 16] {
+            let par = rmat_parallel(1 << 9, 10_000, 0.57, 0.19, 0.19, 5, threads);
+            assert_eq!(par, seq, "rmat diverged at {threads} threads");
+        }
     }
 }

@@ -11,12 +11,15 @@
 //!   k-out graphs, 2-D grids, RMAT-style power-law graphs.
 //! - [`flow`]: residual flow networks with paired reverse edges for
 //!   preflow-push.
-//! - [`io`]: DIMACS and edge-list readers/writers.
+//! - [`io`]: DIMACS, edge-list and binary CSR readers/writers.
+//! - [`cache`]: on-disk cache of generated inputs, keyed by generator
+//!   name + parameters + seed.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod array;
+pub mod cache;
 pub mod csr;
 pub mod flow;
 pub mod gen;

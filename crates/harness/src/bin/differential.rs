@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! differential [--app all|NAME[,NAME...]] [--threads LIST] [--chaos-seeds LIST|LO..HI]
-//!              [--input-seed N] [--no-spec] [--out FILE]
+//!              [--input-seed N] [--build-threads N] [--cache-dir DIR]
+//!              [--no-spec] [--out FILE]
 //! ```
 //!
 //! Runs serial vs speculative vs deterministic for each app over the
@@ -10,6 +11,12 @@
 //! reproduction command is printed, written to `--out` (default
 //! `chaos-repro.txt`, for CI artifact upload), and the exit code is 1.
 //! Seed lists accept an inclusive range `LO..HI` or a comma list.
+//!
+//! `--cache-dir DIR` caches generated inputs on disk: the first sweep
+//! stores each input, later sweeps load it back (the summary line reports
+//! hits/misses, which CI asserts on). `--build-threads N` builds inputs
+//! with the parallel generators — byte-identical for every N, so it never
+//! changes any fingerprint.
 
 use galois_harness::{run_differential, unperturbed, App, DiffConfig};
 use std::process::exit;
@@ -17,7 +24,8 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage: differential [--app all|NAME[,NAME...]] [--threads LIST] \
-         [--chaos-seeds LIST|LO..HI] [--input-seed N] [--no-spec] [--out FILE]"
+         [--chaos-seeds LIST|LO..HI] [--input-seed N] [--build-threads N] \
+         [--cache-dir DIR] [--no-spec] [--out FILE]"
     );
     exit(2);
 }
@@ -65,6 +73,10 @@ fn main() {
             "--threads" => val(&mut |v| cfg.threads = parse_usize_list(&v)),
             "--chaos-seeds" => val(&mut |v| cfg.chaos_seeds = parse_seed_list(&v)),
             "--input-seed" => val(&mut |v| cfg.input_seed = v.parse().unwrap_or_else(|_| usage())),
+            "--build-threads" => {
+                val(&mut |v| cfg.build_threads = v.parse().unwrap_or_else(|_| usage()))
+            }
+            "--cache-dir" => val(&mut |v| cfg.cache_dir = Some(v.into())),
             "--no-spec" => cfg.check_spec = false,
             "--out" => val(&mut |v| out_path = v),
             _ => usage(),
@@ -86,6 +98,12 @@ fn main() {
         Ok(summary) => {
             for (app, fp) in &summary.det_fingerprints {
                 println!("  {app}: deterministic fingerprint {fp:016x} across the whole matrix");
+            }
+            if cfg.cache_dir.is_some() {
+                println!(
+                    "input cache: {} hits, {} misses",
+                    summary.cache_hits, summary.cache_misses,
+                );
             }
             println!(
                 "ok: {} runs, {} apps invariant in {:?}",

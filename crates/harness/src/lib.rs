@@ -21,12 +21,15 @@
 //! found on an 8-thread × 8-seed sweep arrives as a two-run repro.
 
 use galois_core::{DetOptions, Executor, RoundLog, RunReport, Schedule, WorklistPolicy};
+use galois_graph::cache::{self, CacheOutcome};
 use galois_graph::{gen, FlowNetwork};
 use galois_mesh::check;
 use galois_runtime::stats::ExecStats;
 use std::fmt;
+use std::path::PathBuf;
 
 pub use galois_apps as apps;
+pub use galois_graph::cache::CacheOutcome as InputCacheOutcome;
 
 /// FNV-1a 64-bit offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -237,18 +240,57 @@ fn take_logs(report: &mut RunReport) -> Vec<RoundLog> {
     report.take_round_log().into_iter().collect()
 }
 
-/// Runs one `(app, variant, threads, chaos seed)` cell: builds the input
-/// from `input_seed`, runs, validates the output, and reduces the run to a
-/// [`RunOutcome`]. Validation failure is an `Err` with the verifier's
-/// message.
+/// How one run's input is produced: the generator seed, the thread count
+/// the input *builder* uses (the parallel generators are byte-identical
+/// for every value, so this never affects results), and an optional
+/// on-disk cache directory for generated inputs.
+#[derive(Debug, Clone)]
+pub struct InputConfig {
+    /// Seed for the input generators.
+    pub seed: u64,
+    /// Threads used to generate and CSR-build the input.
+    pub build_threads: usize,
+    /// Directory for the on-disk input cache; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for InputConfig {
+    fn default() -> Self {
+        InputConfig {
+            seed: 42,
+            build_threads: 1,
+            cache_dir: None,
+        }
+    }
+}
+
+impl InputConfig {
+    /// An uncached, sequentially-built input from `seed` — the historical
+    /// `run_app` behaviour.
+    pub fn from_seed(seed: u64) -> Self {
+        InputConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Runs one `(app, variant, threads, chaos seed)` cell: builds (or loads
+/// from cache) the input described by `input`, runs, validates the output,
+/// and reduces the run to a [`RunOutcome`]. Validation failure is an `Err`
+/// with the verifier's message.
+///
+/// The returned [`CacheOutcome`] says whether the input came from the
+/// cache; the point-set apps (dt, dmr) generate inputs too cheap to cache
+/// and always report [`CacheOutcome::Disabled`].
 pub fn run_app(
     app: App,
     variant: Variant,
     threads: usize,
     chaos_seed: Option<u64>,
-    input_seed: u64,
+    input: &InputConfig,
     mutation: Mutation,
-) -> Result<RunOutcome, String> {
+) -> Result<(RunOutcome, CacheOutcome), String> {
     let exec = mutation(
         app,
         variant,
@@ -256,46 +298,61 @@ pub fn run_app(
         chaos_seed,
         executor_for(app, variant, threads, chaos_seed),
     );
+    let seed = input.seed;
+    let bt = input.build_threads;
+    let dir = input.cache_dir.as_deref();
     match app {
         App::Bfs => {
-            let g = gen::uniform_random(2_000, 5, input_seed);
+            let (g, cached) =
+                cache::load_or_build_graph(dir, &format!("uniform-n2000-d5-s{seed}"), || {
+                    gen::uniform_random_parallel(2_000, 5, seed, bt)
+                });
             let (dist, mut r) = apps::bfs::galois(&g, 0, &exec);
             apps::bfs::verify(&g, 0, &dist).map_err(|e| format!("bfs: {e}"))?;
             let mut h = Fnv64::new();
             for &d in &dist {
                 h.write_u32(d);
             }
-            Ok(outcome(h.finish(), take_logs(&mut r), &r.stats))
+            Ok((outcome(h.finish(), take_logs(&mut r), &r.stats), cached))
         }
         App::Mis => {
-            let g = gen::uniform_random_undirected(1_500, 4, input_seed);
+            let (g, cached) =
+                cache::load_or_build_graph(dir, &format!("uniform-und-n1500-d4-s{seed}"), || {
+                    gen::uniform_random_undirected_parallel(1_500, 4, seed, bt)
+                });
             let (flags, mut r) = apps::mis::galois(&g, &exec);
             apps::mis::verify(&g, &flags).map_err(|e| format!("mis: {e}"))?;
             let mut h = Fnv64::new();
             for &f in &flags {
                 h.write_u32(f);
             }
-            Ok(outcome(h.finish(), take_logs(&mut r), &r.stats))
+            Ok((outcome(h.finish(), take_logs(&mut r), &r.stats), cached))
         }
         App::Mm => {
-            let g = gen::uniform_random_undirected(1_500, 4, input_seed);
+            let (g, cached) =
+                cache::load_or_build_graph(dir, &format!("uniform-und-n1500-d4-s{seed}"), || {
+                    gen::uniform_random_undirected_parallel(1_500, 4, seed, bt)
+                });
             let (mate, mut r) = apps::mm::galois(&g, &exec);
             apps::mm::verify(&g, &mate).map_err(|e| format!("mm: {e}"))?;
             let mut h = Fnv64::new();
             for &m in &mate {
                 h.write_u32(m);
             }
-            Ok(outcome(h.finish(), take_logs(&mut r), &r.stats))
+            Ok((outcome(h.finish(), take_logs(&mut r), &r.stats), cached))
         }
         App::Dt => {
-            let pts = galois_geometry::point::random_points(300, input_seed);
-            let (mesh, mut r) = apps::dt::galois(&pts, input_seed, &exec);
+            let pts = galois_geometry::point::random_points(300, seed);
+            let (mesh, mut r) = apps::dt::galois(&pts, seed, &exec);
             check::validate(&mesh).map_err(|e| format!("dt structure: {e}"))?;
             check::check_delaunay(&mesh).map_err(|e| format!("dt delaunay: {e}"))?;
-            Ok(outcome(hash_mesh(&mesh), take_logs(&mut r), &r.stats))
+            Ok((
+                outcome(hash_mesh(&mesh), take_logs(&mut r), &r.stats),
+                CacheOutcome::Disabled,
+            ))
         }
         App::Dmr => {
-            let mesh = apps::dmr::make_input(120, input_seed);
+            let mesh = apps::dmr::make_input(120, seed);
             let mut r = apps::dmr::galois(&mesh, &exec);
             check::validate(&mesh).map_err(|e| format!("dmr structure: {e}"))?;
             check::check_delaunay(&mesh).map_err(|e| format!("dmr delaunay: {e}"))?;
@@ -303,10 +360,16 @@ pub fn run_app(
             if bad != 0 {
                 return Err(format!("dmr: {bad} bad triangles survive refinement"));
             }
-            Ok(outcome(hash_mesh(&mesh), take_logs(&mut r), &r.stats))
+            Ok((
+                outcome(hash_mesh(&mesh), take_logs(&mut r), &r.stats),
+                CacheOutcome::Disabled,
+            ))
         }
         App::Pfp => {
-            let net = FlowNetwork::random(96, 4, 100, input_seed);
+            let (net, cached) =
+                cache::load_or_build_flow(dir, &format!("flowrand-n96-d4-c100-s{seed}"), || {
+                    FlowNetwork::random_parallel(96, 4, 100, seed, bt)
+                });
             let (flow, mut r) = apps::pfp::galois(&net, &exec);
             let checked = net.verify_flow().map_err(|e| format!("pfp: {e}"))?;
             if checked != flow {
@@ -319,7 +382,7 @@ pub fn run_app(
                 .collect();
             let mut h = Fnv64::new();
             h.write_i64(flow);
-            Ok(outcome(h.finish(), logs, &r.stats))
+            Ok((outcome(h.finish(), logs, &r.stats), cached))
         }
     }
 }
@@ -342,6 +405,10 @@ pub struct DiffConfig {
     pub threads: Vec<usize>,
     pub chaos_seeds: Vec<u64>,
     pub input_seed: u64,
+    /// Threads the input *builders* use (never affects outputs).
+    pub build_threads: usize,
+    /// On-disk input cache directory; `None` regenerates every input.
+    pub cache_dir: Option<PathBuf>,
     /// Also run the speculative executor over the matrix and validate each
     /// run against the serial oracle. Off for pure det-invariance sweeps.
     pub check_spec: bool,
@@ -354,12 +421,23 @@ impl Default for DiffConfig {
             threads: vec![1, 2, 4, 8],
             chaos_seeds: (1..=8).collect(),
             input_seed: 42,
+            build_threads: 1,
+            cache_dir: None,
             check_spec: true,
         }
     }
 }
 
 impl DiffConfig {
+    /// The [`InputConfig`] every cell of this sweep uses.
+    pub fn input(&self) -> InputConfig {
+        InputConfig {
+            seed: self.input_seed,
+            build_threads: self.build_threads,
+            cache_dir: self.cache_dir.clone(),
+        }
+    }
+
     /// The one-line reproduction command for a (sub)matrix of this sweep.
     pub fn repro_line(&self, app: App, threads: &[usize], seeds: &[u64]) -> String {
         let join_usize = |v: &[usize]| {
@@ -374,13 +452,17 @@ impl DiffConfig {
                 .collect::<Vec<_>>()
                 .join(",")
         };
-        format!(
+        let mut line = format!(
             "cargo run --release -p galois-harness --bin differential -- \
              --app {app} --threads {} --chaos-seeds {} --input-seed {}",
             join_usize(threads),
             join_u64(seeds),
             self.input_seed,
-        )
+        );
+        if self.build_threads != 1 {
+            line.push_str(&format!(" --build-threads {}", self.build_threads));
+        }
+        line
     }
 }
 
@@ -407,6 +489,10 @@ pub struct DiffSummary {
     pub runs: usize,
     /// The (app, deterministic fingerprint) pairs the sweep converged on.
     pub det_fingerprints: Vec<(App, u64)>,
+    /// Input loads served from the on-disk cache.
+    pub cache_hits: usize,
+    /// Input loads that generated (and stored) a fresh input.
+    pub cache_misses: usize,
 }
 
 fn diverges(a: &RunOutcome, b: &RunOutcome) -> Option<String> {
@@ -450,28 +536,15 @@ fn minimize(
     (t0, s0): (usize, u64),
     (tb, sb): (usize, u64),
 ) -> (Vec<usize>, Vec<u64>) {
+    let input = cfg.input();
     if sb != s0 && tb != t0 {
         // Both axes moved; probe each alone (two cheap extra runs).
-        if let Ok(out) = run_app(
-            app,
-            Variant::Deterministic,
-            t0,
-            Some(sb),
-            cfg.input_seed,
-            mutation,
-        ) {
+        if let Ok((out, _)) = run_app(app, Variant::Deterministic, t0, Some(sb), &input, mutation) {
             if diverges(reference, &out).is_some() {
                 return (vec![t0], vec![s0, sb]);
             }
         }
-        if let Ok(out) = run_app(
-            app,
-            Variant::Deterministic,
-            tb,
-            Some(s0),
-            cfg.input_seed,
-            mutation,
-        ) {
+        if let Ok((out, _)) = run_app(app, Variant::Deterministic, tb, Some(s0), &input, mutation) {
             if diverges(reference, &out).is_some() {
                 return (vec![t0, tb], vec![s0]);
             }
@@ -489,39 +562,42 @@ fn minimize(
 /// app. The first failure is minimized and returned.
 pub fn run_differential(cfg: &DiffConfig, mutation: Mutation) -> Result<DiffSummary, DiffFailure> {
     assert!(!cfg.threads.is_empty() && !cfg.chaos_seeds.is_empty());
+    let input = cfg.input();
     let mut runs = 0usize;
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+    let mut tally = |cached: CacheOutcome| match cached {
+        CacheOutcome::Hit => cache_hits += 1,
+        CacheOutcome::MissStored => cache_misses += 1,
+        CacheOutcome::Disabled => {}
+    };
     let mut det_fingerprints = Vec::new();
     for &app in &cfg.apps {
         // Serial oracle: one thread, no chaos, no mutation — ever.
-        let oracle =
-            run_app(app, Variant::Serial, 1, None, cfg.input_seed, &unperturbed).map_err(|e| {
-                DiffFailure {
-                    app,
-                    detail: format!("serial oracle failed validation: {e}"),
-                    repro: cfg.repro_line(app, &cfg.threads[..1], &cfg.chaos_seeds[..1]),
-                }
+        let (oracle, cached) = run_app(app, Variant::Serial, 1, None, &input, &unperturbed)
+            .map_err(|e| DiffFailure {
+                app,
+                detail: format!("serial oracle failed validation: {e}"),
+                repro: cfg.repro_line(app, &cfg.threads[..1], &cfg.chaos_seeds[..1]),
             })?;
+        tally(cached);
         runs += 1;
 
         // Deterministic invariance matrix.
         let mut reference: Option<((usize, u64), RunOutcome)> = None;
         for &t in &cfg.threads {
             for &s in &cfg.chaos_seeds {
-                let out = run_app(
-                    app,
-                    Variant::Deterministic,
-                    t,
-                    Some(s),
-                    cfg.input_seed,
-                    mutation,
-                )
-                .map_err(|e| DiffFailure {
-                    app,
-                    detail: format!(
-                        "deterministic run (threads={t}, seed={s}) failed validation: {e}"
-                    ),
-                    repro: cfg.repro_line(app, &[t], &[s]),
-                })?;
+                let (out, cached) =
+                    run_app(app, Variant::Deterministic, t, Some(s), &input, mutation).map_err(
+                        |e| DiffFailure {
+                            app,
+                            detail: format!(
+                                "deterministic run (threads={t}, seed={s}) failed validation: {e}"
+                            ),
+                            repro: cfg.repro_line(app, &[t], &[s]),
+                        },
+                    )?;
+                tally(cached);
                 runs += 1;
                 match &reference {
                     None => reference = Some(((t, s), out)),
@@ -562,21 +638,17 @@ pub fn run_differential(cfg: &DiffConfig, mutation: Mutation) -> Result<DiffSumm
         if cfg.check_spec {
             for &t in &cfg.threads {
                 for &s in &cfg.chaos_seeds {
-                    let out = run_app(
-                        app,
-                        Variant::Speculative,
-                        t,
-                        Some(s),
-                        cfg.input_seed,
-                        mutation,
-                    )
-                    .map_err(|e| DiffFailure {
-                        app,
-                        detail: format!(
+                    let (out, cached) =
+                        run_app(app, Variant::Speculative, t, Some(s), &input, mutation).map_err(
+                            |e| DiffFailure {
+                                app,
+                                detail: format!(
                             "speculative run (threads={t}, seed={s}) failed validation: {e}"
                         ),
-                        repro: cfg.repro_line(app, &[t], &[s]),
-                    })?;
+                                repro: cfg.repro_line(app, &[t], &[s]),
+                            },
+                        )?;
+                    tally(cached);
                     runs += 1;
                     if matches!(app, App::Bfs | App::Pfp) && out.output_hash != oracle.output_hash {
                         return Err(DiffFailure {
@@ -597,6 +669,8 @@ pub fn run_differential(cfg: &DiffConfig, mutation: Mutation) -> Result<DiffSumm
     Ok(DiffSummary {
         runs,
         det_fingerprints,
+        cache_hits,
+        cache_misses,
     })
 }
 
@@ -648,9 +722,11 @@ mod tests {
         ] {
             let threads = if variant == Variant::Serial { 1 } else { 2 };
             let chaos = (variant != Variant::Serial).then_some(7u64);
-            let out = run_app(App::Mis, variant, threads, chaos, 42, &unperturbed)
+            let input = InputConfig::from_seed(42);
+            let (out, cached) = run_app(App::Mis, variant, threads, chaos, &input, &unperturbed)
                 .unwrap_or_else(|e| panic!("{variant}: {e}"));
             assert!(out.committed > 0, "{variant} committed nothing");
+            assert_eq!(cached, CacheOutcome::Disabled);
         }
     }
 }

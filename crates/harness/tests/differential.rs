@@ -15,6 +15,7 @@ fn det_invariance_across_threads_and_chaos_seeds() {
         chaos_seeds: (1..=8).collect(),
         input_seed: 42,
         check_spec: false,
+        ..DiffConfig::default()
     };
     let summary = run_differential(&cfg, &unperturbed).unwrap_or_else(|f| panic!("{f}"));
     // 1 serial oracle + a 4×8 deterministic matrix per app.
@@ -32,6 +33,7 @@ fn spec_validates_against_the_serial_oracle_under_chaos() {
         chaos_seeds: vec![1, 2],
         input_seed: 42,
         check_spec: true,
+        ..DiffConfig::default()
     };
     let summary = run_differential(&cfg, &unperturbed).unwrap_or_else(|f| panic!("{f}"));
     // Per app: 1 oracle + 4 det + 4 spec.
@@ -50,6 +52,7 @@ fn different_input_seeds_give_different_fingerprints() {
             chaos_seeds: vec![1],
             input_seed,
             check_spec: false,
+            ..DiffConfig::default()
         };
         run_differential(&cfg, &unperturbed)
             .unwrap_or_else(|f| panic!("{f}"))

@@ -1,0 +1,86 @@
+//! The input pipeline must be invisible to the harness.
+//!
+//! `run_app` fingerprints cover the output, the canonical round log, and
+//! the schedule counters — so if building an input with the parallel
+//! generators (any thread count) or loading it back from the on-disk
+//! cache changed *anything* about the graph, these fingerprints would
+//! move. They must not: input construction is part of the determinism
+//! contract, not an implementation detail outside it.
+
+use galois_harness::{run_app, unperturbed, App, InputCacheOutcome, InputConfig, Variant};
+use std::path::PathBuf;
+
+fn cell(app: App, input: &InputConfig) -> (u64, InputCacheOutcome) {
+    let (out, cached) = run_app(app, Variant::Deterministic, 2, Some(1), input, &unperturbed)
+        .unwrap_or_else(|e| panic!("{app}: {e}"));
+    (out.fingerprint, cached)
+}
+
+#[test]
+fn parallel_built_inputs_leave_fingerprints_unchanged() {
+    for app in App::ALL {
+        let (reference, _) = cell(app, &InputConfig::from_seed(42));
+        for build_threads in [2usize, 5, 8, 16] {
+            let cfg = InputConfig {
+                seed: 42,
+                build_threads,
+                cache_dir: None,
+            };
+            let (fp, cached) = cell(app, &cfg);
+            assert_eq!(cached, InputCacheOutcome::Disabled);
+            assert_eq!(
+                fp, reference,
+                "{app}: fingerprint moved when input was built with {build_threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_inputs_leave_fingerprints_unchanged() {
+    let dir = std::env::temp_dir().join(format!("galois-harness-inputs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for app in App::ALL {
+        let (reference, _) = cell(app, &InputConfig::from_seed(42));
+        let cfg = InputConfig {
+            seed: 42,
+            build_threads: 4,
+            cache_dir: Some(PathBuf::from(&dir)),
+        };
+        let (first_fp, first) = cell(app, &cfg);
+        let (second_fp, second) = cell(app, &cfg);
+        if matches!(app, App::Dt | App::Dmr) {
+            // Point/mesh inputs are not graph-cacheable.
+            assert_eq!(first, InputCacheOutcome::Disabled, "{app}");
+            assert_eq!(second, InputCacheOutcome::Disabled, "{app}");
+        } else if app == App::Mm {
+            // mm shares mis's input, which the mis iteration already stored.
+            assert_eq!(first, InputCacheOutcome::Hit, "{app}");
+            assert_eq!(second, InputCacheOutcome::Hit, "{app}");
+        } else {
+            assert_eq!(first, InputCacheOutcome::MissStored, "{app}");
+            assert_eq!(second, InputCacheOutcome::Hit, "{app}");
+        }
+        assert_eq!(first_fp, reference, "{app}: cache store changed the input");
+        assert_eq!(second_fp, reference, "{app}: cache load changed the input");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mis_and_mm_share_one_cache_entry() {
+    // Both draw the same undirected graph; the cache key is the generator
+    // call, so the second app must hit what the first stored.
+    let dir = std::env::temp_dir().join(format!("galois-harness-sharing-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = InputConfig {
+        seed: 77,
+        build_threads: 2,
+        cache_dir: Some(dir.clone()),
+    };
+    let (_, mis) = cell(App::Mis, &cfg);
+    let (_, mm) = cell(App::Mm, &cfg);
+    assert_eq!(mis, InputCacheOutcome::MissStored);
+    assert_eq!(mm, InputCacheOutcome::Hit, "mm regenerated mis's graph");
+    let _ = std::fs::remove_dir_all(&dir);
+}

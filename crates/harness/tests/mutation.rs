@@ -13,6 +13,7 @@ fn planted_scheduler_perturbation_is_caught_and_minimized() {
         chaos_seeds: vec![1, 2, 3],
         input_seed: 42,
         check_spec: false,
+        ..DiffConfig::default()
     };
     // The plant: at 4 threads the deterministic executor silently uses a
     // different locality spread, which changes task-id assignment and
@@ -58,6 +59,7 @@ fn seed_dependent_perturbation_shrinks_to_the_seed_axis() {
         chaos_seeds: vec![1, 2, 3],
         input_seed: 42,
         check_spec: false,
+        ..DiffConfig::default()
     };
     // A perturbation keyed on the chaos seed instead: seed 3 flips the
     // locality spread. The minimized repro must keep one thread count and

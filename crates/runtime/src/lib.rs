@@ -16,6 +16,8 @@
 //!   portability oracle for deterministic runs.
 //! - [`sort`]: a parallel stable merge sort used for deterministic task-id
 //!   assignment.
+//! - [`scan`]: parallel prefix sums used by the deterministic parallel
+//!   input pipeline (CSR construction, chunk packing).
 //! - [`simtime`]: a virtual-time scheduling model that replays recorded task
 //!   traces on *p* simulated workers. On a single-core host this substitutes
 //!   for the paper's multi-socket machines (see `DESIGN.md`).
@@ -42,6 +44,7 @@ pub mod chaos;
 pub mod padded;
 pub mod pool;
 pub mod probe;
+pub mod scan;
 pub mod shared;
 pub mod simtime;
 pub mod sort;

@@ -65,6 +65,29 @@ impl<'a, T> SharedSlice<'a, T> {
     pub unsafe fn get_mut(&self, i: usize) -> &mut T {
         unsafe { &mut *self.data[i].get() }
     }
+
+    /// Exclusive access to the contiguous range `range`.
+    ///
+    /// The bulk version of [`get_mut`](Self::get_mut), for phases that
+    /// partition the slice into per-thread runs (e.g. the parallel input
+    /// generators writing one row of output per task).
+    ///
+    /// # Safety
+    ///
+    /// No other thread may access any index in `range` for the lifetime of
+    /// the returned slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds or inverted.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [T] {
+        assert!(range.start <= range.end && range.end <= self.data.len());
+        // The pointer is derived from the whole backing slice, so its
+        // provenance covers every element of `range`, not just one cell.
+        let base = self.data.as_ptr() as *mut T;
+        unsafe { std::slice::from_raw_parts_mut(base.add(range.start), range.len()) }
+    }
 }
 
 #[cfg(test)]

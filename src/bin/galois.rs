@@ -6,10 +6,16 @@
 //!
 //! ```text
 //! galois <app> [--variant seq|g-n|g-d|pbbs] [--threads N] [--size N] [--seed N] [--verify]
-//!        [--round-log FILE] [--chaos-seed N]
+//!        [--round-log FILE] [--chaos-seed N] [--cache-dir DIR]
 //!
 //! apps: bfs, mis, dt, dmr, pfp
 //! ```
+//!
+//! Graph inputs are built with the parallel generators on `--threads`
+//! threads — byte-identical to a one-thread build at any thread count.
+//! `--cache-dir DIR` additionally caches generated graph and flow-network
+//! inputs on disk (keyed by generator + parameters + seed), so repeated
+//! runs load instead of regenerating.
 //!
 //! `--round-log FILE` (executor variants only) writes the per-round schedule
 //! log as canonical JSONL: for `g-d` the file is byte-identical at any
@@ -27,8 +33,10 @@ use deterministic_galois::core::{
     DetOptions, Executor, RoundLog, RunReport, Schedule, WorklistPolicy,
 };
 use deterministic_galois::geometry::point::random_points;
-use deterministic_galois::graph::{gen, FlowNetwork};
+use deterministic_galois::graph::cache::{load_or_build_flow, load_or_build_graph, CacheOutcome};
+use deterministic_galois::graph::{gen, CsrGraph, FlowNetwork};
 use deterministic_galois::mesh::check;
+use std::path::PathBuf;
 use std::process::exit;
 
 #[derive(Debug)]
@@ -41,13 +49,14 @@ struct Args {
     verify: bool,
     round_log: Option<String>,
     chaos_seed: Option<u64>,
+    cache_dir: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: galois <bfs|mis|mm|dt|dmr|pfp> [--variant seq|g-n|g-d|pbbs] \
          [--threads N] [--size N] [--seed N] [--verify] [--round-log FILE] \
-         [--chaos-seed N]"
+         [--chaos-seed N] [--cache-dir DIR]"
     );
     exit(2);
 }
@@ -62,6 +71,7 @@ fn parse_args() -> Args {
         verify: false,
         round_log: None,
         chaos_seed: None,
+        cache_dir: None,
     };
     let mut it = std::env::args().skip(1);
     let Some(app) = it.next() else { usage() };
@@ -81,6 +91,7 @@ fn parse_args() -> Args {
             "--chaos-seed" => {
                 val(&mut |v| args.chaos_seed = Some(v.parse().unwrap_or_else(|_| usage())))
             }
+            "--cache-dir" => val(&mut |v| args.cache_dir = Some(v.into())),
             _ => usage(),
         }
     }
@@ -113,6 +124,29 @@ fn executor(args: &Args, spread: usize, fifo: bool) -> Executor {
         exec = exec.chaos(seed);
     }
     exec
+}
+
+/// Builds (or loads from `--cache-dir`) a graph input with the parallel
+/// generators on `--threads` threads, reporting where it came from.
+fn input_graph(args: &Args, key: String, build: impl FnOnce() -> CsrGraph) -> CsrGraph {
+    let t0 = std::time::Instant::now();
+    let (g, cached) = load_or_build_graph(args.cache_dir.as_deref(), &key, build);
+    report_input(&key, cached, t0);
+    g
+}
+
+/// Flow-network counterpart of [`input_graph`].
+fn input_flow(args: &Args, key: String, build: impl FnOnce() -> FlowNetwork) -> FlowNetwork {
+    let t0 = std::time::Instant::now();
+    let (net, cached) = load_or_build_flow(args.cache_dir.as_deref(), &key, build);
+    report_input(&key, cached, t0);
+    net
+}
+
+fn report_input(key: &str, cached: CacheOutcome, t0: std::time::Instant) {
+    if cached != CacheOutcome::Disabled {
+        println!("input {key}: cache {cached} in {:?}", t0.elapsed());
+    }
 }
 
 /// Extracts a run's round log (if `--round-log` asked for one) and returns
@@ -159,7 +193,9 @@ fn main() {
     match args.app.as_str() {
         "bfs" => {
             let n = if args.size == 0 { 200_000 } else { args.size };
-            let g = gen::uniform_random(n, 5, args.seed);
+            let g = input_graph(&args, format!("uniform-n{n}-d5-s{}", args.seed), || {
+                gen::uniform_random_parallel(n, 5, args.seed, args.threads)
+            });
             println!("bfs: {n} nodes x 5 edges, variant {}", args.variant);
             let (dist, stats) = match args.variant.as_str() {
                 "pbbs" => {
@@ -184,7 +220,9 @@ fn main() {
         }
         "mis" => {
             let n = if args.size == 0 { 200_000 } else { args.size };
-            let g = gen::uniform_random_undirected(n, 4, args.seed);
+            let g = input_graph(&args, format!("uniform-und-n{n}-d4-s{}", args.seed), || {
+                gen::uniform_random_undirected_parallel(n, 4, args.seed, args.threads)
+            });
             println!("mis: {n} nodes, variant {}", args.variant);
             let (flags, stats) = match args.variant.as_str() {
                 "pbbs" => {
@@ -267,7 +305,9 @@ fn main() {
         }
         "mm" => {
             let n = if args.size == 0 { 200_000 } else { args.size };
-            let g = gen::uniform_random_undirected(n, 4, args.seed);
+            let g = input_graph(&args, format!("uniform-und-n{n}-d4-s{}", args.seed), || {
+                gen::uniform_random_undirected_parallel(n, 4, args.seed, args.threads)
+            });
             println!("mm: {n} nodes, variant {}", args.variant);
             let (mate, stats) = match args.variant.as_str() {
                 "seq" => (mm::seq(&g), "sequential".to_string()),
@@ -291,7 +331,11 @@ fn main() {
         }
         "pfp" => {
             let n = if args.size == 0 { 8_192 } else { args.size };
-            let net = FlowNetwork::random(n, 4, 1_000, args.seed);
+            let net = input_flow(
+                &args,
+                format!("flowrand-n{n}-d4-c1000-s{}", args.seed),
+                || FlowNetwork::random_parallel(n, 4, 1_000, args.seed, args.threads),
+            );
             println!("pfp: {n} nodes x 4 edges, variant {}", args.variant);
             let (flow, stats) = match args.variant.as_str() {
                 "seq" => {

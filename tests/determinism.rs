@@ -70,6 +70,48 @@ fn pfp_flow_and_schedule_portable() {
 }
 
 #[test]
+fn input_generators_portable_across_build_threads() {
+    // The parallel input pipeline makes the same promise as the executors:
+    // bit-identical output at every thread count, including oversubscribed
+    // ones. The signature is the whole graph (offsets + targets), so any
+    // reordering or dropped edge fails the sweep.
+    assert_portable("gen::uniform_random", |threads| {
+        gen::uniform_random_parallel(2_000, 5, 21, threads)
+    });
+    assert_portable("gen::uniform_random_undirected", |threads| {
+        gen::uniform_random_undirected_parallel(1_500, 4, 21, threads)
+    });
+    assert_portable("gen::grid2d", |threads| {
+        gen::grid2d_parallel(37, 23, threads)
+    });
+    assert_portable("gen::rmat", |threads| {
+        gen::rmat_parallel(1 << 10, 4_000, 0.57, 0.19, 0.19, 21, threads)
+    });
+    assert_portable("FlowNetwork::random_edges", |threads| {
+        FlowNetwork::random_edges_parallel(256, 4, 100, 21, threads)
+    });
+}
+
+#[test]
+fn bfs_on_parallel_built_input_matches_sequential_input_build() {
+    // End to end: input built at any thread count feeds the deterministic
+    // executor the same graph, so distances and schedule counters match a
+    // run on the sequentially built input exactly.
+    let oracle_graph = gen::uniform_random(3_000, 5, 11);
+    let (oracle_dist, oracle_report) = bfs::galois(&oracle_graph, 0, &det_executor(2));
+    assert_portable("bfs on parallel-built input", |threads| {
+        let g = gen::uniform_random_parallel(3_000, 5, 11, threads);
+        let (dist, report) = bfs::galois(&g, 0, &det_executor(2));
+        assert_eq!(
+            dist, oracle_dist,
+            "distances moved (build threads {threads})"
+        );
+        assert_eq!(report.stats.committed, oracle_report.stats.committed);
+        (dist, report.stats.rounds)
+    });
+}
+
+#[test]
 fn deterministic_run_is_repeatable_within_thread_count() {
     // Same thread count, two runs: trivially required, but exercises mark
     // table reuse and executor construction.
