@@ -13,7 +13,7 @@
 //! - **pbbs**: handwritten deterministic level-synchronous BFS with
 //!   priority-write parent selection (deterministic BFS tree).
 
-use galois_core::{Ctx, Executor, MarkTable, OpResult, RunReport};
+use galois_core::{Ctx, ExecError, Executor, MarkTable, OpResult, RunReport};
 use galois_graph::csr::NodeId;
 use galois_graph::{AtomicArray, CsrGraph};
 use galois_runtime::pool::{chunk_range, run_on_threads};
@@ -34,6 +34,18 @@ pub fn seq(g: &CsrGraph, source: NodeId) -> Vec<u32> {
 /// [`galois_core::Schedule::Speculative`] for `g-n` or
 /// [`galois_core::Schedule::Deterministic`] for `g-d`.
 pub fn galois(g: &CsrGraph, source: NodeId, exec: &Executor) -> (Vec<u32>, RunReport) {
+    try_galois(g, source, exec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-surfacing variant of [`galois`]: operator panics, livelocks and
+/// quarantine overflows come back as [`ExecError`] instead of unwinding.
+/// Under the deterministic schedule the error is byte-identical at any
+/// thread count.
+pub fn try_galois(
+    g: &CsrGraph,
+    source: NodeId,
+    exec: &Executor,
+) -> Result<(Vec<u32>, RunReport), ExecError> {
     let n = g.num_nodes();
     let dist = AtomicArray::new_filled(n, INFINITY);
     let marks = MarkTable::new(n);
@@ -55,8 +67,8 @@ pub fn galois(g: &CsrGraph, source: NodeId, exec: &Executor) -> (Vec<u32>, RunRe
         }
         Ok(())
     };
-    let report = exec.iterate(vec![(source, 0)]).run(&marks, &op);
-    (dist.snapshot(), report)
+    let report = exec.iterate(vec![(source, 0)]).try_run(&marks, &op)?;
+    Ok((dist.snapshot(), report))
 }
 
 /// Statistics of a PBBS-style run (level-synchronous rounds).

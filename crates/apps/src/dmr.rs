@@ -12,7 +12,7 @@
 //! All variants keep the mesh Delaunay; output equality across thread
 //! counts is checked on the canonical geometric form.
 
-use galois_core::{Abort, Ctx, Executor, MarkTable, OpResult, RunReport};
+use galois_core::{Abort, Ctx, ExecError, Executor, MarkTable, OpResult, RunReport};
 use galois_geometry::predicates::orient2d_sign;
 use galois_geometry::tri::{circumcenter, is_bad};
 use galois_geometry::Point;
@@ -93,6 +93,12 @@ fn insertion_point<E>(
 ///
 /// Refines `mesh` in place and returns the run report.
 pub fn galois(mesh: &Mesh, exec: &Executor) -> RunReport {
+    try_galois(mesh, exec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-surfacing variant of [`galois`]: operator panics, livelocks and
+/// quarantine overflows come back as [`ExecError`] instead of unwinding.
+pub fn try_galois(mesh: &Mesh, exec: &Executor) -> Result<RunReport, ExecError> {
     let marks = MarkTable::new(mesh.tri_capacity());
     let initial = check::bad_triangles(mesh);
 
@@ -144,7 +150,7 @@ pub fn galois(mesh: &Mesh, exec: &Executor) -> RunReport {
         Ok(())
     };
 
-    exec.iterate(initial).run(&marks, &op)
+    exec.iterate(initial).try_run(&marks, &op)
 }
 
 /// Statistics of the PBBS-style deterministic dmr.

@@ -11,7 +11,7 @@
 //! [`galois_mesh::check::canonical_triangles`]); the variants differ in
 //! schedule, work, and determinism of the *execution*.
 
-use galois_core::{Abort, Ctx, Executor, MarkTable, OpResult, RunReport};
+use galois_core::{Abort, Ctx, ExecError, Executor, MarkTable, OpResult, RunReport};
 use galois_geometry::brio::brio_order;
 use galois_geometry::Point;
 use galois_mesh::build::{first_alive, square_mesh};
@@ -47,6 +47,16 @@ pub fn seq(points: &[Point], brio_seed: u64) -> Mesh {
 ///
 /// Returns the finished hull mesh and the run report.
 pub fn galois(points: &[Point], brio_seed: u64, exec: &Executor) -> (Mesh, RunReport) {
+    try_galois(points, brio_seed, exec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-surfacing variant of [`galois`]: operator panics, livelocks and
+/// quarantine overflows come back as [`ExecError`] instead of unwinding.
+pub fn try_galois(
+    points: &[Point],
+    brio_seed: u64,
+    exec: &Executor,
+) -> Result<(Mesh, RunReport), ExecError> {
     let order = brio_order(points, brio_seed);
     let tasks: Vec<Point> = order.iter().map(|&i| points[i]).collect();
     let mesh = square_mesh(points.len(), 0, 0);
@@ -90,8 +100,8 @@ pub fn galois(points: &[Point], brio_seed: u64, exec: &Executor) -> (Mesh, RunRe
         Ok(())
     };
 
-    let report = exec.iterate(tasks).run(&marks, &op);
-    (mesh, report)
+    let report = exec.iterate(tasks).try_run(&marks, &op)?;
+    Ok((mesh, report))
 }
 
 /// Statistics of the PBBS-style deterministic dt.

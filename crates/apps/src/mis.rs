@@ -6,7 +6,7 @@
 //! processing order. The PBBS comparator computes the lexicographically
 //! first MIS deterministically (§4.1 notes it is data-parallel).
 
-use galois_core::{Ctx, Executor, MarkTable, OpResult, RunReport};
+use galois_core::{Ctx, ExecError, Executor, MarkTable, OpResult, RunReport};
 use galois_graph::csr::NodeId;
 use galois_graph::{AtomicArray, CsrGraph};
 use pbbs_det::{speculative_for, SpecForStats, Step};
@@ -45,6 +45,14 @@ pub fn seq(g: &CsrGraph) -> Vec<u32> {
 /// ids as pre-assigned priorities, §3.3) the committed order — and therefore
 /// the set — is deterministic.
 pub fn galois(g: &CsrGraph, exec: &Executor) -> (Vec<u32>, RunReport) {
+    try_galois(g, exec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-surfacing variant of [`galois`]: operator panics, livelocks and
+/// quarantine overflows come back as [`ExecError`] instead of unwinding.
+/// Under the deterministic schedule the error is byte-identical at any
+/// thread count.
+pub fn try_galois(g: &CsrGraph, exec: &Executor) -> Result<(Vec<u32>, RunReport), ExecError> {
     let n = g.num_nodes();
     let flags = AtomicArray::new_filled(n, state::UNDECIDED);
     let marks = MarkTable::new(n);
@@ -66,8 +74,8 @@ pub fn galois(g: &CsrGraph, exec: &Executor) -> (Vec<u32>, RunReport) {
     let report = exec
         .iterate(tasks)
         .with_ids(|v| *v as u64, n)
-        .run(&marks, &op);
-    (flags.snapshot(), report)
+        .try_run(&marks, &op)?;
+    Ok((flags.snapshot(), report))
 }
 
 /// Handwritten deterministic MIS (PBBS style): computes the

@@ -13,7 +13,7 @@
 //! - **pbbs**: deterministic reservations over edges with edge-index
 //!   priorities — exactly the sequential greedy outcome, in parallel.
 
-use galois_core::{Ctx, Executor, MarkTable, OpResult, RunReport};
+use galois_core::{Ctx, ExecError, Executor, MarkTable, OpResult, RunReport};
 use galois_graph::csr::NodeId;
 use galois_graph::{AtomicArray, CsrGraph};
 use pbbs_det::{speculative_for, SpecForStats, Step};
@@ -48,6 +48,12 @@ pub fn seq(g: &CsrGraph) -> Vec<u32> {
 
 /// The shared Galois operator: task = edge, neighborhood = its endpoints.
 pub fn galois(g: &CsrGraph, exec: &Executor) -> (Vec<u32>, RunReport) {
+    try_galois(g, exec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-surfacing variant of [`galois`]: operator panics, livelocks and
+/// quarantine overflows come back as [`ExecError`] instead of unwinding.
+pub fn try_galois(g: &CsrGraph, exec: &Executor) -> Result<(Vec<u32>, RunReport), ExecError> {
     let mate = AtomicArray::new_filled(g.num_nodes(), UNMATCHED);
     let marks = MarkTable::new(g.num_nodes());
     let edges = edge_list(g);
@@ -62,8 +68,8 @@ pub fn galois(g: &CsrGraph, exec: &Executor) -> (Vec<u32>, RunReport) {
         }
         Ok(())
     };
-    let report = exec.iterate(edges).run(&marks, &op);
-    (mate.snapshot(), report)
+    let report = exec.iterate(edges).try_run(&marks, &op)?;
+    Ok((mate.snapshot(), report))
 }
 
 /// Handwritten deterministic matching (PBBS style): edges reserve both

@@ -13,7 +13,7 @@
 //!   global relabeling *bouts* (the global relabeling heuristic of
 //!   Cherkassky & Goldberg, the paper's reference 13).
 
-use galois_core::{Ctx, Executor, MarkTable, OpResult, RunReport};
+use galois_core::{Ctx, ExecError, Executor, MarkTable, OpResult, RunReport};
 use galois_graph::csr::NodeId;
 use galois_graph::FlowNetwork;
 use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
@@ -252,6 +252,14 @@ pub struct PfpReport {
 /// The Galois preflow-push: executor bouts alternating with global
 /// relabeling. Resets the network first; returns `(flow value, report)`.
 pub fn galois(net: &FlowNetwork, exec: &Executor) -> (i64, PfpReport) {
+    try_galois(net, exec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-surfacing variant of [`galois`]: operator panics, livelocks and
+/// quarantine overflows in any bout come back as [`ExecError`] instead of
+/// unwinding. Quarantine counters from completed bouts are merged into the
+/// report before the faulting bout's error is returned.
+pub fn try_galois(net: &FlowNetwork, exec: &Executor) -> Result<(i64, PfpReport), ExecError> {
     net.reset();
     let n = net.num_nodes();
     let state = PfpState::new(n);
@@ -341,11 +349,12 @@ pub fn galois(net: &FlowNetwork, exec: &Executor) -> (i64, PfpReport) {
         let report = exec
             .iterate(active)
             .with_ids(|v| *v as u64, n)
-            .run(&marks, &op);
+            .try_run(&marks, &op)?;
         out.stats.committed += report.stats.committed;
         out.stats.aborted += report.stats.aborted;
         out.stats.atomic_updates += report.stats.atomic_updates;
         out.stats.inspected += report.stats.inspected;
+        out.stats.quarantined += report.stats.quarantined;
         out.stats.rounds += report.stats.rounds;
         out.stats.elapsed += report.stats.elapsed;
         out.stats.threads = report.stats.threads;
@@ -357,7 +366,7 @@ pub fn galois(net: &FlowNetwork, exec: &Executor) -> (i64, PfpReport) {
     }
     drain_excess(net, &state);
     let flow = state.e(net.sink() as usize);
-    (flow, out)
+    Ok((flow, out))
 }
 
 #[cfg(test)]

@@ -117,7 +117,20 @@ pub struct Ctx<'a, T> {
     /// [`ChaosPolicy`](galois_runtime::chaos::ChaosPolicy); it is never set
     /// in serial or inspect invocations (inspect must mark deterministically).
     pub(crate) inject_abort: bool,
+    /// Chaos hook: when `Some(id)`, the first `failsafe`/`checkpoint`
+    /// crossing *panics* with a canonical message naming `id`, exercising
+    /// the fault-containment layer. By the cautious contract the panic
+    /// happens before any shared write, so containment quarantines the task
+    /// with a free rollback. In det mode `id` is the canonical task id, so
+    /// the panic message is byte-identical at any thread count; never set
+    /// in serial or inspect invocations.
+    pub(crate) inject_panic: Option<u64>,
 }
+
+/// Prefix of every chaos-injected panic message (see
+/// [`ChaosPolicy::with_panics`](galois_runtime::chaos::ChaosPolicy::with_panics)).
+/// Harnesses use it to tell injected faults from genuine operator bugs.
+pub const INJECTED_PANIC_PREFIX: &str = "chaos-injected operator panic: task ";
 
 impl<T> std::fmt::Debug for Ctx<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -230,6 +243,9 @@ impl<'a, T> Ctx<'a, T> {
                     self.stats.injected_aborts += 1;
                     return Err(Abort::Injected);
                 }
+                if let Some(id) = self.inject_panic.take() {
+                    panic!("{INJECTED_PANIC_PREFIX}{id}");
+                }
                 Ok(())
             }
         }
@@ -269,6 +285,8 @@ impl<'a, T> Ctx<'a, T> {
             self.inject_abort = false;
             self.stats.injected_aborts += 1;
             Err(Abort::Injected)
+        } else if let Some(id) = self.inject_panic.take() {
+            panic!("{INJECTED_PANIC_PREFIX}{id}");
         } else {
             Ok(v)
         }
@@ -375,6 +393,7 @@ mod tests {
             conflicts: None,
             past_failsafe: false,
             inject_abort: false,
+            inject_panic: None,
         }
     }
 
@@ -385,6 +404,7 @@ mod tests {
         let (mut nb, mut ps, mut st) = (vec![], vec![], None);
         let mut ctx = Ctx {
             inject_abort: true,
+            inject_panic: None,
             ..fresh(
                 Mode::Speculative,
                 1,
@@ -410,6 +430,7 @@ mod tests {
         let (mut nb, mut ps, mut st) = (vec![], vec![], None);
         let mut ctx = Ctx {
             inject_abort: true,
+            inject_panic: None,
             ..fresh(
                 Mode::Commit,
                 1,

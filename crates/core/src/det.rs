@@ -49,13 +49,14 @@
 //!   serial pop-and-refill produced.
 
 use crate::ctx::{Abort, Access, Ctx, Mode};
+use crate::error::{contain_panic, panic_message, ExecError, QUARANTINE_CAP};
 use crate::executor::{DetOptions, Executor, ProbeHub, RunReport};
 use crate::flags::AbortFlags;
 use crate::marks::{LockId, MarkTable};
 use crate::ops::Operator;
 use crate::task::{assign_ids, spread_for_locality, PendingItem, WorkItem};
 use crate::window::AdaptiveWindow;
-use galois_runtime::pool::{chunk_range, run_on_threads_chaos};
+use galois_runtime::pool::{chunk_range, run_on_threads_fault};
 use galois_runtime::probe::{attribute_conflicts, RoundRecord};
 use galois_runtime::simtime::{ExecTrace, PhaseTrace, RoundTrace};
 use galois_runtime::stats::{ExecStats, ThreadStats};
@@ -78,6 +79,9 @@ struct Slot<T> {
     /// converted by the committing worker.
     pending_out: Vec<PendingItem<T>>,
     committed: bool,
+    /// Captured panic message when the operator faulted on this slot
+    /// (inspect or commit phase); the task is quarantined, never retried.
+    fault: Option<String>,
 }
 
 impl<T> Slot<T> {
@@ -89,6 +93,7 @@ impl<T> Slot<T> {
             pushes: Vec::new(),
             pending_out: Vec::new(),
             committed: false,
+            fault: None,
         }
     }
 
@@ -116,6 +121,10 @@ struct ThreadOut<T> {
     /// Conflicting abstract locations seen during this thread's inspect
     /// claims (when a probe wants attribution); drained by the leader.
     conflicts: Vec<u32>,
+    /// Quarantined tasks from this thread's slot range, in slot order:
+    /// the payload (held until the leader reports the fault) and the
+    /// captured panic message.
+    quarantined: Vec<(WorkItem<T>, String)>,
 }
 
 impl<T> ThreadOut<T> {
@@ -127,6 +136,7 @@ impl<T> ThreadOut<T> {
             inspect: PhaseTrace::default(),
             commit: PhaseTrace::default(),
             conflicts: Vec::new(),
+            quarantined: Vec::new(),
         }
     }
 
@@ -137,6 +147,7 @@ impl<T> ThreadOut<T> {
         self.inspect = PhaseTrace::default();
         self.commit = PhaseTrace::default();
         self.conflicts.clear();
+        self.quarantined.clear();
     }
 }
 
@@ -173,6 +184,10 @@ struct RoundState<T> {
 // barriers, and within a phase slot indexes / out-buffers are exclusive.
 unsafe impl<T: Send> Sync for RoundState<T> {}
 
+/// What the leader hands back when the run ends: total rounds, collected
+/// round traces, and the fault (if any) that stopped the run.
+type LeaderOut = (u64, Vec<RoundTrace>, Option<ExecError>);
+
 /// Leader-only bookkeeping across rounds and passes.
 struct LeaderState<T> {
     /// Next unconsumed index into the shared pending buffer.
@@ -192,6 +207,11 @@ struct LeaderState<T> {
     pending_record: Option<RoundRecord>,
     /// Scratch buffer for per-round conflict attribution.
     conflict_scratch: Vec<u32>,
+    /// Consecutive rounds that attempted tasks but made no progress
+    /// (no commits, no quarantines) — the stall watchdog's counter.
+    stalled_rounds: u64,
+    /// Terminal fault: set once, then `done` is raised and the run drains.
+    fault: Option<ExecError>,
 }
 
 /// Pre-assigned id source: the id function and the id space bound (§3.3).
@@ -205,7 +225,7 @@ pub(crate) fn run<T, O>(
     op: &O,
     preassigned: Preassigned<'_, T>,
     hub: &mut ProbeHub<'_>,
-) -> RunReport
+) -> (RunReport, Option<ExecError>)
 where
     T: Send,
     O: Operator<T>,
@@ -279,173 +299,194 @@ where
     let barrier = SenseBarrier::with_chaos(threads, cfg.chaos.clone());
     let initial_cell: Mutex<Option<Vec<WorkItem<T>>>> = Mutex::new(Some(initial));
     let collected: Mutex<Vec<(ThreadStats, Vec<Access>)>> = Mutex::new(Vec::new());
-    let leader_out: Mutex<Option<(u64, Vec<RoundTrace>)>> = Mutex::new(None);
+    let leader_out: Mutex<Option<LeaderOut>> = Mutex::new(None);
     // Like `initial_cell`: the leader takes the probe hub at thread start
     // and is the only thread to ever touch it (between barriers), so probe
     // callbacks see rounds strictly in order.
     let hub_cell: Mutex<Option<&mut ProbeHub<'_>>> = Mutex::new(probing.then_some(hub));
 
-    run_on_threads_chaos(threads, cfg.chaos.as_deref(), |tid| {
-        let mut stats = ThreadStats::default();
-        let mut accesses: Vec<Access> = Vec::new();
-        let mut probe: Option<&mut ProbeHub<'_>> = (tid == 0)
-            .then(|| hub_cell.lock().unwrap().take())
-            .flatten();
-        let mut leader: Option<LeaderState<T>> = (tid == 0).then(|| LeaderState {
-            head: 0,
-            todo: Vec::new(),
-            window: AdaptiveWindow::for_pass(opts.window, 0),
-            rounds: 0,
-            round_traces: Vec::new(),
-            started: false,
-            spare: Vec::new(),
-            carved_window: 0,
-            pending_record: None,
-            conflict_scratch: Vec::new(),
-        });
-        if leader.is_some() {
-            let initial = initial_cell.lock().unwrap().take().expect("single leader");
-            // SAFETY: workers cannot touch `pending` before the first
-            // barrier; the leader owns it here.
-            unsafe {
-                *state.pending.get() = spread_for_locality(initial, opts.locality_spread)
-                    .into_iter()
-                    .map(Some)
-                    .collect();
-            }
-        }
-
-        loop {
-            if let Some(leader) = leader.as_mut() {
-                let t0 = state.time_phases.then(Instant::now);
-                let sort_ns =
-                    prepare_round(leader, &state, marks, opts, cfg, threads, flag_space_of);
-                let total_ns = t0.map(|t| t.elapsed().as_nanos() as f64);
-                if let (Some(total), Some(last)) = (
-                    total_ns.filter(|_| cfg.record_trace),
-                    leader.round_traces.last_mut(),
-                ) {
-                    // The merge/carve work belongs to the round it closed;
-                    // the pass-boundary sort is parallelizable scheduler work.
-                    last.serial_ns += (total - sort_ns).max(0.0);
-                    last.sched_par_ns += sort_ns;
-                }
-                if let Some(mut rec) = leader.pending_record.take() {
-                    if let Some(total) = total_ns {
-                        rec.serial_ns = (total - sort_ns).max(0.0);
-                    }
-                    if let Some(p) = probe.as_mut() {
-                        p.on_round(rec);
-                    }
+    // Workers run under a fault hook: an *escaping* panic (operator panics
+    // are caught and quarantined below — this only fires on scheduler
+    // invariant violations) poisons the barrier so peers drain instead of
+    // spinning forever, then propagates at join.
+    run_on_threads_fault(
+        threads,
+        cfg.chaos.as_deref(),
+        Some(&|| barrier.poison()),
+        |tid| {
+            let mut stats = ThreadStats::default();
+            let mut accesses: Vec<Access> = Vec::new();
+            let mut probe: Option<&mut ProbeHub<'_>> = (tid == 0)
+                .then(|| hub_cell.lock().unwrap().take())
+                .flatten();
+            let mut leader: Option<LeaderState<T>> = (tid == 0).then(|| LeaderState {
+                head: 0,
+                todo: Vec::new(),
+                window: AdaptiveWindow::for_pass(opts.window, 0),
+                rounds: 0,
+                round_traces: Vec::new(),
+                started: false,
+                spare: Vec::new(),
+                carved_window: 0,
+                pending_record: None,
+                conflict_scratch: Vec::new(),
+                stalled_rounds: 0,
+                fault: None,
+            });
+            if leader.is_some() {
+                let initial = initial_cell.lock().unwrap().take().expect("single leader");
+                // SAFETY: workers cannot touch `pending` before the first
+                // barrier; the leader owns it here.
+                unsafe {
+                    *state.pending.get() = spread_for_locality(initial, opts.locality_spread)
+                        .into_iter()
+                        .map(Some)
+                        .collect();
                 }
             }
-            barrier.wait();
-            if state.done.load(Ordering::Acquire) {
-                break;
-            }
-            // SAFETY: the leader finished mutating `cur`/`pending`/`flags`
-            // before the barrier; all are read-only (at the Vec level) until
-            // the next prepare. Slot, pending-entry and out-buffer access is
-            // phase-exclusive.
-            let (slots, pend, flags) = unsafe {
-                let cur: &Vec<Slot<T>> = &*state.cur.get();
-                let pend = (*state.pending.get()).as_ptr() as *mut Option<WorkItem<T>>;
-                let flags: &AbortFlags = (*state.flags.get()).as_ref().expect("flags set");
-                (cur.as_ptr() as *mut Slot<T>, pend, flags)
-            };
-            let n = unsafe { (*state.cur.get()).len() };
-            let fill_base = state.fill_base.load(Ordering::Relaxed);
-            // SAFETY: outs[tid] is exclusively this worker's between barriers.
-            let out = unsafe { &mut *state.outs[tid].get() };
-            out.reset();
 
-            // Inspect phase: dynamic chunked claims (load balance); timing
-            // amortized per chunk so tiny tasks are not inflated by timers.
-            const CLAIM_CHUNK: usize = 8;
             loop {
-                let i0 = state
-                    .claim_inspect
-                    .fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
-                if i0 >= n {
+                if let Some(leader) = leader.as_mut() {
+                    let t0 = state.time_phases.then(Instant::now);
+                    let sort_ns =
+                        prepare_round(leader, &state, marks, opts, cfg, threads, flag_space_of);
+                    let total_ns = t0.map(|t| t.elapsed().as_nanos() as f64);
+                    if let (Some(total), Some(last)) = (
+                        total_ns.filter(|_| cfg.record_trace),
+                        leader.round_traces.last_mut(),
+                    ) {
+                        // The merge/carve work belongs to the round it closed;
+                        // the pass-boundary sort is parallelizable scheduler work.
+                        last.serial_ns += (total - sort_ns).max(0.0);
+                        last.sched_par_ns += sort_ns;
+                    }
+                    if let Some(mut rec) = leader.pending_record.take() {
+                        if let Some(total) = total_ns {
+                            rec.serial_ns = (total - sort_ns).max(0.0);
+                        }
+                        if let Some(p) = probe.as_mut() {
+                            p.on_round(rec);
+                        }
+                    }
+                }
+                if barrier.wait_checked().is_err() || state.done.load(Ordering::Acquire) {
                     break;
                 }
-                let hi = (i0 + CLAIM_CHUNK).min(n);
-                let t0 = state.time_phases.then(Instant::now);
-                for i in i0..hi {
-                    // SAFETY: index range claimed exclusively above; pending
-                    // entry `fill_base + i` belongs to slot `i` alone, so the
-                    // claim covers it too. Filling the window here — on the
-                    // claiming worker — keeps the leader's serial turnaround
-                    // O(threads) instead of O(window).
-                    let slot = unsafe { &mut *slots.add(i) };
-                    let item = unsafe { (*pend.add(fill_base + i)).take() };
-                    slot.item = Some(item.expect("carved pending entry holds a task"));
-                    slot.committed = false;
-                    slot.stash = None;
-                    slot.pushes.clear();
-                    slot.pending_out.clear();
-                    inspect_slot(
-                        slot,
-                        marks,
-                        flags,
-                        opts,
-                        cfg,
-                        tid,
-                        &mut stats,
-                        &mut accesses,
-                        state.collect_conflicts.then_some(&mut out.conflicts),
-                        op,
-                    );
-                }
-                if let Some(t0) = t0 {
-                    out.inspect
-                        .add_block(t0.elapsed().as_nanos() as f64, (hi - i0) as u64);
-                }
-            }
-            barrier.wait();
+                // SAFETY: the leader finished mutating `cur`/`pending`/`flags`
+                // before the barrier; all are read-only (at the Vec level) until
+                // the next prepare. Slot, pending-entry and out-buffer access is
+                // phase-exclusive.
+                let (slots, pend, flags) = unsafe {
+                    let cur: &Vec<Slot<T>> = &*state.cur.get();
+                    let pend = (*state.pending.get()).as_ptr() as *mut Option<WorkItem<T>>;
+                    let flags: &AbortFlags = (*state.flags.get()).as_ref().expect("flags set");
+                    (cur.as_ptr() as *mut Slot<T>, pend, flags)
+                };
+                let n = unsafe { (*state.cur.get()).len() };
+                let fill_base = state.fill_base.load(Ordering::Relaxed);
+                // SAFETY: outs[tid] is exclusively this worker's between barriers.
+                let out = unsafe { &mut *state.outs[tid].get() };
+                out.reset();
 
-            // Select-and-execute phase: static contiguous ranges, so each
-            // thread's outputs concatenate to slot order.
-            let range = chunk_range(n, threads, tid);
-            let mut block_start = range.start;
-            while block_start < range.end {
-                let block_end = (block_start + 64).min(range.end);
-                let t0 = state.time_phases.then(Instant::now);
-                let mut block_committed = 0u64;
-                for i in block_start..block_end {
-                    // SAFETY: static ranges are disjoint across threads.
-                    let slot = unsafe { &mut *slots.add(i) };
-                    commit_slot(slot, marks, flags, cfg, tid, &mut stats, &mut accesses, op);
-                    if slot.committed {
-                        block_committed += 1;
-                        out.todo.append(&mut slot.pending_out);
-                        slot.item = None;
-                    } else {
-                        out.failed.push(slot.item.take().expect("slot had a task"));
+                // Inspect phase: dynamic chunked claims (load balance); timing
+                // amortized per chunk so tiny tasks are not inflated by timers.
+                const CLAIM_CHUNK: usize = 8;
+                loop {
+                    let i0 = state
+                        .claim_inspect
+                        .fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                    if i0 >= n {
+                        break;
+                    }
+                    let hi = (i0 + CLAIM_CHUNK).min(n);
+                    let t0 = state.time_phases.then(Instant::now);
+                    for i in i0..hi {
+                        // SAFETY: index range claimed exclusively above; pending
+                        // entry `fill_base + i` belongs to slot `i` alone, so the
+                        // claim covers it too. Filling the window here — on the
+                        // claiming worker — keeps the leader's serial turnaround
+                        // O(threads) instead of O(window).
+                        let slot = unsafe { &mut *slots.add(i) };
+                        let item = unsafe { (*pend.add(fill_base + i)).take() };
+                        slot.item = Some(item.expect("carved pending entry holds a task"));
+                        slot.committed = false;
+                        slot.stash = None;
+                        slot.fault = None;
+                        slot.pushes.clear();
+                        slot.pending_out.clear();
+                        inspect_slot(
+                            slot,
+                            marks,
+                            flags,
+                            opts,
+                            cfg,
+                            tid,
+                            &mut stats,
+                            &mut accesses,
+                            state.collect_conflicts.then_some(&mut out.conflicts),
+                            op,
+                        );
+                    }
+                    if let Some(t0) = t0 {
+                        out.inspect
+                            .add_block(t0.elapsed().as_nanos() as f64, (hi - i0) as u64);
                     }
                 }
-                out.committed += block_committed;
-                if let Some(t0) = t0 {
-                    // Count only commits; abort-check time still lands in
-                    // the phase total (it is real commit-phase work).
-                    out.commit
-                        .add_block(t0.elapsed().as_nanos() as f64, block_committed);
+                if barrier.wait_checked().is_err() {
+                    break;
                 }
-                block_start = block_end;
-            }
-            barrier.wait();
-        }
 
-        if let Some(leader) = leader {
-            *leader_out.lock().unwrap() = Some((leader.rounds, leader.round_traces));
-        }
-        collected.lock().unwrap().push((stats, accesses));
-    });
+                // Select-and-execute phase: static contiguous ranges, so each
+                // thread's outputs concatenate to slot order.
+                let range = chunk_range(n, threads, tid);
+                let mut block_start = range.start;
+                while block_start < range.end {
+                    let block_end = (block_start + 64).min(range.end);
+                    let t0 = state.time_phases.then(Instant::now);
+                    let mut block_committed = 0u64;
+                    for i in block_start..block_end {
+                        // SAFETY: static ranges are disjoint across threads.
+                        let slot = unsafe { &mut *slots.add(i) };
+                        commit_slot(slot, marks, flags, cfg, tid, &mut stats, &mut accesses, op);
+                        if slot.committed {
+                            block_committed += 1;
+                            out.todo.append(&mut slot.pending_out);
+                            slot.item = None;
+                        } else if let Some(msg) = slot.fault.take() {
+                            // Quarantined: keep the payload and message for the
+                            // leader's fault report; never re-enqueued.
+                            out.quarantined
+                                .push((slot.item.take().expect("slot had a task"), msg));
+                        } else {
+                            out.failed.push(slot.item.take().expect("slot had a task"));
+                        }
+                    }
+                    out.committed += block_committed;
+                    if let Some(t0) = t0 {
+                        // Count only commits; abort-check time still lands in
+                        // the phase total (it is real commit-phase work).
+                        out.commit
+                            .add_block(t0.elapsed().as_nanos() as f64, block_committed);
+                    }
+                    block_start = block_end;
+                }
+                if barrier.wait_checked().is_err() {
+                    break;
+                }
+            }
+
+            if let Some(mut leader) = leader {
+                *leader_out.lock().unwrap() =
+                    Some((leader.rounds, leader.round_traces, leader.fault.take()));
+            }
+            collected.lock().unwrap().push((stats, accesses));
+        },
+    );
 
     let elapsed = start.elapsed();
     let per_thread = collected.into_inner().unwrap();
     let mut agg = ExecStats::from_threads(per_thread.iter().map(|(s, _)| s));
-    let (rounds, round_traces) = leader_out.into_inner().unwrap().expect("leader ran");
+    let (rounds, round_traces, fault) = leader_out.into_inner().unwrap().expect("leader ran");
     agg.rounds = rounds;
     agg.elapsed = elapsed;
     agg.threads = threads;
@@ -459,14 +500,15 @@ where
         agg.mark_releases, 0,
         "deterministic rounds retire marks by epoch, never by per-location CAS"
     );
-    RunReport {
+    let report = RunReport {
         stats: agg,
         trace: cfg.record_trace.then_some(ExecTrace::Rounds(round_traces)),
         accesses: cfg
             .record_access
             .then(|| per_thread.into_iter().map(|(_, a)| a).collect()),
         round_log: None,
-    }
+    };
+    (report, fault)
 }
 
 /// Leader work between rounds: merge per-thread outputs, advance passes,
@@ -511,6 +553,7 @@ fn prepare_round<T: Send>(
         let attempted = cur.len();
         let mut committed = 0usize;
         let mut nfailed = 0usize;
+        let mut quarantined = 0usize;
         let mut inspect_ns = 0.0f64;
         let mut commit_ns = 0.0f64;
         let mut trace = cfg.record_trace.then(RoundTrace::default);
@@ -519,6 +562,7 @@ fn prepare_round<T: Send>(
             let out = unsafe { &mut *state.outs[tid].get() };
             committed += out.committed as usize;
             nfailed += out.failed.len();
+            quarantined += out.quarantined.len();
             inspect_ns += out.inspect.total_ns;
             commit_ns += out.commit.total_ns;
             if state.collect_conflicts {
@@ -565,16 +609,66 @@ fn prepare_round<T: Send>(
         }
         debug_assert_eq!(w_idx, leader.head);
         leader.head -= nfailed;
-        debug_assert!(
-            attempted == 0 || committed >= 1,
-            "the maximum id in a round always commits"
-        );
         if let Some(mut t) = trace {
             t.barriers = 3;
             leader.round_traces.push(t);
         }
+        let closing_round = leader.rounds;
         leader.rounds += 1;
         leader.window.update(attempted, committed);
+
+        if quarantined > 0 {
+            // The run stops at the end of the first faulting round and
+            // reports its lowest-id quarantined task. Round membership and
+            // the independent set are pure functions of committed history,
+            // so this report — id, message and round — is byte-identical
+            // at every thread count.
+            let mut first: Option<(u64, String)> = None;
+            for tid in 0..threads {
+                // SAFETY: as above.
+                let out = unsafe { &mut *state.outs[tid].get() };
+                for (item, msg) in out.quarantined.drain(..) {
+                    if first.as_ref().is_none_or(|(id, _)| item.id < *id) {
+                        first = Some((item.id, msg));
+                    }
+                }
+            }
+            let (task_id, message) = first.expect("quarantined > 0");
+            leader.fault = Some(if quarantined as u64 > QUARANTINE_CAP {
+                ExecError::QuarantineOverflow {
+                    quarantined: quarantined as u64,
+                    limit: QUARANTINE_CAP,
+                }
+            } else {
+                ExecError::OperatorPanic {
+                    task_id,
+                    message,
+                    round: closing_round,
+                }
+            });
+            state.done.store(true, Ordering::Release);
+            return 0.0;
+        }
+
+        // Stall watchdog: a round that attempted tasks but neither committed
+        // nor quarantined any of them made no progress. The paper's schedule
+        // guarantees the maximum id of a round always commits, so a single
+        // such round is already a scheduler bug — but user operators can
+        // also livelock (e.g. an operator that always returns a conflict
+        // abort). Counting *rounds*, never wall-clock, keeps the verdict
+        // thread-count independent.
+        if attempted > 0 && committed == 0 {
+            leader.stalled_rounds += 1;
+            if leader.stalled_rounds >= cfg.max_stalled_rounds {
+                leader.fault = Some(ExecError::Stalled {
+                    rounds: leader.stalled_rounds,
+                });
+                state.done.store(true, Ordering::Release);
+                return 0.0;
+            }
+        } else {
+            leader.stalled_rounds = 0;
+        }
     }
 
     // Pass boundary: the sorted sequence is drained; order `todo` (Figure 2
@@ -665,15 +759,29 @@ fn inspect_slot<T: Send, O: Operator<T>>(
             // Never inject during inspect: marking must be a pure function
             // of the round's membership or the schedule itself would change.
             inject_abort: false,
+            inject_panic: None,
         };
-        op.run(&item.task, &mut ctx)
+        // A panic here is pre-failsafe by the cautious contract, so it is
+        // contained exactly like an abort: the marks already placed retire
+        // with the round's epoch bump, and the task is quarantined. The
+        // fault set of a round is therefore a pure function of round
+        // membership — thread-count independent like the schedule.
+        contain_panic(|| op.run(&item.task, &mut ctx))
     };
     stats.inspected += 1;
-    debug_assert_ne!(
-        result,
-        Err(Abort::Conflict),
-        "inspect-phase acquire cannot conflict (writeMarksMax never fails)"
-    );
+    match result {
+        Ok(r) => {
+            debug_assert_ne!(
+                r,
+                Err(Abort::Conflict),
+                "inspect-phase acquire cannot conflict (writeMarksMax never fails)"
+            );
+        }
+        Err(payload) => {
+            slot.fault = Some(panic_message(payload));
+            slot.stash = None;
+        }
+    }
     // Ok means the operator completed without a failsafe call (a read-only
     // task); its pushes were discarded and the commit phase re-issues them.
     slot.pushes.clear();
@@ -692,6 +800,16 @@ fn commit_slot<T: Send, O: Operator<T>>(
 ) {
     let task_id = slot.item().id;
     let mark_value = task_id + 1;
+    if slot.fault.is_some() {
+        // The inspect run panicked: quarantine. The marks it placed retire
+        // with the round's epoch bump — no per-location release needed —
+        // and the task never re-enters the pending buffer.
+        stats.quarantined += 1;
+        slot.committed = false;
+        slot.stash = None;
+        stats.releases_avoided += slot.neighborhood.len() as u64;
+        return;
+    }
     if flags.get(task_id as usize) {
         // A higher-priority neighbor in the interference graph owns part of
         // this task's neighborhood; retry in a later round.
@@ -715,6 +833,16 @@ fn commit_slot<T: Send, O: Operator<T>>(
                 .chaos
                 .as_deref()
                 .is_some_and(|c| c.inject_det_abort(task_id));
+        // Chaos panic injection fires at the failsafe crossing of the commit
+        // run. Purity in (seed, task_id) plus the schedule-invariance of
+        // round membership makes the resulting fault report byte-identical
+        // at every thread count. Stash-carrying tasks are exempt for the
+        // same reason as injected aborts: their failsafe already passed.
+        let inject_panic = slot.stash.is_none()
+            && cfg
+                .chaos
+                .as_deref()
+                .is_some_and(|c| c.inject_det_panic(task_id));
         loop {
             let result = {
                 let Slot {
@@ -740,21 +868,38 @@ fn commit_slot<T: Send, O: Operator<T>>(
                     conflicts: None,
                     past_failsafe: false,
                     inject_abort: inject,
+                    inject_panic: inject_panic.then_some(task_id),
                 };
-                let r = op.run(&item.task, &mut ctx);
-                if r.is_ok() {
-                    ctx.record_neighborhood_writes();
-                }
-                r
+                contain_panic(|| {
+                    let r = op.run(&item.task, &mut ctx);
+                    if r.is_ok() {
+                        ctx.record_neighborhood_writes();
+                    }
+                    r
+                })
             };
             match result {
-                Ok(()) => break,
-                Err(Abort::Injected) => {
+                Ok(Ok(())) => break,
+                Ok(Err(Abort::Injected)) => {
                     inject = false;
                     slot.pushes.clear();
                 }
-                Err(other) => {
+                Ok(Err(other)) => {
+                    // Scheduler invariant violation, not an operator fault:
+                    // let it escape so the pool's poison hook fires.
                     panic!("a selected task commits unconditionally: {other}")
+                }
+                Err(payload) => {
+                    // Pre-failsafe panic during the commit run (cautious
+                    // contract): no shared writes happened, the round's
+                    // marks retire by epoch — quarantine instead of commit.
+                    slot.fault = Some(panic_message(payload));
+                    slot.pushes.clear();
+                    slot.stash = None;
+                    slot.committed = false;
+                    stats.quarantined += 1;
+                    stats.releases_avoided += slot.neighborhood.len() as u64;
+                    return;
                 }
             }
         }
@@ -1077,6 +1222,145 @@ mod tests {
             }
             other => panic!("expected rounds trace, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn operator_panic_quarantines_lowest_id_byte_identical_across_threads() {
+        // Tasks 13 and 27 panic before their failsafe; everything else
+        // commits. The fault report — task id, message, round — must be
+        // byte-identical at every thread count (the tentpole invariant).
+        let run_with = |threads: usize| {
+            let marks = MarkTable::new(64);
+            let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+                ctx.acquire((*t % 64) as u32)?;
+                if *t == 13 || *t == 27 {
+                    panic!("task {t} is cursed");
+                }
+                ctx.failsafe()?;
+                Ok(())
+            };
+            Executor::new()
+                .threads(threads)
+                .schedule(det())
+                .iterate((0..64u64).collect())
+                .try_run(&marks, &op)
+        };
+        let reference = run_with(1).expect_err("faulting run must error");
+        match &reference {
+            crate::ExecError::OperatorPanic {
+                task_id, message, ..
+            } => {
+                assert_eq!(*task_id, 13, "lowest faulted id of the window");
+                assert_eq!(message, "task 13 is cursed");
+            }
+            other => panic!("expected OperatorPanic, got {other:?}"),
+        }
+        for threads in [2usize, 4, 8, 16] {
+            let err = run_with(threads).expect_err("faulting run must error");
+            assert_eq!(err, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn quarantined_tasks_never_rerun_and_marks_release() {
+        // The panicking task's partial marks must retire with the round so
+        // later runs on the same table see a clean slate.
+        let marks = MarkTable::new(8);
+        let calls = AtomicU64::new(0);
+        let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            ctx.acquire((*t % 8) as u32)?;
+            if *t == 3 {
+                calls.fetch_add(1, Ordering::Relaxed);
+                panic!("boom");
+            }
+            ctx.failsafe()?;
+            Ok(())
+        };
+        let err = Executor::new()
+            .threads(2)
+            .schedule(det())
+            .iterate((0..8u64).collect())
+            .try_run(&marks, &op)
+            .expect_err("task 3 faults");
+        assert!(matches!(
+            err,
+            crate::ExecError::OperatorPanic { task_id: 3, .. }
+        ));
+        // Inspect runs once; the quarantined slot is never committed or
+        // retried, so the operator saw the task exactly once.
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert!(marks.all_unowned(), "quarantine must not leak marks");
+    }
+
+    #[test]
+    fn quarantine_overflow_when_a_whole_round_faults() {
+        // 20_000 always-panicking tasks: the initial window (pass/4 = 5000)
+        // exceeds QUARANTINE_CAP, so the first round overflows.
+        let marks = MarkTable::new(1);
+        let op = |_t: &u64, _ctx: &mut Ctx<'_, u64>| -> OpResult { panic!("all bad") };
+        let err = Executor::new()
+            .threads(4)
+            .schedule(det())
+            .iterate((0..20_000u64).collect())
+            .try_run(&marks, &op)
+            .expect_err("systemic fault");
+        match err {
+            crate::ExecError::QuarantineOverflow { quarantined, limit } => {
+                assert!(quarantined > limit);
+                assert_eq!(limit, crate::QUARANTINE_CAP);
+            }
+            other => panic!("expected QuarantineOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_panic_injection_reports_identical_faults_across_threads() {
+        // Seeded panic injection at the failsafe: the injected fault set is
+        // pure in (seed, task_id), so the report is invariant across thread
+        // counts for a fixed seed — and the panic message is canonical.
+        for seed in [1u64, 2, 3] {
+            let run_with = |threads: usize| {
+                let marks = MarkTable::new(512);
+                let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+                    ctx.acquire((*t % 512) as u32)?;
+                    ctx.failsafe()?;
+                    Ok(())
+                };
+                Executor::new()
+                    .threads(threads)
+                    .schedule(det())
+                    .chaos_panics(seed)
+                    .iterate((0..512u64).collect())
+                    .try_run(&marks, &op)
+            };
+            let reference = run_with(1).err();
+            for threads in [2usize, 4, 8] {
+                assert_eq!(run_with(threads).err(), reference, "seed={seed}");
+            }
+            if let Some(crate::ExecError::OperatorPanic { message, .. }) = &reference {
+                assert!(
+                    message.starts_with(crate::INJECTED_PANIC_PREFIX),
+                    "injected faults carry the canonical marker: {message}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_wrapper_panics_with_the_fault_display() {
+        let marks = MarkTable::new(1);
+        let op = |_t: &u64, _ctx: &mut Ctx<'_, u64>| -> OpResult { panic!("kaboom") };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Executor::new()
+                .threads(1)
+                .schedule(det())
+                .iterate(vec![0u64])
+                .run(&marks, &op);
+        }))
+        .expect_err("run re-panics on fault");
+        let msg = crate::error::panic_message(caught);
+        assert!(msg.contains("operator panicked"), "got: {msg}");
+        assert!(msg.contains("kaboom"), "got: {msg}");
     }
 
     #[test]

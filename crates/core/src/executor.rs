@@ -58,6 +58,7 @@
 
 use crate::ctx::Access;
 use crate::det;
+use crate::error::ExecError;
 use crate::marks::MarkTable;
 use crate::ops::Operator;
 use crate::serial;
@@ -132,6 +133,13 @@ impl Schedule {
     }
 }
 
+/// Default stall-watchdog threshold, in consecutive zero-progress rounds
+/// (see [`Executor::max_stalled_rounds`]). Far above anything a live
+/// workload produces — a cautious operator commits at least one task per
+/// non-empty deterministic round — so the watchdog only fires on genuine
+/// livelock.
+pub const DEFAULT_MAX_STALLED_ROUNDS: u64 = 4096;
+
 /// A configured parallel loop executor. See the [module docs](self).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Executor {
@@ -142,6 +150,7 @@ pub struct Executor {
     pub(crate) record_access: bool,
     pub(crate) record_rounds: bool,
     pub(crate) chaos: Option<Arc<ChaosPolicy>>,
+    pub(crate) max_stalled_rounds: u64,
 }
 
 impl Default for Executor {
@@ -154,6 +163,7 @@ impl Default for Executor {
             record_access: false,
             record_rounds: false,
             chaos: None,
+            max_stalled_rounds: DEFAULT_MAX_STALLED_ROUNDS,
         }
     }
 }
@@ -217,6 +227,39 @@ impl Executor {
     /// Without a policy installed the hooks cost one branch each.
     pub fn chaos(mut self, seed: u64) -> Self {
         self.chaos = Some(Arc::new(ChaosPolicy::new(seed)));
+        self
+    }
+
+    /// Like [`chaos`](Self::chaos), but with **panic injection** armed:
+    /// roughly one eligible failsafe crossing in 64 panics instead of
+    /// proceeding, exercising the fault-containment layer end to end. The
+    /// drawn fault set is pure in `(seed, task id)`, so under
+    /// [`Schedule::Deterministic`] the resulting
+    /// [`ExecError::OperatorPanic`] report is byte-identical at any thread
+    /// count for a fixed seed — the invariance the differential harness's
+    /// panic matrix proves. The output of a faulted run is *not* seed
+    /// invariant (quarantined tasks never run), which is why this is a
+    /// separate opt-in rather than part of [`chaos`](Self::chaos).
+    pub fn chaos_panics(mut self, seed: u64) -> Self {
+        self.chaos = Some(Arc::new(ChaosPolicy::with_panics(seed)));
+        self
+    }
+
+    /// Sets the stall-watchdog threshold: after this many consecutive
+    /// rounds that attempt tasks but commit (and quarantine) none, a run
+    /// returns [`ExecError::Stalled`] instead of spinning forever. The
+    /// count is in **rounds**, never wall-clock, so the verdict is
+    /// thread-count independent (portability extends to failures). For the
+    /// speculative scheduler — which has no rounds — the same number
+    /// bounds one worker's consecutive failed attempts with no commit
+    /// progress anywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn max_stalled_rounds(mut self, rounds: u64) -> Self {
+        assert!(rounds > 0, "stall threshold must be positive");
+        self.max_stalled_rounds = rounds;
         self
     }
 
@@ -354,6 +397,13 @@ impl<'e, 'p, T: Send> LoopSpec<'e, 'p, T> {
         self
     }
 
+    /// Installs (or overrides) a panic-injecting chaos policy for this loop
+    /// only. See [`Executor::chaos_panics`] for semantics.
+    pub fn chaos_panics(mut self, seed: u64) -> Self {
+        self.chaos = Some(Arc::new(ChaosPolicy::with_panics(seed)));
+        self
+    }
+
     /// Runs the loop with operator `op`, synchronizing through `marks`.
     ///
     /// `marks` must cover every [`crate::LockId`] the operator acquires, and
@@ -363,7 +413,45 @@ impl<'e, 'p, T: Send> LoopSpec<'e, 'p, T> {
     /// (Figure 1a). Under deterministic scheduling, initial ids follow the
     /// order of `tasks` (or `with_ids`) and created tasks are ordered by
     /// `(parent, rank)` (§3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ExecError`] display message when the run faults —
+    /// an operator panicked before its failsafe point, the quarantine cap
+    /// overflowed, or the stall watchdog fired. Callers that want to handle
+    /// faults use [`try_run`](Self::try_run) instead. In det mode the panic
+    /// message itself is canonical (thread-count independent).
     pub fn run<O>(self, marks: &MarkTable, op: &O) -> RunReport
+    where
+        O: Operator<T>,
+    {
+        self.try_run(marks, op).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the loop like [`run`](Self::run), but reports execution faults
+    /// as structured [`ExecError`]s instead of panicking.
+    ///
+    /// Fault containment guarantees:
+    ///
+    /// - An operator panic **before the failsafe point** is treated like an
+    ///   abort: the task's marks roll back (by epoch in det mode, by CAS in
+    ///   spec mode), the task is quarantined with its payload and captured
+    ///   panic message, and the run fails with
+    ///   [`ExecError::OperatorPanic`]. Peer workers drain; nothing
+    ///   deadlocks.
+    /// - In det mode the reported fault is the **lowest-id faulted task of
+    ///   the first faulting round** — byte-identical at any thread count,
+    ///   like every other deterministic output.
+    /// - A panic that escapes containment (an executor bug, or an operator
+    ///   fault past the failsafe point) still propagates as a panic, after
+    ///   poisoning the round barrier so peers release instead of spinning.
+    ///
+    /// On `Err`, any attached [`Probe`] still receives its
+    /// `on_finish` callback with the partial statistics (including
+    /// [`quarantined`](ExecStats::quarantined)), but no [`RunReport`] is
+    /// produced — the application state a faulted run leaves behind is
+    /// explicitly not a run product.
+    pub fn try_run<O>(self, marks: &MarkTable, op: &O) -> Result<RunReport, ExecError>
     where
         O: Operator<T>,
     {
@@ -384,8 +472,8 @@ impl<'e, 'p, T: Send> LoopSpec<'e, 'p, T> {
         };
         let exec = &cfg;
         let mut hub = ProbeHub::new(probe, exec.record_rounds);
-        let mut report = match &exec.schedule {
-            Schedule::Serial => serial::run(exec, marks, tasks, op),
+        let (mut report, fault) = match &exec.schedule {
+            Schedule::Serial => (serial::run(exec, marks, tasks, op), None),
             Schedule::Speculative => spec::run(exec, marks, tasks, op, &mut hub),
             Schedule::Deterministic(opts) => {
                 let preassigned = ids
@@ -396,7 +484,10 @@ impl<'e, 'p, T: Send> LoopSpec<'e, 'p, T> {
         };
         hub.finish(&report.stats);
         report.round_log = hub.into_log();
-        report
+        match fault {
+            Some(err) => Err(err),
+            None => Ok(report),
+        }
     }
 }
 

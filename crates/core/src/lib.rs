@@ -67,6 +67,7 @@
 
 pub mod ctx;
 mod det;
+pub mod error;
 pub mod executor;
 pub mod flags;
 pub mod marks;
@@ -76,8 +77,11 @@ mod spec;
 pub mod task;
 pub mod window;
 
-pub use ctx::{Abort, Access, Ctx, OpResult};
-pub use executor::{DetOptions, Executor, LoopSpec, RunReport, Schedule, WorklistPolicy};
+pub use ctx::{Abort, Access, Ctx, OpResult, INJECTED_PANIC_PREFIX};
+pub use error::{ExecError, QUARANTINE_CAP};
+pub use executor::{
+    DetOptions, Executor, LoopSpec, RunReport, Schedule, WorklistPolicy, DEFAULT_MAX_STALLED_ROUNDS,
+};
 pub use galois_runtime::chaos::ChaosPolicy;
 pub use galois_runtime::probe::{Probe, RoundLog, RoundRecord};
 pub use marks::{LockId, MarkTable};

@@ -48,6 +48,7 @@ where
             past_failsafe: false,
             // The serial executor is the chaos-free oracle: never inject.
             inject_abort: false,
+            inject_panic: None,
         };
         op.run(&task, &mut ctx)
             .expect("serial execution cannot abort");

@@ -20,20 +20,45 @@
 //! real nondeterminism here.
 
 use crate::ctx::{Abort, Access, Ctx, Mode};
+use crate::error::{contain_panic, panic_message, ExecError, QUARANTINE_CAP};
 use crate::executor::WorklistPolicy;
 use crate::executor::{Executor, ProbeHub, RunReport};
 use crate::marks::MarkTable;
 use crate::ops::Operator;
-use galois_runtime::pool::run_on_threads_chaos;
+use galois_runtime::pool::run_on_threads_fault;
 use galois_runtime::probe::{attribute_conflicts, RoundRecord};
 use galois_runtime::simtime::ExecTrace;
 use galois_runtime::stats::{ExecStats, ThreadStats};
 use galois_runtime::worklist::{ChunkedBag, ChunkedFifo, Terminator};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 /// Attempts per speculative probe epoch.
 pub(crate) const SPEC_EPOCH_QUANTUM: u64 = 1024;
+
+/// Second opinion before the stall watchdog declares a livelock. An abort
+/// streak alone is not proof: spinning contenders can rack up thousands of
+/// conflicts in the time a descheduled mark-holder waits for a CPU slice.
+/// Yielding repeatedly hands that holder the processor — if the commit
+/// counter is still frozen after every peer had ample chance to run, no
+/// retry anywhere can succeed and the stall is real.
+fn stall_confirmed(committed: &AtomicU64, snapshot: &mut u64) -> bool {
+    let before = committed.load(Ordering::Relaxed);
+    if before != *snapshot {
+        *snapshot = before;
+        return false;
+    }
+    for _ in 0..256 {
+        std::thread::yield_now();
+        let now = committed.load(Ordering::Relaxed);
+        if now != before {
+            *snapshot = now;
+            return false;
+        }
+    }
+    true
+}
 
 /// One worker-local epoch of attempts (probe bookkeeping only).
 #[derive(Default)]
@@ -73,7 +98,7 @@ pub(crate) fn run<T, O>(
     tasks: Vec<T>,
     op: &O,
     hub: &mut ProbeHub<'_>,
-) -> RunReport
+) -> (RunReport, Option<ExecError>)
 where
     T: Send,
     O: Operator<T>,
@@ -96,142 +121,231 @@ where
     type Collected = (ThreadStats, Vec<Access>, Vec<EpochAcc>);
     let collected: Mutex<Vec<Collected>> = Mutex::new(Vec::new());
 
-    run_on_threads_chaos(threads, cfg.chaos.as_deref(), |tid| {
-        let mut stats = ThreadStats::default();
-        let mut accesses: Vec<Access> = Vec::new();
-        let mut neighborhood: Vec<crate::marks::LockId> = Vec::new();
-        let mut pushes: Vec<T> = Vec::new();
-        let mut stash = None;
-        // Probe epoch bookkeeping (inert unless a probe is attached).
-        let mut epochs: Vec<EpochAcc> = Vec::new();
-        let mut acc = EpochAcc::default();
-        let mut epoch_conflicts: Vec<u32> = Vec::new();
-        let mut epoch_t0: Option<Instant> = None;
-        // Per-attempt unique ids: (tid+1) above bit 32, counter below. Ids
-        // need only be unique and nonzero for the CAS protocol (§2.1), but
-        // they must fit the mark word's 40-bit id field so the epoch tag in
-        // the high bits stays intact.
-        let mut attempt: u64 = 0;
-        let mut idle_spins = 0u32;
+    // Fault containment state. `halt` drains the pool early on terminal
+    // faults (overflow, stall) and when an *escaping* panic — an internal
+    // bug, since operator panics are caught below — unwinds a worker; the
+    // fault hook raises it so peers stop polling the bag instead of
+    // spinning on a terminator that can no longer reach zero.
+    let halt = AtomicBool::new(false);
+    let committed_global = AtomicU64::new(0);
+    let quarantined_total = AtomicU64::new(0);
+    // First operator panic a worker happened to observe: reported if the
+    // drain otherwise completes. Non-canonical by design (spec mode is
+    // honestly nondeterministic); det mode is the reproducible surface.
+    let first_panic: Mutex<Option<ExecError>> = Mutex::new(None);
+    // Terminal faults that stop the run take precedence over a recorded
+    // first panic when both occur.
+    let terminal: Mutex<Option<ExecError>> = Mutex::new(None);
 
-        loop {
-            let Some(task) = bag.pop(tid) else {
-                if terminator.is_done() {
+    run_on_threads_fault(
+        threads,
+        cfg.chaos.as_deref(),
+        Some(&|| halt.store(true, Ordering::Relaxed)),
+        |tid| {
+            let mut stats = ThreadStats::default();
+            let mut accesses: Vec<Access> = Vec::new();
+            let mut neighborhood: Vec<crate::marks::LockId> = Vec::new();
+            let mut pushes: Vec<T> = Vec::new();
+            let mut stash = None;
+            // Probe epoch bookkeeping (inert unless a probe is attached).
+            let mut epochs: Vec<EpochAcc> = Vec::new();
+            let mut acc = EpochAcc::default();
+            let mut epoch_conflicts: Vec<u32> = Vec::new();
+            let mut epoch_t0: Option<Instant> = None;
+            // Per-attempt unique ids: (tid+1) above bit 32, counter below. Ids
+            // need only be unique and nonzero for the CAS protocol (§2.1), but
+            // they must fit the mark word's 40-bit id field so the epoch tag in
+            // the high bits stays intact.
+            let mut attempt: u64 = 0;
+            let mut idle_spins = 0u32;
+            // Stall watchdog bookkeeping: consecutive real-conflict aborts on
+            // this worker, reset whenever anyone commits. Counted in attempts
+            // (the speculative analogue of rounds), never wall-clock.
+            let mut abort_streak: u64 = 0;
+            let mut commit_snapshot: u64 = 0;
+
+            loop {
+                if halt.load(Ordering::Relaxed) {
                     break;
                 }
-                idle_spins += 1;
-                if idle_spins > 16 {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
-                continue;
-            };
-            idle_spins = 0;
-            attempt += 1;
-            debug_assert!(attempt < 1 << 32, "attempt counter overflows the id split");
-            let mark_value = ((tid as u64 + 1) << 32) | attempt;
-            debug_assert!(
-                mark_value <= crate::marks::MAX_ID,
-                "speculative id must fit the 40-bit mark field"
-            );
-            neighborhood.clear();
-            pushes.clear();
-            // Chaos: a pure draw keyed on the per-attempt id decides whether
-            // this attempt is forced to abort at its failsafe point. Keying
-            // on the attempt (not the task) guarantees termination: the
-            // retry gets a fresh id and, almost surely, a non-aborting draw.
-            let inject = cfg
-                .chaos
-                .as_deref()
-                .is_some_and(|c| c.inject_spec_abort(mark_value));
-            let result = {
-                let mut ctx = Ctx {
-                    mode: Mode::Speculative,
-                    mark_value,
-                    tid,
-                    marks,
-                    neighborhood: &mut neighborhood,
-                    pushes: &mut pushes,
-                    flags: None,
-                    stash: &mut stash,
-                    allow_stash: false,
-                    stats: &mut stats,
-                    recorder: cfg.record_access.then_some(&mut accesses),
-                    conflicts: collect_conflicts.then_some(&mut epoch_conflicts),
-                    past_failsafe: false,
-                    inject_abort: inject,
+                let Some(task) = bag.pop(tid) else {
+                    if terminator.is_done() {
+                        break;
+                    }
+                    idle_spins += 1;
+                    if idle_spins > 16 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                    continue;
                 };
-                let r = op.run(&task, &mut ctx);
-                if r.is_ok() {
-                    ctx.record_neighborhood_writes();
+                idle_spins = 0;
+                attempt += 1;
+                debug_assert!(attempt < 1 << 32, "attempt counter overflows the id split");
+                let mark_value = ((tid as u64 + 1) << 32) | attempt;
+                debug_assert!(
+                    mark_value <= crate::marks::MAX_ID,
+                    "speculative id must fit the 40-bit mark field"
+                );
+                neighborhood.clear();
+                pushes.clear();
+                // Chaos: a pure draw keyed on the per-attempt id decides whether
+                // this attempt is forced to abort at its failsafe point. Keying
+                // on the attempt (not the task) guarantees termination: the
+                // retry gets a fresh id and, almost surely, a non-aborting draw.
+                let inject = cfg
+                    .chaos
+                    .as_deref()
+                    .is_some_and(|c| c.inject_spec_abort(mark_value));
+                let inject_panic = cfg
+                    .chaos
+                    .as_deref()
+                    .is_some_and(|c| c.inject_spec_panic(mark_value));
+                let result = {
+                    let mut ctx = Ctx {
+                        mode: Mode::Speculative,
+                        mark_value,
+                        tid,
+                        marks,
+                        neighborhood: &mut neighborhood,
+                        pushes: &mut pushes,
+                        flags: None,
+                        stash: &mut stash,
+                        allow_stash: false,
+                        stats: &mut stats,
+                        recorder: cfg.record_access.then_some(&mut accesses),
+                        conflicts: collect_conflicts.then_some(&mut epoch_conflicts),
+                        past_failsafe: false,
+                        inject_abort: inject,
+                        inject_panic: inject_panic.then_some(mark_value),
+                    };
+                    // Contain operator panics like conflicts: the cautious
+                    // contract means nothing shared was written pre-failsafe, so
+                    // releasing the marks below is a complete rollback.
+                    contain_panic(|| {
+                        let r = op.run(&task, &mut ctx);
+                        if r.is_ok() {
+                            ctx.record_neighborhood_writes();
+                        }
+                        r
+                    })
+                };
+                // Both paths release the whole neighborhood (Figure 1b resets
+                // marks whether the task committed or conflicted). Unlike the
+                // deterministic scheduler there is no round boundary to hang an
+                // epoch bump on, so the per-location CAS protocol stays.
+                for &loc in neighborhood.iter() {
+                    marks.release(loc, mark_value);
                 }
-                r
-            };
-            // Both paths release the whole neighborhood (Figure 1b resets
-            // marks whether the task committed or conflicted). Unlike the
-            // deterministic scheduler there is no round boundary to hang an
-            // epoch bump on, so the per-location CAS protocol stays.
-            for &loc in neighborhood.iter() {
-                marks.release(loc, mark_value);
-            }
-            stats.mark_releases += neighborhood.len() as u64;
-            if probing {
-                if acc.attempted == 0 {
-                    epoch_t0 = time_epochs.then(Instant::now);
+                stats.mark_releases += neighborhood.len() as u64;
+                if probing {
+                    if acc.attempted == 0 {
+                        epoch_t0 = time_epochs.then(Instant::now);
+                    }
+                    acc.attempted += 1;
+                    if matches!(result, Ok(Ok(()))) {
+                        acc.committed += 1;
+                    } else {
+                        acc.failed += 1;
+                    }
+                    if acc.attempted == SPEC_EPOCH_QUANTUM {
+                        acc.conflicts = std::mem::take(&mut epoch_conflicts);
+                        acc.elapsed_ns = epoch_t0
+                            .take()
+                            .map(|t| t.elapsed().as_nanos() as f64)
+                            .unwrap_or(0.0);
+                        epochs.push(std::mem::take(&mut acc));
+                    }
                 }
-                acc.attempted += 1;
-                if result.is_ok() {
-                    acc.committed += 1;
-                } else {
-                    acc.failed += 1;
-                }
-                if acc.attempted == SPEC_EPOCH_QUANTUM {
-                    acc.conflicts = std::mem::take(&mut epoch_conflicts);
-                    acc.elapsed_ns = epoch_t0
-                        .take()
-                        .map(|t| t.elapsed().as_nanos() as f64)
-                        .unwrap_or(0.0);
-                    epochs.push(std::mem::take(&mut acc));
-                }
-            }
-            match result {
-                Ok(()) => {
-                    stats.committed += 1;
-                    let n = pushes.len();
-                    if n > 0 {
-                        terminator.register(n);
-                        for p in pushes.drain(..) {
-                            bag.push(tid, p);
+                match result {
+                    Ok(Ok(())) => {
+                        stats.committed += 1;
+                        committed_global.fetch_add(1, Ordering::Relaxed);
+                        abort_streak = 0;
+                        let n = pushes.len();
+                        if n > 0 {
+                            terminator.register(n);
+                            for p in pushes.drain(..) {
+                                bag.push(tid, p);
+                            }
+                        }
+                        terminator.finish_one();
+                    }
+                    Ok(Err(Abort::Injected)) => {
+                        // Spurious abort forced by the chaos policy: re-enqueue
+                        // like a conflict, but the real-conflict counter (and so
+                        // the Figure 4 abort ratio) must not move.
+                        bag.push(tid, task);
+                        std::hint::spin_loop();
+                    }
+                    Ok(Err(_)) => {
+                        stats.aborted += 1;
+                        bag.push(tid, task);
+                        // Stall watchdog: a long unbroken streak of real
+                        // conflicts on this worker, with the global commit
+                        // counter frozen across the whole streak, means every
+                        // retry is losing to nobody — the operator livelocks
+                        // (e.g. it returns a conflict abort unconditionally).
+                        abort_streak += 1;
+                        if abort_streak == 1 {
+                            commit_snapshot = committed_global.load(Ordering::Relaxed);
+                        }
+                        if abort_streak >= cfg.max_stalled_rounds {
+                            if stall_confirmed(&committed_global, &mut commit_snapshot) {
+                                *terminal.lock().unwrap() = Some(ExecError::Stalled {
+                                    rounds: abort_streak,
+                                });
+                                halt.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            // Someone committed: real contention, not a
+                            // livelock. Restart the streak against the new
+                            // commit level.
+                            abort_streak = 0;
+                        }
+                        // Brief backoff so the conflicting owner can finish.
+                        std::hint::spin_loop();
+                    }
+                    Err(payload) => {
+                        // Operator panic: quarantine the attempt. The task is
+                        // consumed (never retried — a panic is not a conflict),
+                        // so the terminator still reaches zero and the drain
+                        // completes; the fault is reported after the run.
+                        stats.quarantined += 1;
+                        terminator.finish_one();
+                        {
+                            let mut slot = first_panic.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(ExecError::OperatorPanic {
+                                    task_id: mark_value,
+                                    message: panic_message(payload),
+                                    round: 0,
+                                });
+                            }
+                        }
+                        if quarantined_total.fetch_add(1, Ordering::Relaxed) + 1 > QUARANTINE_CAP {
+                            *terminal.lock().unwrap() = Some(ExecError::QuarantineOverflow {
+                                quarantined: quarantined_total.load(Ordering::Relaxed),
+                                limit: QUARANTINE_CAP,
+                            });
+                            halt.store(true, Ordering::Relaxed);
+                            break;
                         }
                     }
-                    terminator.finish_one();
-                }
-                Err(Abort::Injected) => {
-                    // Spurious abort forced by the chaos policy: re-enqueue
-                    // like a conflict, but the real-conflict counter (and so
-                    // the Figure 4 abort ratio) must not move.
-                    bag.push(tid, task);
-                    std::hint::spin_loop();
-                }
-                Err(_) => {
-                    stats.aborted += 1;
-                    bag.push(tid, task);
-                    // Brief backoff so the conflicting owner can finish.
-                    std::hint::spin_loop();
                 }
             }
-        }
-        if probing && acc.attempted > 0 {
-            acc.conflicts = std::mem::take(&mut epoch_conflicts);
-            acc.elapsed_ns = epoch_t0
-                .take()
-                .map(|t| t.elapsed().as_nanos() as f64)
-                .unwrap_or(0.0);
-            epochs.push(std::mem::take(&mut acc));
-        }
-        collected.lock().unwrap().push((stats, accesses, epochs));
-    });
+            if probing && acc.attempted > 0 {
+                acc.conflicts = std::mem::take(&mut epoch_conflicts);
+                acc.elapsed_ns = epoch_t0
+                    .take()
+                    .map(|t| t.elapsed().as_nanos() as f64)
+                    .unwrap_or(0.0);
+                epochs.push(std::mem::take(&mut acc));
+            }
+            collected.lock().unwrap().push((stats, accesses, epochs));
+        },
+    );
 
     let elapsed = start.elapsed();
     let mut per_thread = collected.into_inner().unwrap();
@@ -296,12 +410,19 @@ where
         marks.all_unowned(),
         "speculative run must release all marks"
     );
-    RunReport {
-        stats: agg,
-        trace,
-        accesses,
-        round_log: None,
-    }
+    let fault = terminal
+        .into_inner()
+        .unwrap()
+        .or(first_panic.into_inner().unwrap());
+    (
+        RunReport {
+            stats: agg,
+            trace,
+            accesses,
+            round_log: None,
+        },
+        fault,
+    )
 }
 
 #[cfg(test)]
@@ -405,6 +526,107 @@ mod tests {
         assert_eq!(counter.load(Ordering::Relaxed), 200);
         // Atomic updates include one CAS per acquire attempt.
         assert!(report.stats.atomic_updates >= 200);
+    }
+
+    #[test]
+    fn operator_panic_quarantines_and_the_drain_completes() {
+        // One poisoned task out of 500: the run must neither deadlock nor
+        // lose the other 499 commits, and try_run reports the fault.
+        let committed = AtomicU64::new(0);
+        let marks = MarkTable::new(7);
+        let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            ctx.acquire((*t % 7) as u32)?;
+            if *t == 250 {
+                panic!("bad task {t}");
+            }
+            ctx.failsafe()?;
+            committed.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        };
+        let err = Executor::new()
+            .threads(4)
+            .schedule(Schedule::Speculative)
+            .iterate((0..500u64).collect())
+            .try_run(&marks, &op)
+            .expect_err("poisoned task faults");
+        match err {
+            crate::ExecError::OperatorPanic { message, round, .. } => {
+                assert_eq!(message, "bad task 250");
+                assert_eq!(round, 0, "speculative runs have no rounds");
+            }
+            other => panic!("expected OperatorPanic, got {other:?}"),
+        }
+        assert_eq!(committed.load(Ordering::Relaxed), 499);
+        assert!(marks.all_unowned(), "quarantine must not leak marks");
+    }
+
+    #[test]
+    fn livelock_operator_trips_the_stall_watchdog() {
+        // An operator that always reports a conflict can never commit: the
+        // classic retry loop spins forever. The watchdog must turn that
+        // into ExecError::Stalled instead of a hang.
+        let marks = MarkTable::new(1);
+        let op = |_t: &u64, _ctx: &mut Ctx<'_, u64>| -> OpResult { Err(crate::Abort::Conflict) };
+        let err = Executor::new()
+            .threads(2)
+            .schedule(Schedule::Speculative)
+            .max_stalled_rounds(64)
+            .iterate((0..8u64).collect())
+            .try_run(&marks, &op)
+            .expect_err("livelock must be detected");
+        match err {
+            crate::ExecError::Stalled { rounds } => assert!(rounds >= 64),
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn systemic_panics_overflow_the_quarantine() {
+        // Every task panics: once more than QUARANTINE_CAP attempts have
+        // been quarantined the run halts with the overflow verdict rather
+        // than grinding through the rest.
+        let marks = MarkTable::new(1);
+        let op = |_t: &u64, _ctx: &mut Ctx<'_, u64>| -> OpResult { panic!("all bad") };
+        let err = Executor::new()
+            .threads(4)
+            .schedule(Schedule::Speculative)
+            .iterate((0..(2 * crate::QUARANTINE_CAP)).collect())
+            .try_run(&marks, &op)
+            .expect_err("systemic fault");
+        assert!(
+            matches!(err, crate::ExecError::QuarantineOverflow { .. }),
+            "expected QuarantineOverflow, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn chaos_panic_injection_faults_and_still_terminates() {
+        // Spec mode makes no canonicity promise about the fault report, but
+        // injected panics must still quarantine-and-drain, never deadlock.
+        let marks = MarkTable::new(7);
+        let committed = AtomicU64::new(0);
+        let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            ctx.acquire((*t % 7) as u32)?;
+            ctx.failsafe()?;
+            committed.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        };
+        let result = Executor::new()
+            .threads(2)
+            .schedule(Schedule::Speculative)
+            .chaos_panics(9)
+            .iterate((0..2000u64).collect())
+            .try_run(&marks, &op);
+        match result {
+            Err(crate::ExecError::OperatorPanic { message, .. }) => {
+                assert!(message.starts_with(crate::INJECTED_PANIC_PREFIX));
+                // Quarantined attempts are consumed; everything else commits.
+                assert!(committed.load(Ordering::Relaxed) < 2000);
+            }
+            Err(other) => panic!("expected OperatorPanic, got {other:?}"),
+            Ok(_) => panic!("a 2000-task run at 1/64 panic odds should fault"),
+        }
+        assert!(marks.all_unowned());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! differential [--app all|NAME[,NAME...]] [--threads LIST] [--chaos-seeds LIST|LO..HI]
-//!              [--input-seed N] [--build-threads N] [--cache-dir DIR]
-//!              [--no-spec] [--out FILE]
+//!              [--panic-chaos LIST|LO..HI] [--input-seed N] [--build-threads N]
+//!              [--cache-dir DIR] [--no-spec] [--out FILE]
 //! ```
 //!
 //! Runs serial vs speculative vs deterministic for each app over the
@@ -12,20 +12,29 @@
 //! `chaos-repro.txt`, for CI artifact upload), and the exit code is 1.
 //! Seed lists accept an inclusive range `LO..HI` or a comma list.
 //!
+//! `--panic-chaos LIST` switches to the **fault-injection matrix**: every
+//! run arms seeded operator-panic injection, and the harness records one
+//! fault fingerprint per `(app, panic seed)` — the structured `ExecError`
+//! (task id, round, message) of the faulted run, or the clean fingerprint
+//! when the drawn fault set misses. Deterministic fingerprints must be
+//! identical at every thread count; speculative runs must terminate (no
+//! deadlock) and validate when clean. `--chaos-seeds` is ignored in this
+//! mode.
+//!
 //! `--cache-dir DIR` caches generated inputs on disk: the first sweep
 //! stores each input, later sweeps load it back (the summary line reports
 //! hits/misses, which CI asserts on). `--build-threads N` builds inputs
 //! with the parallel generators — byte-identical for every N, so it never
 //! changes any fingerprint.
 
-use galois_harness::{run_differential, unperturbed, App, DiffConfig};
+use galois_harness::{run_differential, run_panic_differential, unperturbed, App, DiffConfig};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage: differential [--app all|NAME[,NAME...]] [--threads LIST] \
-         [--chaos-seeds LIST|LO..HI] [--input-seed N] [--build-threads N] \
-         [--cache-dir DIR] [--no-spec] [--out FILE]"
+         [--chaos-seeds LIST|LO..HI] [--panic-chaos LIST|LO..HI] [--input-seed N] \
+         [--build-threads N] [--cache-dir DIR] [--no-spec] [--out FILE]"
     );
     exit(2);
 }
@@ -61,6 +70,7 @@ fn parse_seed_list(v: &str) -> Vec<u64> {
 
 fn main() {
     let mut cfg = DiffConfig::default();
+    let mut panic_seeds: Option<Vec<u64>> = None;
     let mut out_path = String::from("chaos-repro.txt");
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,6 +82,7 @@ fn main() {
             "--app" => val(&mut |v| cfg.apps = parse_apps(&v)),
             "--threads" => val(&mut |v| cfg.threads = parse_usize_list(&v)),
             "--chaos-seeds" => val(&mut |v| cfg.chaos_seeds = parse_seed_list(&v)),
+            "--panic-chaos" => val(&mut |v| panic_seeds = Some(parse_seed_list(&v))),
             "--input-seed" => val(&mut |v| cfg.input_seed = v.parse().unwrap_or_else(|_| usage())),
             "--build-threads" => {
                 val(&mut |v| cfg.build_threads = v.parse().unwrap_or_else(|_| usage()))
@@ -87,6 +98,49 @@ fn main() {
     }
 
     let t0 = std::time::Instant::now();
+    if let Some(seeds) = panic_seeds {
+        if seeds.is_empty() {
+            usage();
+        }
+        cfg.chaos_seeds = seeds;
+        println!(
+            "differential (panic-chaos): apps {:?}, threads {:?}, panic seeds {:?}, input seed {}",
+            cfg.apps.iter().map(|a| a.name()).collect::<Vec<_>>(),
+            cfg.threads,
+            cfg.chaos_seeds,
+            cfg.input_seed,
+        );
+        match run_panic_differential(&cfg) {
+            Ok(summary) => {
+                let faulted = summary
+                    .fault_fingerprints
+                    .iter()
+                    .filter(|(_, _, out)| matches!(out, galois_harness::FaultOutcome::Faulted(_)))
+                    .count();
+                for (app, seed, out) in &summary.fault_fingerprints {
+                    println!("  {app} seed {seed}: {out} at every thread count");
+                }
+                println!(
+                    "ok: {} runs, {} of {} (app, seed) cells faulted, all reports \
+                     thread-invariant in {:?}",
+                    summary.runs,
+                    faulted,
+                    summary.fault_fingerprints.len(),
+                    t0.elapsed(),
+                );
+            }
+            Err(failure) => {
+                eprintln!("FAILURE {failure}");
+                if let Err(e) = std::fs::write(&out_path, format!("{}\n", failure.repro)) {
+                    eprintln!("cannot write {out_path}: {e}");
+                } else {
+                    eprintln!("minimized repro written to {out_path}");
+                }
+                exit(1);
+            }
+        }
+        return;
+    }
     println!(
         "differential: apps {:?}, threads {:?}, chaos seeds {:?}, input seed {}",
         cfg.apps.iter().map(|a| a.name()).collect::<Vec<_>>(),

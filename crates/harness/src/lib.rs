@@ -20,7 +20,7 @@
 //! prints a one-line `cargo run` reproduction command, so a scheduler bug
 //! found on an 8-thread × 8-seed sweep arrives as a two-run repro.
 
-use galois_core::{DetOptions, Executor, RoundLog, RunReport, Schedule, WorklistPolicy};
+use galois_core::{DetOptions, ExecError, Executor, RoundLog, RunReport, Schedule, WorklistPolicy};
 use galois_graph::cache::{self, CacheOutcome};
 use galois_graph::{gen, FlowNetwork};
 use galois_mesh::check;
@@ -280,6 +280,10 @@ impl InputConfig {
 /// and reduces the run to a [`RunOutcome`]. Validation failure is an `Err`
 /// with the verifier's message.
 ///
+/// Without panic chaos armed an executor fault is a containment-layer bug,
+/// so — exactly like the apps' panicking `galois` wrappers — it propagates
+/// as a panic. Use [`run_app_panic`] when faults are expected.
+///
 /// The returned [`CacheOutcome`] says whether the input came from the
 /// cache; the point-set apps (dt, dmr) generate inputs too cheap to cache
 /// and always report [`CacheOutcome::Disabled`].
@@ -298,6 +302,19 @@ pub fn run_app(
         chaos_seed,
         executor_for(app, variant, threads, chaos_seed),
     );
+    let (result, cached) = run_cell(app, &exec, input)?;
+    Ok((result.unwrap_or_else(|e| panic!("{e}")), cached))
+}
+
+/// Runs one cell under `exec`, separating the three ways it can end:
+/// outer `Err` = the output failed validation, inner `Err` = the executor
+/// reported a fault (no output to validate), inner `Ok` = a validated
+/// [`RunOutcome`].
+fn run_cell(
+    app: App,
+    exec: &Executor,
+    input: &InputConfig,
+) -> Result<(Result<RunOutcome, ExecError>, CacheOutcome), String> {
     let seed = input.seed;
     let bt = input.build_threads;
     let dir = input.cache_dir.as_deref();
@@ -307,53 +324,68 @@ pub fn run_app(
                 cache::load_or_build_graph(dir, &format!("uniform-n2000-d5-s{seed}"), || {
                     gen::uniform_random_parallel(2_000, 5, seed, bt)
                 });
-            let (dist, mut r) = apps::bfs::galois(&g, 0, &exec);
+            let (dist, mut r) = match apps::bfs::try_galois(&g, 0, exec) {
+                Ok(v) => v,
+                Err(e) => return Ok((Err(e), cached)),
+            };
             apps::bfs::verify(&g, 0, &dist).map_err(|e| format!("bfs: {e}"))?;
             let mut h = Fnv64::new();
             for &d in &dist {
                 h.write_u32(d);
             }
-            Ok((outcome(h.finish(), take_logs(&mut r), &r.stats), cached))
+            Ok((Ok(outcome(h.finish(), take_logs(&mut r), &r.stats)), cached))
         }
         App::Mis => {
             let (g, cached) =
                 cache::load_or_build_graph(dir, &format!("uniform-und-n1500-d4-s{seed}"), || {
                     gen::uniform_random_undirected_parallel(1_500, 4, seed, bt)
                 });
-            let (flags, mut r) = apps::mis::galois(&g, &exec);
+            let (flags, mut r) = match apps::mis::try_galois(&g, exec) {
+                Ok(v) => v,
+                Err(e) => return Ok((Err(e), cached)),
+            };
             apps::mis::verify(&g, &flags).map_err(|e| format!("mis: {e}"))?;
             let mut h = Fnv64::new();
             for &f in &flags {
                 h.write_u32(f);
             }
-            Ok((outcome(h.finish(), take_logs(&mut r), &r.stats), cached))
+            Ok((Ok(outcome(h.finish(), take_logs(&mut r), &r.stats)), cached))
         }
         App::Mm => {
             let (g, cached) =
                 cache::load_or_build_graph(dir, &format!("uniform-und-n1500-d4-s{seed}"), || {
                     gen::uniform_random_undirected_parallel(1_500, 4, seed, bt)
                 });
-            let (mate, mut r) = apps::mm::galois(&g, &exec);
+            let (mate, mut r) = match apps::mm::try_galois(&g, exec) {
+                Ok(v) => v,
+                Err(e) => return Ok((Err(e), cached)),
+            };
             apps::mm::verify(&g, &mate).map_err(|e| format!("mm: {e}"))?;
             let mut h = Fnv64::new();
             for &m in &mate {
                 h.write_u32(m);
             }
-            Ok((outcome(h.finish(), take_logs(&mut r), &r.stats), cached))
+            Ok((Ok(outcome(h.finish(), take_logs(&mut r), &r.stats)), cached))
         }
         App::Dt => {
             let pts = galois_geometry::point::random_points(300, seed);
-            let (mesh, mut r) = apps::dt::galois(&pts, seed, &exec);
+            let (mesh, mut r) = match apps::dt::try_galois(&pts, seed, exec) {
+                Ok(v) => v,
+                Err(e) => return Ok((Err(e), CacheOutcome::Disabled)),
+            };
             check::validate(&mesh).map_err(|e| format!("dt structure: {e}"))?;
             check::check_delaunay(&mesh).map_err(|e| format!("dt delaunay: {e}"))?;
             Ok((
-                outcome(hash_mesh(&mesh), take_logs(&mut r), &r.stats),
+                Ok(outcome(hash_mesh(&mesh), take_logs(&mut r), &r.stats)),
                 CacheOutcome::Disabled,
             ))
         }
         App::Dmr => {
             let mesh = apps::dmr::make_input(120, seed);
-            let mut r = apps::dmr::galois(&mesh, &exec);
+            let mut r = match apps::dmr::try_galois(&mesh, exec) {
+                Ok(v) => v,
+                Err(e) => return Ok((Err(e), CacheOutcome::Disabled)),
+            };
             check::validate(&mesh).map_err(|e| format!("dmr structure: {e}"))?;
             check::check_delaunay(&mesh).map_err(|e| format!("dmr delaunay: {e}"))?;
             let bad = check::quality(&mesh).bad;
@@ -361,7 +393,7 @@ pub fn run_app(
                 return Err(format!("dmr: {bad} bad triangles survive refinement"));
             }
             Ok((
-                outcome(hash_mesh(&mesh), take_logs(&mut r), &r.stats),
+                Ok(outcome(hash_mesh(&mesh), take_logs(&mut r), &r.stats)),
                 CacheOutcome::Disabled,
             ))
         }
@@ -370,7 +402,10 @@ pub fn run_app(
                 cache::load_or_build_flow(dir, &format!("flowrand-n96-d4-c100-s{seed}"), || {
                     FlowNetwork::random_parallel(96, 4, 100, seed, bt)
                 });
-            let (flow, mut r) = apps::pfp::galois(&net, &exec);
+            let (flow, mut r) = match apps::pfp::try_galois(&net, exec) {
+                Ok(v) => v,
+                Err(e) => return Ok((Err(e), cached)),
+            };
             let checked = net.verify_flow().map_err(|e| format!("pfp: {e}"))?;
             if checked != flow {
                 return Err(format!("pfp: reported flow {flow} != recomputed {checked}"));
@@ -382,9 +417,52 @@ pub fn run_app(
                 .collect();
             let mut h = Fnv64::new();
             h.write_i64(flow);
-            Ok((outcome(h.finish(), logs, &r.stats), cached))
+            Ok((Ok(outcome(h.finish(), logs, &r.stats)), cached))
         }
     }
+}
+
+/// What one panic-injection run reduces to for cross-run comparison.
+///
+/// Under [`Variant::Deterministic`] the whole value — including the
+/// captured panic message inside [`ExecError::OperatorPanic`] — must be
+/// identical at every thread count for a fixed panic seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The drawn fault set missed every executed task; the run completed
+    /// and validated, reduced to its deterministic fingerprint.
+    Clean(u64),
+    /// The run faulted with this structured, canonical-in-det-mode error.
+    Faulted(ExecError),
+}
+
+impl fmt::Display for FaultOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultOutcome::Clean(fp) => write!(f, "clean (fingerprint {fp:016x})"),
+            FaultOutcome::Faulted(e) => write!(f, "fault [exit {}]: {e}", e.exit_code()),
+        }
+    }
+}
+
+/// Runs one `(app, variant, threads, panic seed)` cell with panic
+/// injection armed ([`Executor::chaos_panics`]) and reduces it to a
+/// [`FaultOutcome`]. `Err` means a *clean* run failed validation — a
+/// faulted run skips validation, since quarantined tasks legitimately
+/// leave the output partial.
+pub fn run_app_panic(
+    app: App,
+    variant: Variant,
+    threads: usize,
+    panic_seed: u64,
+    input: &InputConfig,
+) -> Result<FaultOutcome, String> {
+    let exec = executor_for(app, variant, threads, None).chaos_panics(panic_seed);
+    let (result, _cached) = run_cell(app, &exec, input)?;
+    Ok(match result {
+        Ok(out) => FaultOutcome::Clean(out.fingerprint),
+        Err(e) => FaultOutcome::Faulted(e),
+    })
 }
 
 fn hash_mesh(mesh: &galois_mesh::Mesh) -> u64 {
@@ -463,6 +541,26 @@ impl DiffConfig {
             line.push_str(&format!(" --build-threads {}", self.build_threads));
         }
         line
+    }
+
+    /// [`repro_line`](Self::repro_line) for the panic-injection matrix:
+    /// the seed list rides on `--panic-chaos` instead of `--chaos-seeds`.
+    pub fn repro_line_panic(&self, app: App, threads: &[usize], seeds: &[u64]) -> String {
+        let threads = threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let seeds = seeds
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "cargo run --release -p galois-harness --bin differential -- \
+             --app {app} --threads {threads} --panic-chaos {seeds} --input-seed {}",
+            self.input_seed,
+        )
     }
 }
 
@@ -671,6 +769,85 @@ pub fn run_differential(cfg: &DiffConfig, mutation: Mutation) -> Result<DiffSumm
         det_fingerprints,
         cache_hits,
         cache_misses,
+    })
+}
+
+/// A successful panic-injection sweep's summary: one fault fingerprint per
+/// `(app, panic seed)`, each proven invariant over every thread count.
+#[derive(Debug, Clone)]
+pub struct PanicDiffSummary {
+    /// Total individual runs executed (deterministic + speculative).
+    pub runs: usize,
+    /// `(app, panic seed, the invariant deterministic outcome)`.
+    pub fault_fingerprints: Vec<(App, u64, FaultOutcome)>,
+}
+
+/// Runs the panic-injection differential sweep: for every configured app
+/// and every seed in `cfg.chaos_seeds` (reinterpreted as *panic* seeds),
+/// the deterministic executor's [`FaultOutcome`] must be identical at
+/// every thread count — the report of a faulted run is as portable as the
+/// output of a clean one. Speculative runs are exercised for termination
+/// and (when clean) validity only; their fault reports are non-canonical
+/// by design and owe no cross-run invariance.
+pub fn run_panic_differential(cfg: &DiffConfig) -> Result<PanicDiffSummary, DiffFailure> {
+    assert!(!cfg.threads.is_empty() && !cfg.chaos_seeds.is_empty());
+    let input = cfg.input();
+    let mut runs = 0usize;
+    let mut fault_fingerprints = Vec::new();
+    for &app in &cfg.apps {
+        for &seed in &cfg.chaos_seeds {
+            let mut reference: Option<(usize, FaultOutcome)> = None;
+            for &t in &cfg.threads {
+                let out =
+                    run_app_panic(app, Variant::Deterministic, t, seed, &input).map_err(|e| {
+                        DiffFailure {
+                            app,
+                            detail: format!(
+                                "deterministic panic run (threads={t}, panic seed={seed}) \
+                             failed validation: {e}"
+                            ),
+                            repro: cfg.repro_line_panic(app, &[t], &[seed]),
+                        }
+                    })?;
+                runs += 1;
+                match &reference {
+                    None => reference = Some((t, out)),
+                    Some((t0, r)) => {
+                        if *r != out {
+                            return Err(DiffFailure {
+                                app,
+                                detail: format!(
+                                    "fault report diverged between threads={t0} and \
+                                     threads={t} at panic seed {seed}: {r} vs {out}"
+                                ),
+                                repro: cfg.repro_line_panic(app, &[*t0, t], &[seed]),
+                            });
+                        }
+                    }
+                }
+            }
+            if cfg.check_spec {
+                for &t in &cfg.threads {
+                    run_app_panic(app, Variant::Speculative, t, seed, &input).map_err(|e| {
+                        DiffFailure {
+                            app,
+                            detail: format!(
+                                "speculative panic run (threads={t}, panic seed={seed}) \
+                                 failed validation: {e}"
+                            ),
+                            repro: cfg.repro_line_panic(app, &[t], &[seed]),
+                        }
+                    })?;
+                    runs += 1;
+                }
+            }
+            let (_, out) = reference.expect("non-empty thread list");
+            fault_fingerprints.push((app, seed, out));
+        }
+    }
+    Ok(PanicDiffSummary {
+        runs,
+        fault_fingerprints,
     })
 }
 

@@ -35,10 +35,29 @@ use std::sync::Arc;
 pub struct SenseBarrier {
     count: AtomicUsize,
     sense: AtomicBool,
+    /// Set by [`SenseBarrier::poison`]; once true the barrier only errors.
+    poisoned: AtomicBool,
     total: usize,
     /// Optional adversarial arrival jitter; `None` costs one branch.
     chaos: Option<Arc<ChaosPolicy>>,
 }
+
+/// Error returned by [`SenseBarrier::wait_checked`] after a participant
+/// [`poison`](SenseBarrier::poison)ed the barrier instead of arriving.
+///
+/// A poisoned barrier never completes another phase; participants that see
+/// this error must drain (stop waiting and unwind or return) rather than
+/// retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierPoisoned;
+
+impl std::fmt::Display for BarrierPoisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("barrier poisoned by a panicking participant")
+    }
+}
+
+impl std::error::Error for BarrierPoisoned {}
 
 impl std::fmt::Debug for SenseBarrier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -71,6 +90,7 @@ impl SenseBarrier {
         SenseBarrier {
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
             total,
             chaos,
         }
@@ -84,10 +104,41 @@ impl SenseBarrier {
     /// Blocks until all `total` threads have called `wait`.
     ///
     /// Returns `true` on exactly one thread per phase (the last arriver),
-    /// mirroring [`std::sync::BarrierWaitResult::is_leader`].
+    /// mirroring [`std::sync::BarrierWaitResult::is_leader`]. On a poisoned
+    /// barrier this returns `false` immediately; fault-aware executors use
+    /// [`wait_checked`](Self::wait_checked) to tell the two cases apart.
     pub fn wait(&self) -> bool {
+        self.wait_checked().unwrap_or(false)
+    }
+
+    /// Marks the barrier as poisoned, releasing every current and future
+    /// waiter with [`BarrierPoisoned`].
+    ///
+    /// Called by a worker that is about to unwind instead of reaching the
+    /// next phase: without it, peers spinning in [`wait`](Self::wait) would
+    /// wait forever for an arrival that never comes. Poisoning is permanent.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether [`poison`](Self::poison) has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Like [`wait`](Self::wait), but releases with `Err(BarrierPoisoned)`
+    /// (instead of completing the phase) once any participant has called
+    /// [`poison`](Self::poison).
+    ///
+    /// The error can surface on any subset of participants: waiters already
+    /// released by a completed phase return `Ok` and observe the poison on
+    /// their *next* call. Callers must treat `Err` as terminal and drain.
+    pub fn wait_checked(&self) -> Result<bool, BarrierPoisoned> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(BarrierPoisoned);
+        }
         if self.total == 1 {
-            return true;
+            return Ok(true);
         }
         if let Some(c) = &self.chaos {
             ChaosPolicy::spin(c.barrier_jitter_spins());
@@ -95,13 +146,19 @@ impl SenseBarrier {
         let my_sense = !self.sense.load(Ordering::Relaxed);
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.total {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(BarrierPoisoned);
+            }
             // Last arriver: reset the count and flip the sense to release.
             self.count.store(0, Ordering::Relaxed);
             self.sense.store(my_sense, Ordering::Release);
-            true
+            Ok(true)
         } else {
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != my_sense {
+                if self.poisoned.load(Ordering::Acquire) {
+                    return Err(BarrierPoisoned);
+                }
                 spins += 1;
                 if spins < 64 {
                     std::hint::spin_loop();
@@ -111,7 +168,7 @@ impl SenseBarrier {
                     std::thread::yield_now();
                 }
             }
-            false
+            Ok(false)
         }
     }
 }
@@ -171,6 +228,42 @@ mod tests {
     fn debug_is_nonempty() {
         let b = SenseBarrier::new(2);
         assert!(format!("{b:?}").contains("SenseBarrier"));
+    }
+
+    #[test]
+    fn poison_releases_spinning_waiters() {
+        // Three of four participants arrive; the fourth poisons instead.
+        // Without the poison check the three would spin forever.
+        let b = SenseBarrier::new(4);
+        let released = AtomicU64::new(0);
+        run_on_threads(4, |tid| {
+            if tid == 3 {
+                b.poison();
+            } else {
+                assert_eq!(b.wait_checked(), Err(BarrierPoisoned));
+                released.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(released.load(Ordering::Relaxed), 3);
+        assert!(b.is_poisoned());
+    }
+
+    #[test]
+    fn poisoned_barrier_errors_forever() {
+        let b = SenseBarrier::new(2);
+        b.poison();
+        assert_eq!(b.wait_checked(), Err(BarrierPoisoned));
+        assert_eq!(b.wait_checked(), Err(BarrierPoisoned));
+        // The compatibility wrapper reports "not leader" instead of hanging.
+        assert!(!b.wait());
+    }
+
+    #[test]
+    fn single_thread_poison_errors() {
+        let b = SenseBarrier::new(1);
+        assert_eq!(b.wait_checked(), Ok(true));
+        b.poison();
+        assert_eq!(b.wait_checked(), Err(BarrierPoisoned));
     }
 
     #[test]

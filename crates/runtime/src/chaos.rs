@@ -47,6 +47,8 @@ const SALT_SPILL: u64 = 0x5350_494c;
 const SALT_REFILL: u64 = 0x5245_4649;
 const SALT_SPEC_ABORT: u64 = 0x5350_4543;
 const SALT_DET_ABORT: u64 = 0x4445_5421;
+const SALT_SPEC_PANIC: u64 = 0x5350_5043;
+const SALT_DET_PANIC: u64 = 0x4445_5043;
 
 /// Upper bound on any injected spin delay, so chaos slows runs by bounded
 /// constant factors instead of hanging them.
@@ -55,6 +57,12 @@ const MAX_SPINS: u32 = 4096;
 /// Fraction (1 in `ABORT_PERIOD`) of eligible failsafe crossings that are
 /// forced to abort.
 const ABORT_PERIOD: u64 = 4;
+
+/// Fraction (1 in `PANIC_PERIOD`) of eligible failsafe crossings that are
+/// forced to *panic* when panic injection is enabled. Much sparser than
+/// abort injection: every drawn panic quarantines a task for the rest of
+/// the run (there is no retry), so a dense draw would gut the schedule.
+const PANIC_PERIOD: u64 = 64;
 
 /// A seeded source of adversarial scheduling decisions.
 ///
@@ -79,6 +87,11 @@ const ABORT_PERIOD: u64 = 4;
 pub struct ChaosPolicy {
     seed: u64,
     ticket: AtomicU64,
+    /// Whether the panic-injection draws are live (see
+    /// [`ChaosPolicy::with_panics`]). Off by default: injected panics
+    /// quarantine tasks, which changes the output, so only harnesses that
+    /// check *fault-report* invariance (not output invariance) enable them.
+    panics: bool,
 }
 
 impl PartialEq for ChaosPolicy {
@@ -103,12 +116,31 @@ impl ChaosPolicy {
         ChaosPolicy {
             seed,
             ticket: AtomicU64::new(0),
+            panics: false,
+        }
+    }
+
+    /// Creates a policy whose panic-injection draws are live: roughly one in
+    /// [`PANIC_PERIOD`] eligible failsafe crossings panics instead of
+    /// continuing, exercising the fault-containment layer. The scheduling
+    /// perturbations and abort draws are identical to [`ChaosPolicy::new`]
+    /// with the same seed.
+    pub fn with_panics(seed: u64) -> Self {
+        ChaosPolicy {
+            seed,
+            ticket: AtomicU64::new(0),
+            panics: true,
         }
     }
 
     /// The driving seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Whether panic-injection draws are live.
+    pub fn panics_enabled(&self) -> bool {
+        self.panics
     }
 
     /// Pure hash of `(seed, salt, key)`: reproducible across runs.
@@ -185,6 +217,32 @@ impl ChaosPolicy {
             .is_multiple_of(ABORT_PERIOD)
     }
 
+    /// Whether the speculative attempt identified by `mark_value` is forced
+    /// to *panic* at its failsafe point. Always false unless the policy was
+    /// built with [`ChaosPolicy::with_panics`]. Pure in `(seed, mark_value)`
+    /// like [`inject_spec_abort`](Self::inject_spec_abort) — but a panicked
+    /// task is quarantined, never retried, so the draw fires at most once
+    /// per attempt chain.
+    pub fn inject_spec_panic(&self, mark_value: u64) -> bool {
+        self.panics
+            && self
+                .pure(SALT_SPEC_PANIC, mark_value)
+                .is_multiple_of(PANIC_PERIOD)
+    }
+
+    /// Whether the deterministic commit of task `task_id` is forced to
+    /// *panic* at its failsafe point. Always false unless the policy was
+    /// built with [`ChaosPolicy::with_panics`]. Pure in `(seed, task_id)`,
+    /// so the set of faulted tasks — and therefore the canonical fault
+    /// report — is a function of the seed alone, independent of thread
+    /// count.
+    pub fn inject_det_panic(&self, task_id: u64) -> bool {
+        self.panics
+            && self
+                .pure(SALT_DET_PANIC, task_id)
+                .is_multiple_of(PANIC_PERIOD)
+    }
+
     /// Burns roughly `n` spin iterations (capped at the module bound).
     pub fn spin(n: u32) {
         for _ in 0..n.min(MAX_SPINS) {
@@ -221,6 +279,39 @@ mod tests {
         let hits = (0..10_000u64).filter(|&id| c.inject_spec_abort(id)).count();
         // 1/4 nominal; allow generous slack.
         assert!((1_500..3_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn panic_draws_are_dead_unless_opted_in() {
+        let plain = ChaosPolicy::new(7);
+        assert!(!plain.panics_enabled());
+        assert!((0..100_000u64).all(|id| !plain.inject_det_panic(id)));
+        assert!((0..100_000u64).all(|id| !plain.inject_spec_panic(id)));
+    }
+
+    #[test]
+    fn panic_draws_reproduce_and_are_sparse() {
+        let a = ChaosPolicy::with_panics(7);
+        let b = ChaosPolicy::with_panics(7);
+        assert!(a.panics_enabled());
+        for id in 0..500u64 {
+            assert_eq!(a.inject_det_panic(id), b.inject_det_panic(id));
+            assert_eq!(a.inject_spec_panic(id), b.inject_spec_panic(id));
+        }
+        let hits = (0..100_000u64).filter(|&id| a.inject_det_panic(id)).count();
+        // 1/64 nominal; allow generous slack.
+        assert!((800..2_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn panic_opt_in_leaves_other_draws_unchanged() {
+        let plain = ChaosPolicy::new(42);
+        let faulty = ChaosPolicy::with_panics(42);
+        for id in 0..500u64 {
+            assert_eq!(plain.inject_det_abort(id), faulty.inject_det_abort(id));
+            assert_eq!(plain.inject_spec_abort(id), faulty.inject_spec_abort(id));
+        }
+        assert_eq!(plain, faulty, "equality stays by seed");
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub mod sort;
 pub mod stats;
 pub mod worklist;
 
-pub use barrier::SenseBarrier;
+pub use barrier::{BarrierPoisoned, SenseBarrier};
 pub use chaos::ChaosPolicy;
-pub use pool::run_on_threads;
+pub use pool::{run_on_threads, run_on_threads_fault};
 pub use probe::{Probe, RoundLog, RoundRecord};
 pub use stats::ExecStats;

@@ -16,8 +16,8 @@ use crate::chaos::ChaosPolicy;
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`, or propagates the first worker panic after all
-/// workers have been joined (via [`std::thread::scope`] semantics).
+/// Panics if `threads == 0`, or propagates the first worker panic — with its
+/// original payload — after all workers have been joined.
 ///
 /// # Example
 ///
@@ -47,25 +47,82 @@ pub fn run_on_threads_chaos<F>(threads: usize, chaos: Option<&ChaosPolicy>, f: F
 where
     F: Fn(usize) + Sync,
 {
+    run_on_threads_fault(threads, chaos, None, f)
+}
+
+/// [`run_on_threads_chaos`] with a fault hook that fires *before* a
+/// panicking worker starts unwinding out of the pool.
+///
+/// Each worker (including tid 0 on the calling thread) runs under
+/// [`std::panic::catch_unwind`]; on a panic the pool invokes `on_panic`
+/// and then resumes the unwind, so [`std::thread::scope`] still joins
+/// every worker and propagates the first panic to the caller.
+///
+/// The hook is the pool's deadlock escape hatch: executors pass a closure
+/// that poisons their [`crate::SenseBarrier`] (or trips a halt flag), so
+/// peers blocked waiting for the dead worker release and drain instead of
+/// spinning forever. The hook may run concurrently on several threads and
+/// must be idempotent.
+pub fn run_on_threads_fault<F>(
+    threads: usize,
+    chaos: Option<&ChaosPolicy>,
+    on_panic: Option<&(dyn Fn() + Sync)>,
+    f: F,
+) where
+    F: Fn(usize) + Sync,
+{
     assert!(threads > 0, "thread count must be positive");
+    let guarded = |tid: usize| {
+        if on_panic.is_none() {
+            return f(tid);
+        }
+        // AssertUnwindSafe: on panic the closure's borrows are only touched
+        // again by the hook/drain path, which treats the run as faulted.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(tid))) {
+            Ok(()) => {}
+            Err(payload) => {
+                if let Some(hook) = on_panic {
+                    hook();
+                }
+                std::panic::resume_unwind(payload);
+            }
+        }
+    };
     if threads == 1 {
-        f(0);
+        guarded(0);
         return;
     }
     std::thread::scope(|scope| {
-        for tid in 1..threads {
-            let f = &f;
-            scope.spawn(move || {
-                if let Some(c) = chaos {
-                    ChaosPolicy::spin(c.start_skew_spins(tid));
-                }
-                f(tid)
-            });
-        }
+        let handles: Vec<_> = (1..threads)
+            .map(|tid| {
+                let guarded = &guarded;
+                scope.spawn(move || {
+                    if let Some(c) = chaos {
+                        ChaosPolicy::spin(c.start_skew_spins(tid));
+                    }
+                    guarded(tid)
+                })
+            })
+            .collect();
         if let Some(c) = chaos {
             ChaosPolicy::spin(c.start_skew_spins(0));
         }
-        f(0);
+        guarded(0);
+        // Join explicitly and re-raise the *original* payload of the first
+        // (lowest-tid) faulted worker. Leaving the join to the scope's drop
+        // would replace it with the opaque "a scoped thread panicked",
+        // destroying the panic message that the fault-containment layer
+        // promises to report. All workers are joined before re-raising, so
+        // shutdown stays bounded even with several faults in flight.
+        let mut first_fault = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                first_fault.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_fault {
+            std::panic::resume_unwind(payload);
+        }
     });
 }
 
@@ -134,6 +191,55 @@ mod tests {
         let chaos = crate::chaos::ChaosPolicy::new(1234);
         let seen = [const { AtomicUsize::new(0) }; 4];
         run_on_threads_chaos(4, Some(&chaos), |tid| {
+            seen[tid].fetch_add(1, Ordering::Relaxed);
+        });
+        for s in &seen {
+            assert_eq!(s.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn fault_hook_fires_before_unwind_propagates() {
+        let fired = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_on_threads_fault(
+                4,
+                None,
+                Some(&|| {
+                    fired.fetch_add(1, Ordering::Relaxed);
+                }),
+                |tid| {
+                    if tid == 2 {
+                        panic!("worker 2 dies");
+                    }
+                },
+            );
+        }));
+        assert!(caught.is_err(), "the worker panic must propagate");
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn fault_hook_fires_inline_on_one_thread() {
+        let fired = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_on_threads_fault(
+                1,
+                None,
+                Some(&|| {
+                    fired.fetch_add(1, Ordering::Relaxed);
+                }),
+                |_| panic!("inline worker dies"),
+            );
+        }));
+        assert!(caught.is_err());
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn fault_runner_without_hook_matches_plain_runner() {
+        let seen = [const { AtomicUsize::new(0) }; 4];
+        run_on_threads_fault(4, None, None, |tid| {
             seen[tid].fetch_add(1, Ordering::Relaxed);
         });
         for s in &seen {

@@ -31,6 +31,11 @@ pub struct ThreadStats {
     /// conflicts, so abort-ratio assertions and the Figure 4 tables stay
     /// truthful under chaos injection.
     pub injected_aborts: u64,
+    /// Tasks quarantined because their operator panicked before the
+    /// failsafe point (fault containment). A quarantined task is rolled
+    /// back like an abort but never retried; its payload and panic message
+    /// are reported through the executor's error surface instead.
+    pub quarantined: u64,
 }
 
 impl ThreadStats {
@@ -43,6 +48,7 @@ impl ThreadStats {
         self.mark_releases += other.mark_releases;
         self.releases_avoided += other.releases_avoided;
         self.injected_aborts += other.injected_aborts;
+        self.quarantined += other.quarantined;
     }
 }
 
@@ -74,6 +80,15 @@ pub struct ExecStats {
     /// values usually indicate an unintended id collision in the caller's id
     /// function.
     pub dedup_dropped: u64,
+    /// Tasks quarantined after an operator panic (fault containment). A run
+    /// with a non-zero quarantine count surfaces `ExecError::OperatorPanic`
+    /// through `try_run`; the counter records how many tasks were contained
+    /// before the run drained.
+    pub quarantined: u64,
+    /// Barrier poisonings observed: non-zero only when a panic escaped the
+    /// containment layer (an executor bug or a post-failsafe fault) and the
+    /// pool had to poison the round barrier to release peer workers.
+    pub barrier_poisons: u64,
     /// Wall-clock duration of the parallel section.
     pub elapsed: Duration,
     /// Number of worker threads used.
@@ -99,6 +114,8 @@ impl ExecStats {
             releases_avoided: total.releases_avoided,
             injected_aborts: total.injected_aborts,
             dedup_dropped: 0,
+            quarantined: total.quarantined,
+            barrier_poisons: 0,
             elapsed: Duration::ZERO,
             threads: n,
         }
@@ -143,7 +160,8 @@ impl std::fmt::Display for ExecStats {
             f,
             "committed={} aborted={} (ratio {:.4}) atomics={} rounds={} \
              mark_releases={} releases_avoided={} injected_aborts={} \
-             dedup_dropped={} threads={} elapsed={:?}",
+             dedup_dropped={} quarantined={} barrier_poisons={} \
+             threads={} elapsed={:?}",
             self.committed,
             self.aborted,
             self.abort_ratio(),
@@ -153,6 +171,8 @@ impl std::fmt::Display for ExecStats {
             self.releases_avoided,
             self.injected_aborts,
             self.dedup_dropped,
+            self.quarantined,
+            self.barrier_poisons,
             self.threads,
             self.elapsed,
         )
@@ -173,6 +193,7 @@ mod tests {
             mark_releases: 5,
             releases_avoided: 6,
             injected_aborts: 7,
+            quarantined: 8,
         };
         let b = ThreadStats {
             committed: 10,
@@ -182,6 +203,7 @@ mod tests {
             mark_releases: 50,
             releases_avoided: 60,
             injected_aborts: 70,
+            quarantined: 80,
         };
         a.merge(&b);
         assert_eq!(a.committed, 11);
@@ -191,6 +213,7 @@ mod tests {
         assert_eq!(a.mark_releases, 55);
         assert_eq!(a.releases_avoided, 66);
         assert_eq!(a.injected_aborts, 77);
+        assert_eq!(a.quarantined, 88);
     }
 
     #[test]
@@ -254,6 +277,8 @@ mod tests {
             releases_avoided: 11,
             injected_aborts: 5,
             dedup_dropped: 3,
+            quarantined: 2,
+            barrier_poisons: 1,
             ..Default::default()
         };
         let text = s.to_string();
@@ -262,5 +287,24 @@ mod tests {
         assert!(text.contains("releases_avoided=11"));
         assert!(text.contains("injected_aborts=5"));
         assert!(text.contains("dedup_dropped=3"));
+        assert!(text.contains("quarantined=2"));
+        assert!(text.contains("barrier_poisons=1"));
+    }
+
+    #[test]
+    fn from_threads_sums_quarantined() {
+        let per = [
+            ThreadStats {
+                quarantined: 2,
+                ..Default::default()
+            },
+            ThreadStats {
+                quarantined: 3,
+                ..Default::default()
+            },
+        ];
+        let agg = ExecStats::from_threads(per.iter());
+        assert_eq!(agg.quarantined, 5);
+        assert_eq!(agg.barrier_poisons, 0);
     }
 }

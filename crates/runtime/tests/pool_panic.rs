@@ -1,0 +1,130 @@
+//! Regression test for the barrier-poison protocol: a worker that panics
+//! while its peers are parked at (or heading into) a `SenseBarrier` must
+//! not strand them. The pool's fault hook poisons the barrier, the peers'
+//! `wait_checked` calls return `Err(BarrierPoisoned)` and they drain, the
+//! scoped pool joins every thread, and the original panic propagates to
+//! the caller — all within bounded time.
+//!
+//! Before poisoning existed this scenario deadlocked: the barrier's arrival
+//! count could never reach `total` with one participant dead, so the
+//! survivors spun forever and `std::thread::scope` never returned.
+
+use galois_runtime::pool::run_on_threads_fault;
+use galois_runtime::{BarrierPoisoned, SenseBarrier};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Hard cap on how long the join may take. Generous — the poison path is
+/// microseconds — but small enough that a regression to the deadlock shows
+/// up as a crisp test failure instead of a hung CI job.
+const JOIN_BOUND: Duration = Duration::from_secs(30);
+
+/// Runs `f` on a watchdog thread so a deadlock fails the test instead of
+/// hanging it. Returns the caught panic payload text, if `f` panicked.
+fn bounded(f: impl FnOnce() + Send + 'static) -> Option<String> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        let _ = tx.send(
+            result
+                .err()
+                .map(|payload| match payload.downcast::<String>() {
+                    Ok(s) => *s,
+                    Err(payload) => match payload.downcast::<&'static str>() {
+                        Ok(s) => (*s).to_string(),
+                        Err(_) => "non-string payload".to_string(),
+                    },
+                }),
+        );
+    });
+    rx.recv_timeout(JOIN_BOUND)
+        .expect("worker-panic run deadlocked: barrier poison failed")
+}
+
+#[test]
+fn worker_panic_mid_round_releases_barrier_waiters() {
+    // Four "round-structured" workers; tid 2 dies between two barriers.
+    // The survivors must see the poison at whichever barrier they reach
+    // next, and the panic must propagate out of the pool.
+    let rounds_survived = std::sync::Arc::new(AtomicU64::new(0));
+    let seen = rounds_survived.clone();
+    let msg = bounded(move || {
+        let barrier = SenseBarrier::new(4);
+        run_on_threads_fault(4, None, Some(&|| barrier.poison()), |tid| {
+            // Round 1: everyone arrives.
+            barrier.wait_checked().expect("first round is clean");
+            if tid == 2 {
+                panic!("worker {tid} exploded mid-round");
+            }
+            // Round 2: tid 2 never arrives; the rest must be released with
+            // an error, not spin forever.
+            match barrier.wait_checked() {
+                Err(BarrierPoisoned) => {
+                    seen.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(_) => {
+                    // Benign race: a waiter can slip through the second
+                    // barrier before the unwinding worker reaches the
+                    // poison hook. It must then see poison at the next one.
+                    barrier
+                        .wait_checked()
+                        .expect_err("poison must surface by the following barrier");
+                    seen.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    })
+    .expect("the worker panic must propagate out of the pool");
+    assert!(msg.contains("worker 2 exploded"), "got: {msg}");
+    assert_eq!(
+        rounds_survived.load(Ordering::Relaxed),
+        3,
+        "all three survivors must drain through the poisoned barrier"
+    );
+}
+
+#[test]
+fn worker_panic_while_peers_already_park_at_the_barrier() {
+    // Tighter interleaving: the panicking worker *waits* until every peer
+    // is provably parked at the barrier (arrival counter), then dies. This
+    // is the exact shape of the historical deadlock.
+    let msg = bounded(|| {
+        let barrier = SenseBarrier::new(3);
+        let parked = AtomicU64::new(0);
+        run_on_threads_fault(3, None, Some(&|| barrier.poison()), |tid| {
+            if tid == 0 {
+                // Die only after both peers are committed to spinning.
+                while parked.load(Ordering::Acquire) < 2 {
+                    std::hint::spin_loop();
+                }
+                panic!("late fault");
+            }
+            parked.fetch_add(1, Ordering::Release);
+            barrier
+                .wait_checked()
+                .expect_err("the dead participant can never arrive");
+        });
+    })
+    .expect("panic must propagate");
+    assert!(msg.contains("late fault"), "got: {msg}");
+}
+
+#[test]
+fn clean_runs_are_unaffected_by_the_fault_hook() {
+    // The containment plumbing must be inert on the happy path: same
+    // rounds, no poison, no error.
+    let done = bounded(|| {
+        let barrier = SenseBarrier::new(4);
+        let total = AtomicU64::new(0);
+        run_on_threads_fault(4, None, Some(&|| barrier.poison()), |_tid| {
+            for _ in 0..100 {
+                barrier.wait_checked().expect("no fault, no poison");
+                total.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(!barrier.is_poisoned());
+        assert_eq!(total.load(Ordering::Relaxed), 400);
+    });
+    assert!(done.is_none(), "clean run panicked: {done:?}");
+}

@@ -18,6 +18,14 @@
 //! across thread counts it doubles as a *portability oracle* — the first
 //! differing line between two logs names the round where behavior diverged.
 //!
+//! Reproducibility extends to *crashes*: in deterministic mode an operator
+//! panic is quarantined and reported through `LoopSpec::try_run` as
+//! `ExecError::OperatorPanic { task_id, message, round }`, and the panic
+//! message itself is canonical — the same task id, round, and message
+//! string at any thread count, so a crash found at 16 threads replays
+//! exactly under a single-threaded debugger. (Speculative-mode fault
+//! reports name whichever fault was observed first and are not canonical.)
+//!
 //! ```text
 //! cargo run --release --example determinism_debugging
 //! ```

@@ -27,10 +27,16 @@
 //! worklist chunk traffic and forced spurious aborts. `g-d` output and
 //! round logs must be byte-identical regardless of the seed — that is the
 //! invariance the flag exists to stress.
+//!
+//! `--chaos-panics N` (executor variants only) additionally injects seeded
+//! operator panics at the failsafe point, exercising the fault-containment
+//! layer; `--max-stalled-rounds N` overrides the stall watchdog threshold.
+//! Executor faults map to distinct exit codes: operator panic = 10,
+//! stall/livelock = 11, quarantine overflow = 12.
 
 use deterministic_galois::apps::{bfs, dmr, dt, mis, mm, pfp};
 use deterministic_galois::core::{
-    DetOptions, Executor, RoundLog, RunReport, Schedule, WorklistPolicy,
+    DetOptions, ExecError, Executor, RoundLog, RunReport, Schedule, WorklistPolicy,
 };
 use deterministic_galois::geometry::point::random_points;
 use deterministic_galois::graph::cache::{load_or_build_flow, load_or_build_graph, CacheOutcome};
@@ -49,6 +55,8 @@ struct Args {
     verify: bool,
     round_log: Option<String>,
     chaos_seed: Option<u64>,
+    chaos_panics: Option<u64>,
+    max_stalled_rounds: Option<u64>,
     cache_dir: Option<PathBuf>,
 }
 
@@ -56,7 +64,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: galois <bfs|mis|mm|dt|dmr|pfp> [--variant seq|g-n|g-d|pbbs] \
          [--threads N] [--size N] [--seed N] [--verify] [--round-log FILE] \
-         [--chaos-seed N] [--cache-dir DIR]"
+         [--chaos-seed N] [--chaos-panics N] [--max-stalled-rounds N] \
+         [--cache-dir DIR]"
     );
     exit(2);
 }
@@ -71,6 +80,8 @@ fn parse_args() -> Args {
         verify: false,
         round_log: None,
         chaos_seed: None,
+        chaos_panics: None,
+        max_stalled_rounds: None,
         cache_dir: None,
     };
     let mut it = std::env::args().skip(1);
@@ -91,6 +102,12 @@ fn parse_args() -> Args {
             "--chaos-seed" => {
                 val(&mut |v| args.chaos_seed = Some(v.parse().unwrap_or_else(|_| usage())))
             }
+            "--chaos-panics" => {
+                val(&mut |v| args.chaos_panics = Some(v.parse().unwrap_or_else(|_| usage())))
+            }
+            "--max-stalled-rounds" => val(&mut |v| {
+                args.max_stalled_rounds = Some(v.parse().unwrap_or_else(|_| usage()));
+            }),
             "--cache-dir" => val(&mut |v| args.cache_dir = Some(v.into())),
             _ => usage(),
         }
@@ -123,7 +140,20 @@ fn executor(args: &Args, spread: usize, fifo: bool) -> Executor {
     if let Some(seed) = args.chaos_seed {
         exec = exec.chaos(seed);
     }
+    if let Some(seed) = args.chaos_panics {
+        exec = exec.chaos_panics(seed);
+    }
+    if let Some(rounds) = args.max_stalled_rounds {
+        exec = exec.max_stalled_rounds(rounds);
+    }
     exec
+}
+
+/// Reports an executor fault and exits with its distinct code
+/// (operator panic = 10, stall = 11, quarantine overflow = 12).
+fn fault_exit(err: ExecError) -> ! {
+    eprintln!("fault: {err}");
+    exit(err.exit_code());
 }
 
 /// Builds (or loads from `--cache-dir`) a graph input with the parallel
@@ -189,6 +219,14 @@ fn main() {
         eprintln!("--chaos-seed requires an executor variant (g-d or g-n)");
         exit(2);
     }
+    if args.chaos_panics.is_some() && !matches!(args.variant.as_str(), "g-d" | "g-n") {
+        eprintln!("--chaos-panics requires an executor variant (g-d or g-n)");
+        exit(2);
+    }
+    if args.max_stalled_rounds == Some(0) {
+        eprintln!("--max-stalled-rounds must be positive");
+        exit(2);
+    }
     let t0 = std::time::Instant::now();
     match args.app.as_str() {
         "bfs" => {
@@ -207,7 +245,8 @@ fn main() {
                 }
                 _ => {
                     let exec = executor(&args, 1, true);
-                    let (d, mut r) = bfs::galois(&g, 0, &exec);
+                    let (d, mut r) =
+                        bfs::try_galois(&g, 0, &exec).unwrap_or_else(|e| fault_exit(e));
                     let stats = finish_report(&args, &mut r);
                     (d, stats)
                 }
@@ -231,7 +270,7 @@ fn main() {
                 }
                 _ => {
                     let exec = executor(&args, 1, false);
-                    let (f, mut r) = mis::galois(&g, &exec);
+                    let (f, mut r) = mis::try_galois(&g, &exec).unwrap_or_else(|e| fault_exit(e));
                     let stats = finish_report(&args, &mut r);
                     (f, stats)
                 }
@@ -255,7 +294,8 @@ fn main() {
                 "seq" => (dt::seq(&pts, args.seed), "sequential".to_string()),
                 _ => {
                     let exec = executor(&args, 16, false);
-                    let (m, mut r) = dt::galois(&pts, args.seed, &exec);
+                    let (m, mut r) =
+                        dt::try_galois(&pts, args.seed, &exec).unwrap_or_else(|e| fault_exit(e));
                     let stats = finish_report(&args, &mut r);
                     (m, stats)
                 }
@@ -283,7 +323,7 @@ fn main() {
                 }
                 _ => {
                     let exec = executor(&args, 16, false);
-                    let mut r = dmr::galois(&mesh, &exec);
+                    let mut r = dmr::try_galois(&mesh, &exec).unwrap_or_else(|e| fault_exit(e));
                     finish_report(&args, &mut r)
                 }
             };
@@ -317,7 +357,7 @@ fn main() {
                 }
                 _ => {
                     let exec = executor(&args, 1, false);
-                    let (m, mut r) = mm::galois(&g, &exec);
+                    let (m, mut r) = mm::try_galois(&g, &exec).unwrap_or_else(|e| fault_exit(e));
                     let stats = finish_report(&args, &mut r);
                     (m, stats)
                 }
@@ -348,7 +388,7 @@ fn main() {
                 }
                 _ => {
                     let exec = executor(&args, 1, true);
-                    let (f, mut r) = pfp::galois(&net, &exec);
+                    let (f, mut r) = pfp::try_galois(&net, &exec).unwrap_or_else(|e| fault_exit(e));
                     if args.round_log.is_some() {
                         let logs = r
                             .reports
