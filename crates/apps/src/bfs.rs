@@ -13,7 +13,7 @@
 //! - **pbbs**: handwritten deterministic level-synchronous BFS with
 //!   priority-write parent selection (deterministic BFS tree).
 
-use galois_core::{Ctx, ExecError, Executor, MarkTable, OpResult, RunReport};
+use galois_core::{Ctx, ExecError, Executor, MarkTable, OpResult, Probe, RunReport};
 use galois_graph::csr::NodeId;
 use galois_graph::{AtomicArray, CsrGraph};
 use galois_runtime::pool::{chunk_range, run_on_threads};
@@ -46,12 +46,37 @@ pub fn try_galois(
     source: NodeId,
     exec: &Executor,
 ) -> Result<(Vec<u32>, RunReport), ExecError> {
+    galois_impl(g, source, exec, None)
+}
+
+/// [`try_galois`] with an external [`Probe`] attached to the run, so
+/// harnesses (e.g. the `bench_all` rounds suite) can observe per-round
+/// records — window, commit counts, phase timings — without changing the
+/// executed schedule.
+pub fn try_galois_probed(
+    g: &CsrGraph,
+    source: NodeId,
+    exec: &Executor,
+    probe: &mut dyn Probe,
+) -> Result<(Vec<u32>, RunReport), ExecError> {
+    galois_impl(g, source, exec, Some(probe))
+}
+
+fn galois_impl(
+    g: &CsrGraph,
+    source: NodeId,
+    exec: &Executor,
+    probe: Option<&mut dyn Probe>,
+) -> Result<(Vec<u32>, RunReport), ExecError> {
     let n = g.num_nodes();
     let dist = AtomicArray::new_filled(n, INFINITY);
     let marks = MarkTable::new(n);
     let op = |t: &(NodeId, u32), ctx: &mut Ctx<'_, (NodeId, u32)>| -> OpResult {
         let (v, d) = *t;
         ctx.acquire(v)?;
+        // Start pulling v's neighbor row while the label check and failsafe
+        // run; the push loop below is the row's first real use.
+        g.prefetch_row(v);
         if dist.get(v as usize) <= d {
             // Already labelled at least as well; nothing to write.
             return ctx.failsafe();
@@ -67,7 +92,12 @@ pub fn try_galois(
         }
         Ok(())
     };
-    let report = exec.iterate(vec![(source, 0)]).try_run(&marks, &op)?;
+    let spec = exec.iterate(vec![(source, 0)]);
+    let spec = match probe {
+        Some(p) => spec.probe(p),
+        None => spec,
+    };
+    let report = spec.try_run(&marks, &op)?;
     Ok((dist.snapshot(), report))
 }
 
@@ -116,6 +146,11 @@ pub fn pbbs(
             let mut local_atomics = 0;
             for i in chunk_range(frontier.len(), threads, tid) {
                 let v = frontier[i];
+                // Overlap the next row's cache miss with this row's writes
+                // (crossing a chunk boundary just warms a neighbor's line).
+                if let Some(&ahead) = frontier.get(i + 1) {
+                    g.prefetch_row(ahead);
+                }
                 for &w in g.neighbors(v) {
                     if dist.get(w as usize) == INFINITY {
                         pbbs_det::priority::write_min(&parent[w as usize], v as u64);
@@ -138,6 +173,9 @@ pub fn pbbs(
             run_on_threads(threads, |tid| {
                 for i in chunk_range(frontier.len(), threads, tid) {
                     let v = frontier[i];
+                    if let Some(&ahead) = frontier.get(i + 1) {
+                        g.prefetch_row(ahead);
+                    }
                     // SAFETY: chunk ranges are disjoint across threads.
                     let mine = unsafe { slices_ref.get_mut(i) };
                     for &w in g.neighbors(v) {

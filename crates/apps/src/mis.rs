@@ -6,7 +6,7 @@
 //! processing order. The PBBS comparator computes the lexicographically
 //! first MIS deterministically (§4.1 notes it is data-parallel).
 
-use galois_core::{Ctx, ExecError, Executor, MarkTable, OpResult, RunReport};
+use galois_core::{Ctx, ExecError, Executor, MarkTable, OpResult, Probe, RunReport};
 use galois_graph::csr::NodeId;
 use galois_graph::{AtomicArray, CsrGraph};
 use pbbs_det::{speculative_for, SpecForStats, Step};
@@ -53,28 +53,56 @@ pub fn galois(g: &CsrGraph, exec: &Executor) -> (Vec<u32>, RunReport) {
 /// Under the deterministic schedule the error is byte-identical at any
 /// thread count.
 pub fn try_galois(g: &CsrGraph, exec: &Executor) -> Result<(Vec<u32>, RunReport), ExecError> {
+    galois_impl(g, exec, None)
+}
+
+/// [`try_galois`] with an external [`Probe`] attached to the run, so
+/// harnesses (e.g. the `bench_all` rounds suite) can observe per-round
+/// records without changing the executed schedule.
+pub fn try_galois_probed(
+    g: &CsrGraph,
+    exec: &Executor,
+    probe: &mut dyn Probe,
+) -> Result<(Vec<u32>, RunReport), ExecError> {
+    galois_impl(g, exec, Some(probe))
+}
+
+fn galois_impl(
+    g: &CsrGraph,
+    exec: &Executor,
+    probe: Option<&mut dyn Probe>,
+) -> Result<(Vec<u32>, RunReport), ExecError> {
     let n = g.num_nodes();
     let flags = AtomicArray::new_filled(n, state::UNDECIDED);
     let marks = MarkTable::new(n);
     let op = |t: &NodeId, ctx: &mut Ctx<'_, NodeId>| -> OpResult {
         let v = *t;
         ctx.acquire(v)?;
-        for &w in g.neighbors(v) {
+        // Hoist the row: one offsets lookup serves both the acquire loop and
+        // the membership fold.
+        let row = g.neighbors(v);
+        for &w in row {
             ctx.acquire(w)?;
         }
         ctx.failsafe()?;
-        let any_in = g
-            .neighbors(v)
-            .iter()
-            .any(|&w| flags.get(w as usize) == state::IN);
+        // Branch-light `|=` fold instead of a short-circuiting `any`: rows
+        // are short and the IN hit rate is data-dependent, so the
+        // unpredictable early-exit branch costs more than the few extra
+        // flag loads it saves.
+        let mut any_in = false;
+        for &w in row {
+            any_in |= flags.get(w as usize) == state::IN;
+        }
         flags.set(v as usize, if any_in { state::OUT } else { state::IN });
         Ok(())
     };
     let tasks: Vec<NodeId> = g.nodes().collect();
-    let report = exec
-        .iterate(tasks)
-        .with_ids(|v| *v as u64, n)
-        .try_run(&marks, &op)?;
+    let spec = exec.iterate(tasks).with_ids(|v| *v as u64, n);
+    let spec = match probe {
+        Some(p) => spec.probe(p),
+        None => spec,
+    };
+    let report = spec.try_run(&marks, &op)?;
     Ok((flags.snapshot(), report))
 }
 

@@ -23,7 +23,9 @@ pub const UNMATCHED: u32 = u32::MAX;
 
 /// Collects each undirected edge once (u < v), in deterministic order.
 pub fn edge_list(g: &CsrGraph) -> Vec<(NodeId, NodeId)> {
-    let mut edges = Vec::new();
+    // On a symmetrized graph exactly half the arcs satisfy u < v; reserving
+    // up front turns the growth reallocations into a single allocation.
+    let mut edges = Vec::with_capacity(g.num_edges() / 2 + 1);
     for u in g.nodes() {
         for &v in g.neighbors(u) {
             if u < v {

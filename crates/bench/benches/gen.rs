@@ -1,93 +1,14 @@
 //! Input-pipeline benchmarks: parallel generation/build vs the sequential
-//! oracle, and warm cache loads vs regeneration (BENCH_gen.json).
-//!
-//! This container has one core, so a 4-thread wall-clock speedup cannot be
-//! observed directly (DESIGN.md, substitution: single-core container).
-//! Instead the numbers measure the pieces the speedup is made of:
-//!
-//! - `edges_chunk*_of4` time one worker's statically partitioned share of
-//!   the edge fill. Per-node counter streams make the shares uniform, so
-//!   the 4-thread span of the generation phase *is* the slowest chunk —
-//!   read the speedup as `edges_seq / max(chunk)` (expected ≈ 4×).
-//! - `*_par4_wall` run the real 4-thread code on one core: total work
-//!   including all coordination. `par4_wall / seq` is the overhead factor
-//!   the parallel pipeline pays (expected ≈ 1.0×), which bounds the
-//!   4-core span from above by `seq × overhead / 4`.
-//! - `cache_warm_load` vs `full_build_seq` is a direct wall-clock claim
-//!   valid on any machine: loading the binary CSR must beat regenerating.
+//! oracle, and warm cache loads vs regeneration (`BENCH_gen.json`). The
+//! suite body lives in [`galois_bench::suites`] so `bench_all` regenerates
+//! the same numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use galois_graph::io::{read_csr_binary, write_csr_binary};
-use galois_graph::{gen, CsrGraph};
-use std::hint::black_box;
-use std::io::{BufReader, BufWriter};
-
-const N: usize = 1_000_000;
-const DEGREE: usize = 5;
-const SEED: u64 = 0xA5F_2014;
-
-fn bench_generation(c: &mut Criterion) {
-    c.bench_function("gen/uniform_1M_edges_seq", |b| {
-        b.iter(|| black_box(gen::uniform_random_edges(N, DEGREE, SEED)))
-    });
-    // One worker's share under the static 4-way partition; the parallel
-    // fill's span is the slowest of these.
-    let quarters = [0..N / 4, N / 4..N / 2, N / 2..3 * N / 4, 3 * N / 4..N];
-    for (i, q) in quarters.into_iter().enumerate() {
-        c.bench_function(&format!("gen/uniform_1M_edges_chunk{}_of4", i + 1), |b| {
-            b.iter(|| black_box(gen::uniform_random_edges_range(N, DEGREE, SEED, q.clone())))
-        });
-    }
-}
-
-fn bench_csr_build(c: &mut Criterion) {
-    let edges = gen::uniform_random_edges(N, DEGREE, SEED);
-    c.bench_function("gen/uniform_1M_csr_seq", |b| {
-        b.iter(|| black_box(CsrGraph::from_edges(N, &edges)))
-    });
-    c.bench_function("gen/uniform_1M_csr_par4_wall", |b| {
-        b.iter(|| black_box(CsrGraph::from_edges_parallel(N, &edges, 4)))
-    });
-}
-
-fn bench_full_pipeline(c: &mut Criterion) {
-    c.bench_function("gen/uniform_1M_full_build_seq", |b| {
-        b.iter(|| black_box(gen::uniform_random(N, DEGREE, SEED)))
-    });
-    c.bench_function("gen/uniform_1M_full_build_par4_wall", |b| {
-        b.iter(|| black_box(gen::uniform_random_parallel(N, DEGREE, SEED, 4)))
-    });
-}
-
-fn bench_cache(c: &mut Criterion) {
-    let g = gen::uniform_random(N, DEGREE, SEED);
-    let path = std::env::temp_dir().join(format!("galois-bench-gen-{}.gcsr", std::process::id()));
-    c.bench_function("cache/uniform_1M_store", |b| {
-        b.iter(|| {
-            let f = std::fs::File::create(&path).unwrap();
-            write_csr_binary(&g, BufWriter::new(f)).unwrap();
-        })
-    });
-    c.bench_function("cache/uniform_1M_warm_load", |b| {
-        b.iter(|| {
-            let f = std::fs::File::open(&path).unwrap();
-            let loaded = read_csr_binary(BufReader::new(f)).unwrap();
-            black_box(loaded)
-        })
-    });
-    // Sanity inside the bench itself: a load is only a valid substitute for
-    // regeneration if it reproduces the graph exactly.
-    let f = std::fs::File::open(&path).unwrap();
-    assert_eq!(read_csr_binary(BufReader::new(f)).unwrap(), g);
-    let _ = std::fs::remove_file(&path);
-}
+use criterion::{criterion_group, criterion_main};
+use galois_bench::suites;
 
 criterion_group!(
     name = gen_benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_generation, bench_csr_build, bench_full_pipeline, bench_cache
+    config = suites::gen_config();
+    targets = suites::gen_suite
 );
 criterion_main!(gen_benches);

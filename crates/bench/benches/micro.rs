@@ -1,140 +1,13 @@
 //! Criterion micro-benchmarks of the runtime primitives on the hot path of
-//! both schedulers: mark operations, work bags, deterministic id
-//! assignment, and the adaptive window.
+//! both schedulers (`BENCH_marks.json`). The suite body lives in
+//! [`galois_bench::suites`] so `bench_all` regenerates the same numbers.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use galois_core::marks::{LockId, MarkTable};
-use galois_core::task::{assign_ids, PendingItem};
-use galois_core::window::{AdaptiveWindow, WindowPolicy};
-use galois_runtime::worklist::ChunkedBag;
-use std::hint::black_box;
-
-fn bench_marks(c: &mut Criterion) {
-    let table = MarkTable::new(1024);
-    c.bench_function("marks/try_acquire_release", |b| {
-        b.iter(|| {
-            for i in 0..1024u32 {
-                black_box(table.try_acquire(LockId(i), 7));
-            }
-            for i in 0..1024u32 {
-                table.release(LockId(i), 7);
-            }
-        })
-    });
-    c.bench_function("marks/write_max_contended_value", |b| {
-        b.iter(|| {
-            for i in 0..1024u32 {
-                black_box(table.write_max(LockId(i), 9));
-            }
-            for i in 0..1024u32 {
-                table.release(LockId(i), 9);
-            }
-        })
-    });
-}
-
-/// One deterministic "round" over 1024 locations under each release
-/// protocol: the old CAS-release sweep vs. the epoch bump. The epoch
-/// variant must win — this is the tentpole's measured claim.
-fn bench_round_release(c: &mut Criterion) {
-    let table = MarkTable::new(1024);
-    c.bench_function("marks/round_write_max_plus_release_sweep", |b| {
-        b.iter(|| {
-            for i in 0..1024u32 {
-                black_box(table.write_max(LockId(i), 9));
-            }
-            // Old turnaround: every location released by CAS.
-            for i in 0..1024u32 {
-                table.release(LockId(i), 9);
-            }
-        })
-    });
-    let table = MarkTable::new(1024);
-    c.bench_function("marks/round_write_max_plus_epoch_bump", |b| {
-        b.iter(|| {
-            for i in 0..1024u32 {
-                black_box(table.write_max(LockId(i), 9));
-            }
-            // New turnaround: one increment retires the whole round.
-            table.bump_epoch();
-        })
-    });
-}
-
-/// Release cost in isolation, per 1024 owned marks.
-fn bench_release_only(c: &mut Criterion) {
-    let table = MarkTable::new(1024);
-    c.bench_function("marks/release_sweep_1k", |b| {
-        b.iter(|| {
-            for i in 0..1024u32 {
-                table.write_max(LockId(i), 5);
-            }
-            for i in 0..1024u32 {
-                table.release(LockId(i), 5);
-            }
-        })
-    });
-    let table = MarkTable::new(1024);
-    c.bench_function("marks/release_epoch_bump_1k", |b| {
-        b.iter(|| {
-            for i in 0..1024u32 {
-                table.write_max(LockId(i), 5);
-            }
-            table.bump_epoch();
-        })
-    });
-}
-
-fn bench_worklist(c: &mut Criterion) {
-    c.bench_function("worklist/push_pop_1k", |b| {
-        let bag: ChunkedBag<u64> = ChunkedBag::new(1);
-        b.iter(|| {
-            for i in 0..1000 {
-                bag.push(0, i);
-            }
-            while let Some(x) = bag.pop(0) {
-                black_box(x);
-            }
-        })
-    });
-}
-
-fn bench_id_assignment(c: &mut Criterion) {
-    c.bench_function("task/assign_ids_10k", |b| {
-        b.iter_batched(
-            || {
-                (0..10_000u64)
-                    .rev()
-                    .map(|i| PendingItem {
-                        task: i,
-                        parent: i % 97,
-                        rank: (i % 3) as u32,
-                    })
-                    .collect::<Vec<_>>()
-            },
-            |pending| black_box(assign_ids(pending, 1)),
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_window(c: &mut Criterion) {
-    c.bench_function("window/update_sequence", |b| {
-        b.iter(|| {
-            let mut w = AdaptiveWindow::for_pass(WindowPolicy::default(), 100_000);
-            for round in 0..1000usize {
-                let attempted = w.size();
-                let committed = attempted * (80 + round % 20) / 100;
-                w.update(attempted, committed);
-            }
-            black_box(w.size())
-        })
-    });
-}
+use criterion::{criterion_group, criterion_main};
+use galois_bench::suites;
 
 criterion_group!(
     name = micro;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_marks, bench_round_release, bench_release_only, bench_worklist, bench_id_assignment, bench_window
+    config = suites::micro_config();
+    targets = suites::micro_suite
 );
 criterion_main!(micro);

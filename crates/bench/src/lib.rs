@@ -20,6 +20,7 @@
 
 pub mod drivers;
 pub mod inputs;
+pub mod suites;
 pub mod sweep;
 pub mod tables;
 

@@ -28,6 +28,19 @@
 //! ids, independent sets — is a pure function of committed-task history, so
 //! the schedule is identical for every thread count (**portability**).
 //!
+//! # Two barriers per round
+//!
+//! A naive phase split costs three crossings per round (prepare → inspect →
+//! commit → prepare…). Workers are completely quiescent between the end of
+//! commit and the start of the next inspect — all inter-round work is the
+//! leader's — so the commit barrier and the prepare barrier fuse into one:
+//! [`SenseBarrier::wait_serial_checked`] lets the leader run the entire
+//! serial section (merge per-thread outputs, bump epochs, carve the next
+//! window, emit probe records) in the *tail* of the commit crossing, while
+//! workers spin on the sense word. A round therefore pays exactly **two**
+//! crossings: the fused commit/prepare barrier and the inspect barrier.
+//! See DESIGN.md "Hot paths" for the per-field ownership argument.
+//!
 //! # O(threads) round turnaround
 //!
 //! The serial work the leader does between rounds is independent of both the
@@ -56,6 +69,7 @@ use crate::marks::{LockId, MarkTable};
 use crate::ops::Operator;
 use crate::task::{assign_ids, spread_for_locality, PendingItem, WorkItem};
 use crate::window::AdaptiveWindow;
+use galois_runtime::padded::PerThread;
 use galois_runtime::pool::{chunk_range, run_on_threads_fault};
 use galois_runtime::probe::{attribute_conflicts, RoundRecord};
 use galois_runtime::simtime::{ExecTrace, PhaseTrace, RoundTrace};
@@ -85,13 +99,17 @@ struct Slot<T> {
 }
 
 impl<T> Slot<T> {
-    fn empty() -> Self {
+    /// A fresh slot with pre-reserved scratch capacities. Mid-run window
+    /// growth seeds new slots from the pool's warmest slot, so the
+    /// first-touch allocations land in the high-water carve round instead
+    /// of trickling through the rounds that first commit into each slot.
+    fn seeded(neighborhood: usize, pushes: usize, pending_out: usize) -> Self {
         Slot {
             item: None,
-            neighborhood: Vec::new(),
+            neighborhood: Vec::with_capacity(neighborhood),
             stash: None,
-            pushes: Vec::new(),
-            pending_out: Vec::new(),
+            pushes: Vec::with_capacity(pushes),
+            pending_out: Vec::with_capacity(pending_out),
             committed: false,
             fault: None,
         }
@@ -159,7 +177,16 @@ impl<T> ThreadOut<T> {
 /// during commit) and only their own `outs[tid]`. The barriers'
 /// acquire/release chains order all of it.
 struct RoundState<T> {
+    /// High-water slot pool: grows monotonically to the largest window ever
+    /// carved and never shrinks, so slot vectors (`neighborhood`, `pushes`,
+    /// `pending_out`) retain their capacities for the whole run and the
+    /// steady state does zero allocator traffic. Only the first
+    /// [`live`](Self::live) slots belong to the current round.
     cur: UnsafeCell<Vec<Slot<T>>>,
+    /// Number of active slots this round (the carved window size). Written
+    /// by the leader inside the fused barrier's serial section, read by
+    /// workers after the crossing.
+    live: AtomicUsize,
     /// The current pass's ordered task buffer. Consumed left to right;
     /// workers `take()` the entries of the published window range during
     /// inspect, and the leader writes failed tasks back just before the
@@ -169,7 +196,9 @@ struct RoundState<T> {
     /// claiming worker fills it) `pending[fill_base + i]`.
     fill_base: AtomicUsize,
     flags: UnsafeCell<Option<AbortFlags>>,
-    outs: Vec<UnsafeCell<ThreadOut<T>>>,
+    /// Per-thread round outputs, cache-line padded so one worker's buffer
+    /// bookkeeping never false-shares with its neighbor's.
+    outs: PerThread<UnsafeCell<ThreadOut<T>>>,
     claim_inspect: AtomicUsize,
     done: AtomicBool,
     /// Probe gates, fixed for the whole run (plain bools: workers only read
@@ -197,8 +226,6 @@ struct LeaderState<T> {
     rounds: u64,
     round_traces: Vec<RoundTrace>,
     started: bool,
-    /// Recycled slots (retaining vector capacities).
-    spare: Vec<Slot<T>>,
     /// Adaptive window size at the last carve, before clamping to the
     /// remaining pending tasks — what the probe reports as `window`.
     carved_window: u64,
@@ -283,12 +310,11 @@ where
 
     let state: RoundState<T> = RoundState {
         cur: UnsafeCell::new(Vec::new()),
+        live: AtomicUsize::new(0),
         pending: UnsafeCell::new(Vec::new()),
         fill_base: AtomicUsize::new(0),
         flags: UnsafeCell::new(None),
-        outs: (0..threads)
-            .map(|_| UnsafeCell::new(ThreadOut::new()))
-            .collect(),
+        outs: PerThread::new(threads, |_| UnsafeCell::new(ThreadOut::new())),
         claim_inspect: AtomicUsize::new(0),
         done: AtomicBool::new(false),
         probing,
@@ -326,7 +352,6 @@ where
                 rounds: 0,
                 round_traces: Vec::new(),
                 started: false,
-                spare: Vec::new(),
                 carved_window: 0,
                 pending_record: None,
                 conflict_scratch: Vec::new(),
@@ -346,30 +371,52 @@ where
             }
 
             loop {
-                if let Some(leader) = leader.as_mut() {
-                    let t0 = state.time_phases.then(Instant::now);
-                    let sort_ns =
-                        prepare_round(leader, &state, marks, opts, cfg, threads, flag_space_of);
-                    let total_ns = t0.map(|t| t.elapsed().as_nanos() as f64);
-                    if let (Some(total), Some(last)) = (
-                        total_ns.filter(|_| cfg.record_trace),
-                        leader.round_traces.last_mut(),
-                    ) {
-                        // The merge/carve work belongs to the round it closed;
-                        // the pass-boundary sort is parallelizable scheduler work.
-                        last.serial_ns += (total - sort_ns).max(0.0);
-                        last.sched_par_ns += sort_ns;
-                    }
-                    if let Some(mut rec) = leader.pending_record.take() {
-                        if let Some(total) = total_ns {
-                            rec.serial_ns = (total - sort_ns).max(0.0);
-                        }
-                        if let Some(p) = probe.as_mut() {
-                            p.on_round(rec);
-                        }
-                    }
-                }
-                if barrier.wait_checked().is_err() || state.done.load(Ordering::Acquire) {
+                // Fused commit/prepare barrier (2-barrier protocol): workers
+                // arrive here straight from the commit loop; the leader runs
+                // the whole inter-round serial section — merge, carve, probe
+                // callbacks — inside the tail of this single crossing instead
+                // of paying a separate release barrier first. The fused
+                // crossing's acquire/release edges give the serial section
+                // exclusive access to `cur`/`pending`/`flags`/`outs`.
+                let crossed = if let Some(leader) = leader.as_mut() {
+                    let probe = &mut probe;
+                    barrier
+                        .wait_serial_checked(|| {
+                            let t0 = state.time_phases.then(Instant::now);
+                            let sort_ns = prepare_round(
+                                leader,
+                                &state,
+                                marks,
+                                opts,
+                                cfg,
+                                threads,
+                                flag_space_of,
+                            );
+                            let total_ns = t0.map(|t| t.elapsed().as_nanos() as f64);
+                            if let (Some(total), Some(last)) = (
+                                total_ns.filter(|_| cfg.record_trace),
+                                leader.round_traces.last_mut(),
+                            ) {
+                                // The merge/carve work belongs to the round it
+                                // closed; the pass-boundary sort is
+                                // parallelizable scheduler work.
+                                last.serial_ns += (total - sort_ns).max(0.0);
+                                last.sched_par_ns += sort_ns;
+                            }
+                            if let Some(mut rec) = leader.pending_record.take() {
+                                if let Some(total) = total_ns {
+                                    rec.serial_ns = (total - sort_ns).max(0.0);
+                                }
+                                if let Some(p) = probe.as_mut() {
+                                    p.on_round(rec);
+                                }
+                            }
+                        })
+                        .is_ok()
+                } else {
+                    barrier.wait_checked().is_ok()
+                };
+                if !crossed || state.done.load(Ordering::Acquire) {
                     break;
                 }
                 // SAFETY: the leader finished mutating `cur`/`pending`/`flags`
@@ -382,10 +429,12 @@ where
                     let flags: &AbortFlags = (*state.flags.get()).as_ref().expect("flags set");
                     (cur.as_ptr() as *mut Slot<T>, pend, flags)
                 };
-                let n = unsafe { (*state.cur.get()).len() };
+                // Only the first `live` slots of the high-water pool are this
+                // round's window; the rest are idle capacity.
+                let n = state.live.load(Ordering::Relaxed);
                 let fill_base = state.fill_base.load(Ordering::Relaxed);
                 // SAFETY: outs[tid] is exclusively this worker's between barriers.
-                let out = unsafe { &mut *state.outs[tid].get() };
+                let out = unsafe { &mut *state.outs.get(tid).get() };
                 out.reset();
 
                 // Inspect phase: dynamic chunked claims (load balance); timing
@@ -470,9 +519,9 @@ where
                     }
                     block_start = block_end;
                 }
-                if barrier.wait_checked().is_err() {
-                    break;
-                }
+                // No commit-end barrier: the loop-top fused crossing doubles
+                // as the commit barrier, so a round costs exactly two
+                // crossings (fused commit/prepare + inspect).
             }
 
             if let Some(mut leader) = leader {
@@ -550,7 +599,7 @@ fn prepare_round<T: Send>(
 
         // Merge the finished round's per-thread outputs: O(threads) plus
         // buffer moves; the per-task work happened on the workers.
-        let attempted = cur.len();
+        let attempted = state.live.load(Ordering::Relaxed);
         let mut committed = 0usize;
         let mut nfailed = 0usize;
         let mut quarantined = 0usize;
@@ -559,7 +608,7 @@ fn prepare_round<T: Send>(
         let mut trace = cfg.record_trace.then(RoundTrace::default);
         for tid in 0..threads {
             // SAFETY: workers are parked at the barrier; outs are quiescent.
-            let out = unsafe { &mut *state.outs[tid].get() };
+            let out = unsafe { &mut *state.outs.get(tid).get() };
             committed += out.committed as usize;
             nfailed += out.failed.len();
             quarantined += out.quarantined.len();
@@ -599,7 +648,7 @@ fn prepare_round<T: Send>(
         let mut w_idx = leader.head - nfailed;
         for tid in 0..threads {
             // SAFETY: as above.
-            let out = unsafe { &mut *state.outs[tid].get() };
+            let out = unsafe { &mut *state.outs.get(tid).get() };
             for item in out.failed.drain(..) {
                 debug_assert!(pending[w_idx].is_none(), "window entries were consumed");
                 pending[w_idx] = Some(item);
@@ -610,7 +659,7 @@ fn prepare_round<T: Send>(
         debug_assert_eq!(w_idx, leader.head);
         leader.head -= nfailed;
         if let Some(mut t) = trace {
-            t.barriers = 3;
+            t.barriers = 2;
             leader.round_traces.push(t);
         }
         let closing_round = leader.rounds;
@@ -626,7 +675,7 @@ fn prepare_round<T: Send>(
             let mut first: Option<(u64, String)> = None;
             for tid in 0..threads {
                 // SAFETY: as above.
-                let out = unsafe { &mut *state.outs[tid].get() };
+                let out = unsafe { &mut *state.outs.get(tid).get() };
                 for (item, msg) in out.quarantined.drain(..) {
                     if first.as_ref().is_none_or(|(id, _)| item.id < *id) {
                         first = Some((item.id, msg));
@@ -676,7 +725,10 @@ fn prepare_round<T: Send>(
     let mut sort_ns = 0.0;
     if leader.head == pending.len() && !leader.todo.is_empty() {
         let t_sort = cfg.record_trace.then(Instant::now);
-        let todo = std::mem::take(&mut leader.todo);
+        // Drain rather than take: `leader.todo` keeps its high-water
+        // capacity, so the per-round appends refilling it during the next
+        // pass stop allocating once the global high water is reached.
+        let todo: Vec<PendingItem<T>> = leader.todo.drain(..).collect();
         let items = assign_ids(todo, threads);
         let pass_size = items.len();
         *pending = spread_for_locality(items, opts.locality_spread)
@@ -699,18 +751,29 @@ fn prepare_round<T: Send>(
         return sort_ns;
     }
 
-    // Carve the window (Figure 2 `getWindowOfTasks`), recycling slot
-    // storage so no allocator traffic happens per round. The leader only
-    // sizes `cur` and publishes the index range; the claiming workers fill
-    // the slots during inspect.
+    // Carve the window (Figure 2 `getWindowOfTasks`). The slot pool `cur`
+    // is high-water sized: it grows (allocates) only when the window reaches
+    // a size it has never reached before, and never shrinks — shrinking
+    // would drop slot vector capacities and re-pay the allocation when the
+    // window grows back. Publishing `live` is all a steady-state carve does.
     leader.carved_window = leader.window.size() as u64;
     let w = leader.window.size().min(pending.len() - leader.head);
-    while cur.len() > w {
-        leader.spare.push(cur.pop().expect("len > w"));
+    if cur.len() < w {
+        let (nb, ps, po) = cur
+            .first()
+            .map(|s| {
+                (
+                    s.neighborhood.capacity(),
+                    s.pushes.capacity(),
+                    s.pending_out.capacity(),
+                )
+            })
+            .unwrap_or((0, 0, 0));
+        while cur.len() < w {
+            cur.push(Slot::seeded(nb, ps, po));
+        }
     }
-    while cur.len() < w {
-        cur.push(leader.spare.pop().unwrap_or_else(Slot::empty));
-    }
+    state.live.store(w, Ordering::Relaxed);
     state.fill_base.store(leader.head, Ordering::Relaxed);
     leader.head += w;
     state.claim_inspect.store(0, Ordering::Relaxed);

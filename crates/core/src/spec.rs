@@ -358,8 +358,20 @@ where
         // are commutative, so the (nondeterministic) thread collection order
         // does not matter; the epochs themselves still reflect real
         // speculative nondeterminism.
+        //
+        // Barrier audit (2-barrier campaign): unlike the deterministic
+        // scheduler, epochs here are *worker-local* attempt counters — no
+        // thread ever waits for an epoch boundary, so there is no per-epoch
+        // crossing to fuse. The only join point in this executor is the
+        // final thread join above; the merge below runs once per run, after
+        // it, on one thread.
         let top_k = hub.conflict_top_k();
-        let mut merged: Vec<EpochAcc> = Vec::new();
+        let max_epochs = per_thread
+            .iter()
+            .map(|(_, _, e)| e.len())
+            .max()
+            .unwrap_or(0);
+        let mut merged: Vec<EpochAcc> = Vec::with_capacity(max_epochs);
         for (_, _, epochs) in per_thread.iter_mut() {
             for (e, acc) in epochs.iter_mut().enumerate() {
                 if merged.len() <= e {

@@ -1,0 +1,114 @@
+//! Steady-state rounds of the deterministic scheduler perform **zero** heap
+//! allocations (the perf campaign's allocation-free invariant).
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; a probe
+//! snapshots the counter as round records arrive. After a two-round warm-up
+//! (which sizes the slot pool, the per-thread out-buffers and the pending
+//! buffer to their high-water capacities) every later round must leave the
+//! counter untouched, at every thread count.
+//!
+//! This file deliberately holds a single `#[test]` so no sibling test can
+//! allocate concurrently and pollute the counter.
+
+use galois_core::{Ctx, Executor, MarkTable, OpResult, Schedule};
+use galois_runtime::probe::{Probe, RoundRecord};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; the counter is a relaxed
+// atomic, so the wrapper adds no allocation or synchronization of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+/// Snapshots the allocation counter at each round boundary. Round `r`'s
+/// record is delivered in round `r + 1`'s serial section, so the delta
+/// between the first and last snapshot covers complete scheduler rounds.
+#[derive(Default)]
+struct AllocProbe {
+    warmup_snapshot: Option<u64>,
+    last_snapshot: u64,
+    rounds_measured: u64,
+}
+
+impl Probe for AllocProbe {
+    // Request nothing optional: the disabled probe paths must be (and are)
+    // allocation-free, which is exactly what this test pins down.
+    fn wants_conflicts(&self) -> bool {
+        false
+    }
+    fn wants_timing(&self) -> bool {
+        false
+    }
+    fn conflict_top_k(&self) -> usize {
+        0
+    }
+    fn on_round(&mut self, record: RoundRecord) {
+        let now = ALLOC_EVENTS.load(Ordering::Relaxed);
+        if record.round >= 2 {
+            if self.warmup_snapshot.is_none() {
+                self.warmup_snapshot = Some(now);
+            }
+            self.last_snapshot = now;
+            self.rounds_measured += 1;
+        }
+    }
+}
+
+#[test]
+fn steady_state_rounds_allocate_nothing() {
+    // All tasks fight over one location, so every round commits exactly one
+    // task: a long serialized run with many steady-state rounds and a
+    // failed-task write-back every round — the scheduler's full hot path.
+    for threads in [1usize, 2, 4, 8] {
+        let marks = MarkTable::new(1);
+        let op = |_t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            ctx.acquire(0u32)?;
+            ctx.failsafe()?;
+            Ok(())
+        };
+        let mut probe = AllocProbe::default();
+        let report = Executor::new()
+            .threads(threads)
+            .schedule(Schedule::deterministic())
+            .iterate((0..40u64).collect())
+            .probe(&mut probe)
+            .run(&marks, &op);
+        assert_eq!(report.stats.committed, 40);
+        let warm = probe
+            .warmup_snapshot
+            .expect("run reaches round 2 (threads={threads})");
+        assert!(
+            probe.rounds_measured >= 20,
+            "expected a long steady state, measured {} rounds (threads={threads})",
+            probe.rounds_measured
+        );
+        assert_eq!(
+            probe.last_snapshot - warm,
+            0,
+            "steady-state rounds allocated (threads={threads}, rounds={})",
+            probe.rounds_measured
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Count-based shape invariants of the deterministic round protocol —
+//! the CI perf-smoke checks. Wall-clock is too noisy for CI; the counts
+//! behind the hot-path campaign are exact:
+//!
+//! - every DIG round crosses exactly **2** barriers (the fused
+//!   commit/prepare crossing plus the inspect barrier; see DESIGN.md
+//!   "Hot paths"),
+//! - the barrier count is identical at every thread count (it is part of
+//!   the portable schedule, not a tuning knob).
+
+use galois_core::{Ctx, Executor, MarkTable, OpResult, Schedule};
+use galois_runtime::simtime::ExecTrace;
+
+#[test]
+fn deterministic_rounds_cross_exactly_two_barriers() {
+    for threads in [1usize, 2, 4, 8] {
+        let marks = MarkTable::new(64);
+        let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
+            ctx.acquire((*t % 64) as u32)?;
+            ctx.failsafe()?;
+            Ok(())
+        };
+        let report = Executor::new()
+            .threads(threads)
+            .schedule(Schedule::deterministic())
+            .record_trace(true)
+            .iterate((0..512u64).collect())
+            .run(&marks, &op);
+        assert_eq!(report.stats.committed, 512);
+        let Some(ExecTrace::Rounds(rounds)) = &report.trace else {
+            panic!("deterministic run must record a rounds trace");
+        };
+        assert!(
+            rounds.len() >= 2,
+            "need several rounds to make the claim meaningful (threads={threads})"
+        );
+        for (i, r) in rounds.iter().enumerate() {
+            assert_eq!(
+                r.barriers, 2,
+                "round {i} crossed {} barriers, protocol says 2 (threads={threads})",
+                r.barriers
+            );
+        }
+    }
+}

@@ -21,7 +21,7 @@
 
 use crate::csr::{CsrGraph, NodeId};
 use galois_runtime::pool::{chunk_range, run_on_threads};
-use galois_runtime::scan::parallel_exclusive_scan;
+use galois_runtime::scan::parallel_exclusive_scan_with;
 use galois_runtime::shared::SharedSlice;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -139,11 +139,50 @@ pub fn uniform_random(n: usize, degree: usize, seed: u64) -> CsrGraph {
     CsrGraph::from_edges(n, &uniform_random_edges(n, degree, seed))
 }
 
-/// Parallel [`uniform_random`]: parallel generation and parallel CSR
-/// build, byte-identical to the sequential version for any thread count.
+/// Parallel [`uniform_random`], **fused**: generation writes straight into
+/// the final CSR arrays, byte-identical to the sequential version for any
+/// thread count.
+///
+/// The old pipeline materialized the edge list, re-read it in a counting
+/// pass, and scattered it — three passes over `n * degree` tuples, which is
+/// why the end-to-end parallel build used to lose to the sequential one on
+/// oversubscribed hosts. Constant out-degree makes all of that unnecessary:
+/// the CSR offsets are closed-form (`offsets[v] = v * degree`), and node
+/// `s`'s counter stream can be drawn directly into its target row
+/// `targets[s*degree .. (s+1)*degree]`. One parallel pass, no intermediate
+/// edge list. The result matches `from_edges(n, uniform_random_edges(..))`
+/// byte for byte because the counting sort preserves per-source insertion
+/// order — exactly the per-stream draw order reproduced here.
 pub fn uniform_random_parallel(n: usize, degree: usize, seed: u64, threads: usize) -> CsrGraph {
-    let edges = uniform_random_edges_parallel(n, degree, seed, threads);
-    CsrGraph::from_edges_parallel(n, &edges, threads)
+    assert!(n >= 2 || degree == 0, "need at least two nodes for edges");
+    let m = n * degree;
+    let threads = threads.clamp(1, m.div_ceil(8192).max(1));
+    if threads == 1 {
+        return uniform_random(n, degree, seed);
+    }
+    let mut offsets = vec![0u64; n + 1];
+    let mut targets = vec![0 as NodeId; m];
+    {
+        let offs = SharedSlice::new(&mut offsets);
+        let tgts = SharedSlice::new(&mut targets);
+        let (offs, tgts) = (&offs, &tgts);
+        run_on_threads(threads, |tid| {
+            for v in chunk_range(n + 1, threads, tid) {
+                // SAFETY: offset chunks are disjoint across tids.
+                unsafe { *offs.get_mut(v) = (v * degree) as u64 };
+            }
+            for s in chunk_range(n, threads, tid) {
+                // SAFETY: node ranges are disjoint across tids, so the
+                // target row [s*degree, (s+1)*degree) is owned here.
+                let row = unsafe { tgts.slice_mut(s * degree..(s + 1) * degree) };
+                let mut rng = counter_stream(seed, s as u64);
+                for slot in row {
+                    *slot = draw_non_self(&mut rng, n, s as NodeId);
+                }
+            }
+        });
+    }
+    CsrGraph::from_parts_unchecked(offsets, targets)
 }
 
 /// Undirected (symmetrized) random k-out graph — the mis input.
@@ -319,9 +358,12 @@ pub fn rmat_parallel(
         });
     }
 
-    // Phase 2: pack surviving edges contiguously in candidate order.
+    // Phase 2: pack surviving edges contiguously in candidate order. The
+    // scan scratch is shared with the CSR build below (one allocation for
+    // every prefix sum of the pipeline).
+    let mut scan_scratch: Vec<u64> = Vec::new();
     let mut positions: Vec<u64> = locals.iter().map(|l| l.len() as u64).collect();
-    let total = parallel_exclusive_scan(&mut positions, threads) as usize;
+    let total = parallel_exclusive_scan_with(&mut positions, threads, &mut scan_scratch) as usize;
     let mut edges = vec![(0 as NodeId, 0 as NodeId); total];
     {
         let shared = SharedSlice::new(&mut edges);
@@ -335,7 +377,7 @@ pub fn rmat_parallel(
             out.copy_from_slice(&locals[tid]);
         });
     }
-    CsrGraph::from_edges_parallel(size, &edges, threads)
+    CsrGraph::from_edges_parallel_with_scratch(size, &edges, threads, &mut scan_scratch)
 }
 
 #[cfg(test)]
@@ -429,6 +471,20 @@ mod tests {
         assert_eq!(uniform_random_parallel(500, 5, 99, 8), g);
         let u = uniform_random_undirected(300, 4, 99);
         assert_eq!(uniform_random_undirected_parallel(300, 4, 99, 8), u);
+    }
+
+    #[test]
+    fn fused_parallel_uniform_random_matches_sequential_build() {
+        // Large enough to clear the `m.div_ceil(8192)` sequential-fallback
+        // clamp (unlike the n=500 case above), so the fused closed-form
+        // offsets + direct-draw targets path actually runs in parallel.
+        let (n, degree, seed) = (20_000usize, 5usize, 0x00C0_FFEE_u64);
+        let seq = uniform_random(n, degree, seed);
+        for threads in [2, 3, 4, 8] {
+            let par = uniform_random_parallel(n, degree, seed, threads);
+            assert_eq!(par.offsets(), seq.offsets(), "offsets at {threads} threads");
+            assert_eq!(par.targets(), seq.targets(), "targets at {threads} threads");
+        }
     }
 
     #[test]

@@ -126,6 +126,62 @@ impl SenseBarrier {
         self.poisoned.load(Ordering::Acquire)
     }
 
+    /// A barrier crossing with a serial section fused into its tail: one
+    /// designated thread (always the same one per barrier) calls this while
+    /// the other `total - 1` participants call [`wait_checked`](Self::wait_checked).
+    ///
+    /// The caller waits for every peer to arrive, runs `serial` while they
+    /// spin, and only then releases the phase — so `serial` observes all
+    /// writes the peers made before arriving, and every peer observes all of
+    /// `serial`'s writes after release. This fuses what would otherwise be
+    /// two full crossings (arrive → serial work → arrive again) into one.
+    ///
+    /// Protocol: peers `fetch_add` the count but can never reach `total`, so
+    /// none of them takes the release branch; this thread never increments,
+    /// spins until the count reads `total - 1`, runs `serial`, then resets
+    /// the count and flips the sense exactly like the last arriver of a
+    /// plain crossing. Plain [`wait_checked`](Self::wait_checked) crossings
+    /// may be freely interleaved with fused ones on the same barrier.
+    ///
+    /// Returns `Err(BarrierPoisoned)` without running `serial` if the
+    /// barrier is (or becomes) poisoned while waiting.
+    pub fn wait_serial_checked<R>(&self, serial: impl FnOnce() -> R) -> Result<R, BarrierPoisoned> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(BarrierPoisoned);
+        }
+        if self.total == 1 {
+            return Ok(serial());
+        }
+        if let Some(c) = &self.chaos {
+            ChaosPolicy::spin(c.barrier_jitter_spins());
+        }
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        let mut spins = 0u32;
+        // Acquire pairs with the peers' AcqRel fetch_add: once the count
+        // reads total-1, everything the peers wrote before arriving is
+        // visible to the serial section.
+        while self.count.load(Ordering::Acquire) != self.total - 1 {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(BarrierPoisoned);
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(BarrierPoisoned);
+        }
+        let out = serial();
+        // Release on the sense flip publishes the serial section's writes to
+        // every spinning peer.
+        self.count.store(0, Ordering::Relaxed);
+        self.sense.store(my_sense, Ordering::Release);
+        Ok(out)
+    }
+
     /// Like [`wait`](Self::wait), but releases with `Err(BarrierPoisoned)`
     /// (instead of completing the phase) once any participant has called
     /// [`poison`](Self::poison).
@@ -264,6 +320,70 @@ mod tests {
         assert_eq!(b.wait_checked(), Ok(true));
         b.poison();
         assert_eq!(b.wait_checked(), Err(BarrierPoisoned));
+    }
+
+    #[test]
+    fn fused_serial_section_is_exclusive_and_synchronized() {
+        // Thread 0 runs the serial section of every crossing; the others use
+        // the plain wait. The serial section must observe all pre-barrier
+        // increments, and its own write must be visible to everyone after.
+        const THREADS: usize = 4;
+        const PHASES: u64 = 200;
+        let b = SenseBarrier::new(THREADS);
+        let counter = AtomicU64::new(0);
+        let serial_val = AtomicU64::new(0);
+        run_on_threads(THREADS, |tid| {
+            for phase in 1..=PHASES {
+                counter.fetch_add(1, Ordering::Relaxed);
+                if tid == 0 {
+                    let seen = b
+                        .wait_serial_checked(|| {
+                            // All peers arrived: every increment is visible.
+                            let seen = counter.load(Ordering::Relaxed);
+                            serial_val.store(phase, Ordering::Relaxed);
+                            seen
+                        })
+                        .unwrap();
+                    assert_eq!(seen, phase * THREADS as u64);
+                } else {
+                    b.wait_checked().unwrap();
+                }
+                // Everyone (including the peers) sees the serial write.
+                assert_eq!(serial_val.load(Ordering::Relaxed), phase);
+                b.wait(); // plain crossing interleaves fine with fused ones
+            }
+        });
+    }
+
+    #[test]
+    fn fused_serial_single_thread_runs_inline() {
+        let b = SenseBarrier::new(1);
+        assert_eq!(b.wait_serial_checked(|| 42), Ok(42));
+        b.poison();
+        assert_eq!(b.wait_serial_checked(|| 42), Err(BarrierPoisoned));
+    }
+
+    #[test]
+    fn fused_serial_poison_releases_all() {
+        // One peer poisons instead of arriving: the serial caller must not
+        // run its section, and the remaining peers must drain.
+        let b = SenseBarrier::new(4);
+        let ran = AtomicU64::new(0);
+        run_on_threads(4, |tid| match tid {
+            0 => {
+                let r = b.wait_serial_checked(|| ran.fetch_add(1, Ordering::Relaxed));
+                assert_eq!(r, Err(BarrierPoisoned));
+            }
+            3 => b.poison(),
+            _ => {
+                assert_eq!(b.wait_checked(), Err(BarrierPoisoned));
+            }
+        });
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            0,
+            "serial section must not run"
+        );
     }
 
     #[test]

@@ -28,7 +28,19 @@ use crate::shared::SharedSlice;
 /// assert_eq!(total, 14);
 /// ```
 pub fn parallel_exclusive_scan(values: &mut [u64], threads: usize) -> u64 {
-    scan_impl(values, threads, false)
+    scan_impl(values, threads, false, &mut Vec::new())
+}
+
+/// [`parallel_exclusive_scan`] with a caller-owned scratch buffer for the
+/// per-chunk totals, so multi-phase pipelines (generate → pack → CSR build)
+/// pay the scratch allocation once instead of once per scan. The buffer is
+/// resized as needed and its contents on entry are ignored.
+pub fn parallel_exclusive_scan_with(
+    values: &mut [u64],
+    threads: usize,
+    scratch: &mut Vec<u64>,
+) -> u64 {
+    scan_impl(values, threads, false, scratch)
 }
 
 /// Replaces `values` with its inclusive prefix sum and returns the total.
@@ -45,12 +57,22 @@ pub fn parallel_exclusive_scan(values: &mut [u64], threads: usize) -> u64 {
 /// assert_eq!(total, 14);
 /// ```
 pub fn parallel_inclusive_scan(values: &mut [u64], threads: usize) -> u64 {
-    scan_impl(values, threads, true)
+    scan_impl(values, threads, true, &mut Vec::new())
+}
+
+/// [`parallel_inclusive_scan`] with a caller-owned scratch buffer; see
+/// [`parallel_exclusive_scan_with`].
+pub fn parallel_inclusive_scan_with(
+    values: &mut [u64],
+    threads: usize,
+    scratch: &mut Vec<u64>,
+) -> u64 {
+    scan_impl(values, threads, true, scratch)
 }
 
 /// Sequential inputs or one thread skip the spawn entirely; that path is
 /// also the oracle the parallel path must match.
-fn scan_impl(values: &mut [u64], threads: usize, inclusive: bool) -> u64 {
+fn scan_impl(values: &mut [u64], threads: usize, inclusive: bool, scratch: &mut Vec<u64>) -> u64 {
     let n = values.len();
     // Below ~4k elements the spawn cost dominates any parallel win.
     let threads = threads.clamp(1, n.div_ceil(4096).max(1));
@@ -69,10 +91,13 @@ fn scan_impl(values: &mut [u64], threads: usize, inclusive: bool) -> u64 {
         return acc;
     }
 
-    // Phase 1: each thread reduces its chunk to a total.
-    let mut chunk_totals = vec![0u64; threads];
+    // Phase 1: each thread reduces its chunk to a total (into the reusable
+    // scratch, so repeated scans allocate nothing once it's warm).
+    scratch.clear();
+    scratch.resize(threads, 0);
+    let chunk_totals: &mut [u64] = scratch;
     {
-        let totals = SharedSlice::new(&mut chunk_totals);
+        let totals = SharedSlice::new(chunk_totals);
         let totals = &totals;
         let values_ro: &[u64] = values;
         run_on_threads(threads, |tid| {
