@@ -13,7 +13,9 @@
 //! - **pbbs**: handwritten deterministic level-synchronous BFS with
 //!   priority-write parent selection (deterministic BFS tree).
 
-use galois_core::{Ctx, ExecError, Executor, MarkTable, OpResult, Probe, RunReport};
+use galois_core::{
+    Ctx, ExecError, Executor, ManifestRecorder, MarkTable, OpResult, Probe, RunReport,
+};
 use galois_graph::csr::NodeId;
 use galois_graph::{AtomicArray, CsrGraph};
 use galois_runtime::pool::{chunk_range, run_on_threads};
@@ -46,7 +48,7 @@ pub fn try_galois(
     source: NodeId,
     exec: &Executor,
 ) -> Result<(Vec<u32>, RunReport), ExecError> {
-    galois_impl(g, source, exec, None)
+    galois_impl(g, source, exec, None, None)
 }
 
 /// [`try_galois`] with an external [`Probe`] attached to the run, so
@@ -59,7 +61,19 @@ pub fn try_galois_probed(
     exec: &Executor,
     probe: &mut dyn Probe,
 ) -> Result<(Vec<u32>, RunReport), ExecError> {
-    galois_impl(g, source, exec, Some(probe))
+    galois_impl(g, source, exec, Some(probe), None)
+}
+
+/// [`try_galois`] with a [`ManifestRecorder`] attached via
+/// [`galois_core::LoopSpec::record`], capturing (or replay-verifying) the
+/// run's canonical hash chain for record/replay.
+pub fn try_galois_recorded(
+    g: &CsrGraph,
+    source: NodeId,
+    exec: &Executor,
+    recorder: &mut ManifestRecorder,
+) -> Result<(Vec<u32>, RunReport), ExecError> {
+    galois_impl(g, source, exec, None, Some(recorder))
 }
 
 fn galois_impl(
@@ -67,6 +81,7 @@ fn galois_impl(
     source: NodeId,
     exec: &Executor,
     probe: Option<&mut dyn Probe>,
+    recorder: Option<&mut ManifestRecorder>,
 ) -> Result<(Vec<u32>, RunReport), ExecError> {
     let n = g.num_nodes();
     let dist = AtomicArray::new_filled(n, INFINITY);
@@ -95,6 +110,10 @@ fn galois_impl(
     let spec = exec.iterate(vec![(source, 0)]);
     let spec = match probe {
         Some(p) => spec.probe(p),
+        None => spec,
+    };
+    let spec = match recorder {
+        Some(r) => spec.record(r),
         None => spec,
     };
     let report = spec.try_run(&marks, &op)?;

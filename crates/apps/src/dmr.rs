@@ -12,7 +12,9 @@
 //! All variants keep the mesh Delaunay; output equality across thread
 //! counts is checked on the canonical geometric form.
 
-use galois_core::{Abort, Ctx, ExecError, Executor, MarkTable, OpResult, RunReport};
+use galois_core::{
+    Abort, Ctx, ExecError, Executor, ManifestRecorder, MarkTable, OpResult, RunReport,
+};
 use galois_geometry::predicates::orient2d_sign;
 use galois_geometry::tri::{circumcenter, is_bad};
 use galois_geometry::Point;
@@ -99,6 +101,25 @@ pub fn galois(mesh: &Mesh, exec: &Executor) -> RunReport {
 /// Fault-surfacing variant of [`galois`]: operator panics, livelocks and
 /// quarantine overflows come back as [`ExecError`] instead of unwinding.
 pub fn try_galois(mesh: &Mesh, exec: &Executor) -> Result<RunReport, ExecError> {
+    galois_impl(mesh, exec, None)
+}
+
+/// [`try_galois`] with a [`ManifestRecorder`] attached via
+/// [`galois_core::LoopSpec::record`], capturing (or replay-verifying) the
+/// run's canonical hash chain for record/replay.
+pub fn try_galois_recorded(
+    mesh: &Mesh,
+    exec: &Executor,
+    recorder: &mut ManifestRecorder,
+) -> Result<RunReport, ExecError> {
+    galois_impl(mesh, exec, Some(recorder))
+}
+
+fn galois_impl(
+    mesh: &Mesh,
+    exec: &Executor,
+    recorder: Option<&mut ManifestRecorder>,
+) -> Result<RunReport, ExecError> {
     let marks = MarkTable::new(mesh.tri_capacity());
     let initial = check::bad_triangles(mesh);
 
@@ -150,7 +171,12 @@ pub fn try_galois(mesh: &Mesh, exec: &Executor) -> Result<RunReport, ExecError> 
         Ok(())
     };
 
-    exec.iterate(initial).try_run(&marks, &op)
+    let spec = exec.iterate(initial);
+    let spec = match recorder {
+        Some(r) => spec.record(r),
+        None => spec,
+    };
+    spec.try_run(&marks, &op)
 }
 
 /// Statistics of the PBBS-style deterministic dmr.

@@ -11,7 +11,9 @@
 //! [`galois_mesh::check::canonical_triangles`]); the variants differ in
 //! schedule, work, and determinism of the *execution*.
 
-use galois_core::{Abort, Ctx, ExecError, Executor, MarkTable, OpResult, RunReport};
+use galois_core::{
+    Abort, Ctx, ExecError, Executor, ManifestRecorder, MarkTable, OpResult, RunReport,
+};
 use galois_geometry::brio::brio_order;
 use galois_geometry::Point;
 use galois_mesh::build::{first_alive, square_mesh};
@@ -57,6 +59,27 @@ pub fn try_galois(
     brio_seed: u64,
     exec: &Executor,
 ) -> Result<(Mesh, RunReport), ExecError> {
+    galois_impl(points, brio_seed, exec, None)
+}
+
+/// [`try_galois`] with a [`ManifestRecorder`] attached via
+/// [`galois_core::LoopSpec::record`], capturing (or replay-verifying) the
+/// run's canonical hash chain for record/replay.
+pub fn try_galois_recorded(
+    points: &[Point],
+    brio_seed: u64,
+    exec: &Executor,
+    recorder: &mut ManifestRecorder,
+) -> Result<(Mesh, RunReport), ExecError> {
+    galois_impl(points, brio_seed, exec, Some(recorder))
+}
+
+fn galois_impl(
+    points: &[Point],
+    brio_seed: u64,
+    exec: &Executor,
+    recorder: Option<&mut ManifestRecorder>,
+) -> Result<(Mesh, RunReport), ExecError> {
     let order = brio_order(points, brio_seed);
     let tasks: Vec<Point> = order.iter().map(|&i| points[i]).collect();
     let mesh = square_mesh(points.len(), 0, 0);
@@ -100,7 +123,12 @@ pub fn try_galois(
         Ok(())
     };
 
-    let report = exec.iterate(tasks).try_run(&marks, &op)?;
+    let spec = exec.iterate(tasks);
+    let spec = match recorder {
+        Some(r) => spec.record(r),
+        None => spec,
+    };
+    let report = spec.try_run(&marks, &op)?;
     Ok((mesh, report))
 }
 

@@ -6,7 +6,9 @@
 //! processing order. The PBBS comparator computes the lexicographically
 //! first MIS deterministically (§4.1 notes it is data-parallel).
 
-use galois_core::{Ctx, ExecError, Executor, MarkTable, OpResult, Probe, RunReport};
+use galois_core::{
+    Ctx, ExecError, Executor, ManifestRecorder, MarkTable, OpResult, Probe, RunReport,
+};
 use galois_graph::csr::NodeId;
 use galois_graph::{AtomicArray, CsrGraph};
 use pbbs_det::{speculative_for, SpecForStats, Step};
@@ -53,7 +55,7 @@ pub fn galois(g: &CsrGraph, exec: &Executor) -> (Vec<u32>, RunReport) {
 /// Under the deterministic schedule the error is byte-identical at any
 /// thread count.
 pub fn try_galois(g: &CsrGraph, exec: &Executor) -> Result<(Vec<u32>, RunReport), ExecError> {
-    galois_impl(g, exec, None)
+    galois_impl(g, exec, None, None)
 }
 
 /// [`try_galois`] with an external [`Probe`] attached to the run, so
@@ -64,13 +66,25 @@ pub fn try_galois_probed(
     exec: &Executor,
     probe: &mut dyn Probe,
 ) -> Result<(Vec<u32>, RunReport), ExecError> {
-    galois_impl(g, exec, Some(probe))
+    galois_impl(g, exec, Some(probe), None)
+}
+
+/// [`try_galois`] with a [`ManifestRecorder`] attached via
+/// [`galois_core::LoopSpec::record`], capturing (or replay-verifying) the
+/// run's canonical hash chain for record/replay.
+pub fn try_galois_recorded(
+    g: &CsrGraph,
+    exec: &Executor,
+    recorder: &mut ManifestRecorder,
+) -> Result<(Vec<u32>, RunReport), ExecError> {
+    galois_impl(g, exec, None, Some(recorder))
 }
 
 fn galois_impl(
     g: &CsrGraph,
     exec: &Executor,
     probe: Option<&mut dyn Probe>,
+    recorder: Option<&mut ManifestRecorder>,
 ) -> Result<(Vec<u32>, RunReport), ExecError> {
     let n = g.num_nodes();
     let flags = AtomicArray::new_filled(n, state::UNDECIDED);
@@ -100,6 +114,10 @@ fn galois_impl(
     let spec = exec.iterate(tasks).with_ids(|v| *v as u64, n);
     let spec = match probe {
         Some(p) => spec.probe(p),
+        None => spec,
+    };
+    let spec = match recorder {
+        Some(r) => spec.record(r),
         None => spec,
     };
     let report = spec.try_run(&marks, &op)?;

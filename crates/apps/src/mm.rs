@@ -13,7 +13,7 @@
 //! - **pbbs**: deterministic reservations over edges with edge-index
 //!   priorities — exactly the sequential greedy outcome, in parallel.
 
-use galois_core::{Ctx, ExecError, Executor, MarkTable, OpResult, RunReport};
+use galois_core::{Ctx, ExecError, Executor, ManifestRecorder, MarkTable, OpResult, RunReport};
 use galois_graph::csr::NodeId;
 use galois_graph::{AtomicArray, CsrGraph};
 use pbbs_det::{speculative_for, SpecForStats, Step};
@@ -56,6 +56,25 @@ pub fn galois(g: &CsrGraph, exec: &Executor) -> (Vec<u32>, RunReport) {
 /// Fault-surfacing variant of [`galois`]: operator panics, livelocks and
 /// quarantine overflows come back as [`ExecError`] instead of unwinding.
 pub fn try_galois(g: &CsrGraph, exec: &Executor) -> Result<(Vec<u32>, RunReport), ExecError> {
+    galois_impl(g, exec, None)
+}
+
+/// [`try_galois`] with a [`ManifestRecorder`] attached via
+/// [`galois_core::LoopSpec::record`], capturing (or replay-verifying) the
+/// run's canonical hash chain for record/replay.
+pub fn try_galois_recorded(
+    g: &CsrGraph,
+    exec: &Executor,
+    recorder: &mut ManifestRecorder,
+) -> Result<(Vec<u32>, RunReport), ExecError> {
+    galois_impl(g, exec, Some(recorder))
+}
+
+fn galois_impl(
+    g: &CsrGraph,
+    exec: &Executor,
+    recorder: Option<&mut ManifestRecorder>,
+) -> Result<(Vec<u32>, RunReport), ExecError> {
     let mate = AtomicArray::new_filled(g.num_nodes(), UNMATCHED);
     let marks = MarkTable::new(g.num_nodes());
     let edges = edge_list(g);
@@ -70,7 +89,12 @@ pub fn try_galois(g: &CsrGraph, exec: &Executor) -> Result<(Vec<u32>, RunReport)
         }
         Ok(())
     };
-    let report = exec.iterate(edges).try_run(&marks, &op)?;
+    let spec = exec.iterate(edges);
+    let spec = match recorder {
+        Some(r) => spec.record(r),
+        None => spec,
+    };
+    let report = spec.try_run(&marks, &op)?;
     Ok((mate.snapshot(), report))
 }
 

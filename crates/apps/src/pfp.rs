@@ -13,7 +13,7 @@
 //!   global relabeling *bouts* (the global relabeling heuristic of
 //!   Cherkassky & Goldberg, the paper's reference 13).
 
-use galois_core::{Ctx, ExecError, Executor, MarkTable, OpResult, RunReport};
+use galois_core::{Ctx, ExecError, Executor, ManifestRecorder, MarkTable, OpResult, RunReport};
 use galois_graph::csr::NodeId;
 use galois_graph::FlowNetwork;
 use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
@@ -260,6 +260,26 @@ pub fn galois(net: &FlowNetwork, exec: &Executor) -> (i64, PfpReport) {
 /// unwinding. Quarantine counters from completed bouts are merged into the
 /// report before the faulting bout's error is returned.
 pub fn try_galois(net: &FlowNetwork, exec: &Executor) -> Result<(i64, PfpReport), ExecError> {
+    galois_impl(net, exec, None)
+}
+
+/// [`try_galois`] with a [`ManifestRecorder`] attached via
+/// [`galois_core::LoopSpec::record`]. Preflow-push runs *multiple* executor
+/// bouts; the same recorder rides every bout, so the manifest's hash chain
+/// spans the whole multi-bout run as one monotone sequence.
+pub fn try_galois_recorded(
+    net: &FlowNetwork,
+    exec: &Executor,
+    recorder: &mut ManifestRecorder,
+) -> Result<(i64, PfpReport), ExecError> {
+    galois_impl(net, exec, Some(recorder))
+}
+
+fn galois_impl(
+    net: &FlowNetwork,
+    exec: &Executor,
+    mut recorder: Option<&mut ManifestRecorder>,
+) -> Result<(i64, PfpReport), ExecError> {
     net.reset();
     let n = net.num_nodes();
     let state = PfpState::new(n);
@@ -346,10 +366,14 @@ pub fn try_galois(net: &FlowNetwork, exec: &Executor) -> Result<(i64, PfpReport)
             Ok(())
         };
 
-        let report = exec
-            .iterate(active)
-            .with_ids(|v| *v as u64, n)
-            .try_run(&marks, &op)?;
+        let spec = exec.iterate(active).with_ids(|v| *v as u64, n);
+        // Reborrow the recorder per bout: every bout chains into the same
+        // hash sequence.
+        let spec = match recorder.as_deref_mut() {
+            Some(r) => spec.record(r),
+            None => spec,
+        };
+        let report = spec.try_run(&marks, &op)?;
         out.stats.committed += report.stats.committed;
         out.stats.aborted += report.stats.aborted;
         out.stats.atomic_updates += report.stats.atomic_updates;

@@ -556,6 +556,7 @@ where
             .record_access
             .then(|| per_thread.into_iter().map(|(_, a)| a).collect()),
         round_log: None,
+        replay: false,
     };
     (report, fault)
 }

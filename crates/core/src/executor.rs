@@ -59,6 +59,7 @@
 use crate::ctx::Access;
 use crate::det;
 use crate::error::ExecError;
+use crate::manifest::ManifestRecorder;
 use crate::marks::MarkTable;
 use crate::ops::Operator;
 use crate::serial;
@@ -287,40 +288,9 @@ impl Executor {
             tasks,
             ids: None,
             probe: None,
+            recorder: None,
             chaos: self.chaos.clone(),
         }
-    }
-
-    /// Runs the loop over `tasks` with operator `op`, synchronizing through
-    /// `marks`.
-    #[deprecated(since = "0.2.0", note = "use `exec.iterate(tasks).run(&marks, &op)`")]
-    pub fn run<T, O>(&self, marks: &MarkTable, tasks: Vec<T>, op: &O) -> RunReport
-    where
-        T: Send,
-        O: Operator<T>,
-    {
-        self.iterate(tasks).run(marks, op)
-    }
-
-    /// Runs with pre-assigned task ids.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `exec.iterate(tasks).with_ids(id_of, id_space).run(&marks, &op)`"
-    )]
-    pub fn run_with_ids<T, O, F>(
-        &self,
-        marks: &MarkTable,
-        tasks: Vec<T>,
-        op: &O,
-        id_of: F,
-        id_space: usize,
-    ) -> RunReport
-    where
-        T: Send,
-        O: Operator<T>,
-        F: Fn(&T) -> u64 + Sync,
-    {
-        self.iterate(tasks).with_ids(id_of, id_space).run(marks, op)
     }
 }
 
@@ -336,6 +306,9 @@ pub struct LoopSpec<'e, 'p, T> {
     #[allow(clippy::type_complexity)]
     ids: Option<(Box<dyn Fn(&T) -> u64 + Sync + 'p>, usize)>,
     probe: Option<&'p mut dyn Probe>,
+    /// Record/replay recorder ([`LoopSpec::record`]): a dedicated slot, not
+    /// the probe slot, so a run can be recorded *and* probed at once.
+    recorder: Option<&'p mut ManifestRecorder>,
     /// Effective chaos policy: seeded from the executor, overridable per
     /// loop via [`LoopSpec::chaos`].
     chaos: Option<Arc<ChaosPolicy>>,
@@ -386,6 +359,24 @@ impl<'e, 'p, T: Send> LoopSpec<'e, 'p, T> {
     /// and no atomics are added to the hot path.
     pub fn probe(mut self, probe: &'p mut dyn Probe) -> Self {
         self.probe = Some(probe);
+        self
+    }
+
+    /// Attaches a [`ManifestRecorder`] that captures this run for
+    /// record/replay: the executor configuration is snapshotted into the
+    /// recorder and every round's canonical hash is chained
+    /// (see [`crate::manifest`]). In the recorder's *replay* mode the same
+    /// attachment point verifies the run against a
+    /// [`crate::manifest::RunManifest`] instead, flagging the first
+    /// divergent round, and the produced [`RunReport`] marks itself as a
+    /// replay ([`RunReport::is_replay`]).
+    ///
+    /// The recorder occupies its own slot, so it composes with
+    /// [`LoopSpec::probe`] and [`Executor::record_rounds`]. Multi-pass
+    /// algorithms (e.g. preflow-push bouts) attach the *same* recorder to
+    /// every pass; rounds chain across passes into one monotone sequence.
+    pub fn record(mut self, recorder: &'p mut ManifestRecorder) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -460,6 +451,7 @@ impl<'e, 'p, T: Send> LoopSpec<'e, 'p, T> {
             tasks,
             ids,
             probe,
+            recorder,
             chaos,
         } = self;
         debug_assert!(marks.all_unowned(), "mark table must start unowned");
@@ -471,7 +463,15 @@ impl<'e, 'p, T: Send> LoopSpec<'e, 'p, T> {
             ..exec.clone()
         };
         let exec = &cfg;
-        let mut hub = ProbeHub::new(probe, exec.record_rounds);
+        // Snapshot the *effective* configuration (chaos override included)
+        // into the recorder before the run; replay mode marks the report.
+        let mut is_replay = false;
+        let mut recorder = recorder;
+        if let Some(rec) = &mut recorder {
+            is_replay = rec.is_replay();
+            rec.capture(exec);
+        }
+        let mut hub = ProbeHub::new(probe, recorder, exec.record_rounds);
         let (mut report, fault) = match &exec.schedule {
             Schedule::Serial => (serial::run(exec, marks, tasks, op), None),
             Schedule::Speculative => spec::run(exec, marks, tasks, op, &mut hub),
@@ -484,6 +484,9 @@ impl<'e, 'p, T: Send> LoopSpec<'e, 'p, T> {
         };
         hub.finish(&report.stats);
         report.round_log = hub.into_log();
+        if is_replay {
+            report.replay = true;
+        }
         match fault {
             Some(err) => Err(err),
             None => Ok(report),
@@ -491,30 +494,39 @@ impl<'e, 'p, T: Send> LoopSpec<'e, 'p, T> {
     }
 }
 
-/// Fan-out shim between an executor and up to two probes: the external
-/// `&mut dyn Probe` from [`LoopSpec::probe`] and the internal [`RoundLog`]
-/// from [`Executor::record_rounds`]. Executors interact only with this; when
-/// both slots are empty every `wants_*` gate is false and the observability
+/// Fan-out shim between an executor and up to three probes: the external
+/// `&mut dyn Probe` from [`LoopSpec::probe`], the [`ManifestRecorder`] from
+/// [`LoopSpec::record`], and the internal [`RoundLog`] from
+/// [`Executor::record_rounds`]. Executors interact only with this; when
+/// every slot is empty every `wants_*` gate is false and the observability
 /// layer costs nothing.
 pub(crate) struct ProbeHub<'p> {
     external: Option<&'p mut dyn Probe>,
+    recorder: Option<&'p mut ManifestRecorder>,
     own: Option<RoundLog>,
 }
 
 impl<'p> ProbeHub<'p> {
-    fn new(external: Option<&'p mut dyn Probe>, record_rounds: bool) -> Self {
+    fn new(
+        external: Option<&'p mut dyn Probe>,
+        recorder: Option<&'p mut ManifestRecorder>,
+        record_rounds: bool,
+    ) -> Self {
         ProbeHub {
             external,
+            recorder,
             own: record_rounds.then(RoundLog::new),
         }
     }
 
     /// Whether any probe is attached at all.
     pub(crate) fn active(&self) -> bool {
-        self.external.is_some() || self.own.is_some()
+        self.external.is_some() || self.recorder.is_some() || self.own.is_some()
     }
 
     pub(crate) fn wants_conflicts(&self) -> bool {
+        // The recorder never wants conflicts (they are excluded from the
+        // canonical hash), so only the other two slots are consulted.
         self.external
             .as_ref()
             .map(|p| p.wants_conflicts())
@@ -543,6 +555,9 @@ impl<'p> ProbeHub<'p> {
     }
 
     pub(crate) fn on_round(&mut self, record: RoundRecord) {
+        if let Some(rec) = &mut self.recorder {
+            rec.on_round(record.clone());
+        }
         match (&mut self.external, &mut self.own) {
             (Some(ext), Some(own)) => {
                 ext.on_round(record.clone());
@@ -557,6 +572,9 @@ impl<'p> ProbeHub<'p> {
     fn finish(&mut self, stats: &ExecStats) {
         if let Some(ext) = &mut self.external {
             ext.on_finish(stats);
+        }
+        if let Some(rec) = &mut self.recorder {
+            rec.on_finish(stats);
         }
         if let Some(own) = &mut self.own {
             own.on_finish(stats);
@@ -585,6 +603,12 @@ pub struct RunReport {
     pub accesses: Option<Vec<Vec<Access>>>,
     /// Per-round log, when requested via [`Executor::record_rounds`].
     pub round_log: Option<RoundLog>,
+    /// Whether this report came from a **replay** of a recorded manifest
+    /// (a [`LoopSpec::record`] attachment in replay mode) rather than a
+    /// fresh run. Replay reports must be distinguishable downstream — e.g.
+    /// in round-log JSONL dumps — so a verified re-execution is never
+    /// mistaken for new evidence of determinism.
+    pub replay: bool,
 }
 
 impl RunReport {
@@ -611,6 +635,17 @@ impl RunReport {
     /// Takes ownership of the round log, leaving `None` behind.
     pub fn take_round_log(&mut self) -> Option<RoundLog> {
         self.round_log.take()
+    }
+
+    /// Whether this report was produced by replaying a recorded manifest.
+    pub fn is_replay(&self) -> bool {
+        self.replay
+    }
+
+    /// Marks this report as replay-produced (for harnesses that re-execute
+    /// outside [`LoopSpec::record`]'s automatic marking).
+    pub fn mark_replay(&mut self) {
+        self.replay = true;
     }
 }
 
@@ -652,7 +687,7 @@ mod tests {
 
     #[test]
     fn probe_hub_inert_when_empty() {
-        let hub = ProbeHub::new(None, false);
+        let hub = ProbeHub::new(None, None, false);
         assert!(!hub.active());
         assert!(!hub.wants_conflicts());
         assert!(!hub.wants_timing());
@@ -662,7 +697,7 @@ mod tests {
     #[test]
     fn probe_hub_fans_out_to_both() {
         let mut ext = RoundLog::new();
-        let mut hub = ProbeHub::new(Some(&mut ext), true);
+        let mut hub = ProbeHub::new(Some(&mut ext), None, true);
         assert!(hub.active() && hub.wants_conflicts() && hub.wants_timing());
         hub.on_round(RoundRecord {
             round: 0,
@@ -681,12 +716,10 @@ mod tests {
         let _ = Executor::new().threads(0);
     }
 
-    // The deprecated wrappers stay behaviorally identical to the LoopSpec
-    // path; this is the only place the deprecation is allowed.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_loop_spec() {
+    fn recorder_attachment_captures_and_marks_replay() {
         use crate::ctx::{Ctx, OpResult};
+        use crate::manifest::ManifestRecorder;
         let marks = MarkTable::new(4);
         let op = |t: &u64, ctx: &mut Ctx<'_, u64>| -> OpResult {
             ctx.acquire((*t % 4) as u32)?;
@@ -696,14 +729,28 @@ mod tests {
         let exec = Executor::new()
             .threads(2)
             .schedule(Schedule::deterministic());
-        let a = exec.run(&marks, (0..32u64).collect(), &op);
-        assert_eq!(a.stats.committed, 32);
-        let b = exec.run_with_ids(&marks, (0..32u64).collect(), &op, |t| *t, 32);
-        assert_eq!(b.stats.committed, 32);
-        let c = exec.iterate((0..32u64).collect()).run(&marks, &op);
-        assert_eq!(c.stats.committed, a.stats.committed);
-        assert_eq!(c.stats.aborted, a.stats.aborted);
-        assert_eq!(c.stats.rounds, a.stats.rounds);
+
+        // Record mode: config captured, rounds chained, report NOT a replay.
+        let mut rec = ManifestRecorder::new();
+        let report = exec
+            .iterate((0..32u64).collect())
+            .record(&mut rec)
+            .run(&marks, &op);
+        assert!(!report.is_replay());
+        assert!(rec.rounds() > 0);
+        assert_eq!(rec.rounds() as usize, rec.round_hashes().len());
+        let manifest = rec.finish("test", "k", 0, 0, 7);
+        assert_eq!(manifest.exec.threads, 2);
+
+        // Replay mode against the just-recorded manifest: clean verify,
+        // and the report marks itself as a replay.
+        let mut rep = ManifestRecorder::replaying(&manifest);
+        let report = exec
+            .iterate((0..32u64).collect())
+            .record(&mut rep)
+            .run(&marks, &op);
+        assert!(report.is_replay());
+        assert!(rep.verify(&manifest, 7).is_ok());
     }
 
     #[test]

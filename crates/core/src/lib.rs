@@ -60,6 +60,7 @@
 //! | [`window`] | §3.2 | adaptive window policy |
 //! | [`flags`] | §3.3 | order-insensitive abort-flag protocol |
 //! | [`executor`] | §1 | the on-demand scheduler switch |
+//! | [`manifest`] | — | record/replay: run manifests, replay verification |
 //! | `det` (internal) | §3 | the DIG scheduler |
 //! | `spec` (internal) | §2.1 | the speculative scheduler |
 
@@ -70,6 +71,7 @@ mod det;
 pub mod error;
 pub mod executor;
 pub mod flags;
+pub mod manifest;
 pub mod marks;
 pub mod ops;
 mod serial;
@@ -84,6 +86,25 @@ pub use executor::{
 };
 pub use galois_runtime::chaos::ChaosPolicy;
 pub use galois_runtime::probe::{Probe, RoundLog, RoundRecord};
+pub use manifest::{ManifestError, ManifestRecorder, ReplayDivergence, RunManifest};
 pub use marks::{LockId, MarkTable};
 pub use ops::Operator;
 pub use window::WindowPolicy;
+
+/// One coherent import surface for programs written against the Galois
+/// model: the executor switch, the operator API, and the record/replay
+/// layer, in one `use galois_core::prelude::*`.
+pub mod prelude {
+    pub use crate::ctx::{Ctx, OpResult};
+    pub use crate::error::ExecError;
+    pub use crate::executor::{
+        DetOptions, Executor, LoopSpec, RunReport, Schedule, WorklistPolicy,
+    };
+    pub use crate::manifest::{
+        ExecConfig, ManifestError, ManifestRecorder, ReplayDivergence, RunManifest,
+    };
+    pub use crate::marks::{LockId, MarkTable};
+    pub use crate::ops::Operator;
+    pub use galois_runtime::fingerprint::{hash_u32s, run_fingerprint, Fnv64, RoundChain};
+    pub use galois_runtime::probe::{Probe, RoundLog, RoundRecord};
+}

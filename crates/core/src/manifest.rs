@@ -1,0 +1,970 @@
+//! Run manifests: record a deterministic run once, replay it anywhere.
+//!
+//! Determinism makes a run a pure function of `(program, input, executor
+//! configuration)` — none of which is the thread count. A [`RunManifest`]
+//! captures that function's identity plus its *expected answer*: the
+//! canonical per-round hash chain and the final run fingerprint (both from
+//! [`galois_runtime::fingerprint`]). Replaying the manifest on any machine,
+//! at any thread count, must reproduce every hash bit for bit; the first
+//! mismatch is reported as a structured [`ReplayDivergence`] naming the
+//! exact round. This is the record/replay + lockstep-replication design of
+//! Aviram & Ford ("Efficient System-Enforced Deterministic Parallelism"):
+//! deterministic execution turns replica fault detection into hash compare.
+//!
+//! The pieces:
+//!
+//! - [`ExecConfig`] — the serializable snapshot of an [`Executor`]. Note
+//!   what is *not* here: the adaptive window constants. They are fixed by
+//!   design (the paper's "parameterless" claim), so a manifest never has to
+//!   carry tuning state to be portable.
+//! - [`ManifestRecorder`] — a [`Probe`] attached via [`LoopSpec::record`]
+//!   that folds every round into a [`RoundChain`] and snapshots the
+//!   executor configuration. In *replay* mode it carries the expected
+//!   hashes instead and flags the first divergent round as it streams past.
+//! - [`RunManifest`] — the on-disk artifact: versioned, checksummed,
+//!   hand-rolled JSON (this tree builds with no registry access, so there
+//!   is no serde; the format is a strict fixed-order flat object that the
+//!   parser rejects on any corruption).
+//!
+//! [`LoopSpec::record`]: crate::LoopSpec::record
+//! [`Executor`]: crate::Executor
+//! [`LoopSpec`]: crate::LoopSpec
+
+use crate::executor::{Executor, Schedule, WorklistPolicy};
+use crate::window::WindowPolicy;
+use crate::DetOptions;
+use galois_runtime::fingerprint::{run_fingerprint, Fnv64, RoundChain};
+use galois_runtime::probe::{Probe, RoundRecord};
+use galois_runtime::stats::ExecStats;
+use std::fmt;
+use std::path::Path;
+
+/// Manifest format version this build writes and accepts.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// The scheduler selected by a recorded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// Single-threaded reference execution.
+    Serial,
+    /// The non-deterministic speculative scheduler.
+    Speculative,
+    /// The deterministic DIG scheduler — the only kind worth replaying.
+    Deterministic,
+}
+
+impl ScheduleKind {
+    fn name(self) -> &'static str {
+        match self {
+            ScheduleKind::Serial => "serial",
+            ScheduleKind::Speculative => "speculative",
+            ScheduleKind::Deterministic => "deterministic",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "serial" => Some(ScheduleKind::Serial),
+            "speculative" => Some(ScheduleKind::Speculative),
+            "deterministic" => Some(ScheduleKind::Deterministic),
+            _ => None,
+        }
+    }
+}
+
+/// Serializable snapshot of an [`Executor`]: everything a replica needs to
+/// re-create the run's schedule-relevant configuration.
+///
+/// The thread count is recorded for provenance but is explicitly **not**
+/// schedule-relevant under deterministic execution — replay overrides it
+/// freely (that is the portability claim being verified). The adaptive
+/// window policy is not recorded: it is parameterless by design, so every
+/// build agrees on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads the recorded run used (informational; replay may
+    /// override).
+    pub threads: usize,
+    /// Which scheduler ran.
+    pub schedule: ScheduleKind,
+    /// Deterministic option: continuation optimization (§3.3).
+    pub continuation: bool,
+    /// Deterministic option: locality spreading factor (§3.3).
+    pub locality_spread: usize,
+    /// Speculative worklist order (recorded for fidelity; ignored by the
+    /// deterministic scheduler).
+    pub worklist: WorklistPolicy,
+    /// Chaos seed, when the recorded run had a chaos policy installed.
+    pub chaos_seed: Option<u64>,
+    /// Whether the chaos policy had panic injection armed.
+    pub chaos_panics: bool,
+    /// Stall-watchdog threshold in rounds.
+    pub max_stalled_rounds: u64,
+}
+
+impl ExecConfig {
+    /// Snapshots `exec`'s schedule-relevant configuration.
+    pub fn from_executor(exec: &Executor) -> Self {
+        let (schedule, continuation, locality_spread) = match &exec.schedule {
+            Schedule::Serial => (ScheduleKind::Serial, true, 1),
+            Schedule::Speculative => (ScheduleKind::Speculative, true, 1),
+            Schedule::Deterministic(opts) => (
+                ScheduleKind::Deterministic,
+                opts.continuation,
+                opts.locality_spread,
+            ),
+        };
+        ExecConfig {
+            threads: exec.threads,
+            schedule,
+            continuation,
+            locality_spread,
+            worklist: exec.worklist,
+            chaos_seed: exec.chaos.as_ref().map(|c| c.seed()),
+            chaos_panics: exec.chaos.as_ref().is_some_and(|c| c.panics_enabled()),
+            max_stalled_rounds: exec.max_stalled_rounds,
+        }
+    }
+
+    /// Rebuilds an [`Executor`] from this snapshot, with `threads`
+    /// overriding the recorded thread count (pass the recorded
+    /// [`ExecConfig::threads`] to reproduce it exactly).
+    pub fn to_executor(&self, threads: usize) -> Executor {
+        let schedule = match self.schedule {
+            ScheduleKind::Serial => Schedule::Serial,
+            ScheduleKind::Speculative => Schedule::Speculative,
+            ScheduleKind::Deterministic => Schedule::Deterministic(DetOptions {
+                continuation: self.continuation,
+                locality_spread: self.locality_spread,
+                window: WindowPolicy::default(),
+            }),
+        };
+        let mut exec = Executor::new()
+            .threads(threads)
+            .schedule(schedule)
+            .worklist(self.worklist)
+            .max_stalled_rounds(self.max_stalled_rounds);
+        if let Some(seed) = self.chaos_seed {
+            exec = if self.chaos_panics {
+                exec.chaos_panics(seed)
+            } else {
+                exec.chaos(seed)
+            };
+        }
+        exec
+    }
+}
+
+/// A replayed round hashed differently than the manifest promised.
+///
+/// `round` is the chain sequence index (monotone across multi-pass runs);
+/// `expected` is the manifest's prefix hash for that round, `actual` the
+/// replay's. A `0` on either side means that side had no such round at all
+/// (the runs disagreed on round *count* after agreeing on every common
+/// round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayDivergence {
+    /// First divergent round (chain sequence index).
+    pub round: u64,
+    /// The recorded prefix hash (0 = the recording ended before this round).
+    pub expected: u64,
+    /// The replayed prefix hash (0 = the replay ended before this round).
+    pub actual: u64,
+}
+
+impl fmt::Display for ReplayDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replay diverged at round {}: expected {:016x}, got {:016x}",
+            self.round, self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for ReplayDivergence {}
+
+/// Why a manifest file was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestError {
+    /// The file is not the strict fixed-order JSON this build writes.
+    Parse(String),
+    /// The file's format version is not [`MANIFEST_VERSION`].
+    Version(u64),
+    /// The body bytes do not hash to the trailing checksum: corruption.
+    Checksum {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum of the file's actual body bytes.
+        actual: u64,
+    },
+    /// The file could not be read or written.
+    Io(String),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Parse(msg) => write!(f, "manifest parse error: {msg}"),
+            ManifestError::Version(v) => write!(
+                f,
+                "manifest version {v} is not supported (this build reads version {MANIFEST_VERSION})"
+            ),
+            ManifestError::Checksum { stored, actual } => write!(
+                f,
+                "manifest checksum mismatch: stored {stored:016x}, body hashes to {actual:016x} \
+                 (corrupt file)"
+            ),
+            ManifestError::Io(msg) => write!(f, "manifest I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// A recorded deterministic run: identity, configuration, and the expected
+/// canonical hashes. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Format version ([`MANIFEST_VERSION`]).
+    pub version: u64,
+    /// Application name (e.g. `"bfs"`).
+    pub app: String,
+    /// Input identity key (generator + parameters + seed), e.g.
+    /// `"uniform-n2000-d5-s42"` — the same key the input cache uses.
+    pub input_key: String,
+    /// Input generator seed.
+    pub input_seed: u64,
+    /// Input size parameter (0 = the app's default corpus size).
+    pub size: u64,
+    /// Executor configuration of the recorded run.
+    pub exec: ExecConfig,
+    /// Canonical per-round prefix hashes (the [`RoundChain`] snapshots).
+    pub round_hashes: Vec<u64>,
+    /// The final run fingerprint
+    /// ([`galois_runtime::fingerprint::run_fingerprint`]).
+    pub final_fingerprint: u64,
+}
+
+impl RunManifest {
+    /// Serializes to the versioned, checksummed single-line JSON format.
+    pub fn to_json(&self) -> String {
+        let chaos = match self.exec.chaos_seed {
+            Some(s) => s.to_string(),
+            None => "null".to_string(),
+        };
+        let hashes: Vec<String> = self
+            .round_hashes
+            .iter()
+            .map(|h| format!("\"{h:016x}\""))
+            .collect();
+        let body = format!(
+            "{{\"version\":{},\"app\":\"{}\",\"input_key\":\"{}\",\"input_seed\":{},\
+             \"size\":{},\"threads\":{},\"schedule\":\"{}\",\"continuation\":{},\
+             \"locality_spread\":{},\"worklist\":\"{}\",\"chaos_seed\":{},\
+             \"chaos_panics\":{},\"max_stalled_rounds\":{},\"round_hashes\":[{}],\
+             \"final_fingerprint\":\"{:016x}\"}}",
+            self.version,
+            self.app,
+            self.input_key,
+            self.input_seed,
+            self.size,
+            self.exec.threads,
+            self.exec.schedule.name(),
+            self.exec.continuation,
+            self.exec.locality_spread,
+            match self.exec.worklist {
+                WorklistPolicy::Lifo => "lifo",
+                WorklistPolicy::Fifo => "fifo",
+            },
+            chaos,
+            self.exec.chaos_panics,
+            self.exec.max_stalled_rounds,
+            hashes.join(","),
+            self.final_fingerprint,
+        );
+        let mut h = Fnv64::new();
+        h.write_bytes(body.as_bytes());
+        format!(
+            "{},\"checksum\":\"{:016x}\"}}\n",
+            &body[..body.len() - 1],
+            h.finish()
+        )
+    }
+
+    /// Parses the format written by [`RunManifest::to_json`], rejecting
+    /// version mismatches and any corruption (checksum failure, truncation,
+    /// unknown or reordered fields).
+    pub fn from_json(text: &str) -> Result<RunManifest, ManifestError> {
+        let text = text.trim_end();
+        // Split off and verify the trailing checksum before believing any
+        // field: the body is everything before `,"checksum":...` plus the
+        // closing brace it displaced.
+        let marker = ",\"checksum\":\"";
+        let at = text
+            .rfind(marker)
+            .ok_or_else(|| ManifestError::Parse("missing checksum field".into()))?;
+        let tail = &text[at + marker.len()..];
+        let stored = tail
+            .strip_suffix("\"}")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| ManifestError::Parse("malformed checksum field".into()))?;
+        let body = format!("{}}}", &text[..at]);
+        let mut h = Fnv64::new();
+        h.write_bytes(body.as_bytes());
+        let actual = h.finish();
+        if actual != stored {
+            return Err(ManifestError::Checksum { stored, actual });
+        }
+
+        let mut p = Parser::new(&body);
+        p.expect("{")?;
+        let version = p.key_u64("version")?;
+        if version != MANIFEST_VERSION {
+            return Err(ManifestError::Version(version));
+        }
+        p.expect(",")?;
+        let app = p.key_string("app")?;
+        p.expect(",")?;
+        let input_key = p.key_string("input_key")?;
+        p.expect(",")?;
+        let input_seed = p.key_u64("input_seed")?;
+        p.expect(",")?;
+        let size = p.key_u64("size")?;
+        p.expect(",")?;
+        let threads = p.key_u64("threads")? as usize;
+        p.expect(",")?;
+        let schedule = ScheduleKind::from_name(&p.key_string("schedule")?)
+            .ok_or_else(|| ManifestError::Parse("unknown schedule kind".into()))?;
+        p.expect(",")?;
+        let continuation = p.key_bool("continuation")?;
+        p.expect(",")?;
+        let locality_spread = p.key_u64("locality_spread")? as usize;
+        p.expect(",")?;
+        let worklist = match p.key_string("worklist")?.as_str() {
+            "lifo" => WorklistPolicy::Lifo,
+            "fifo" => WorklistPolicy::Fifo,
+            _ => return Err(ManifestError::Parse("unknown worklist policy".into())),
+        };
+        p.expect(",")?;
+        let chaos_seed = p.key_u64_or_null("chaos_seed")?;
+        p.expect(",")?;
+        let chaos_panics = p.key_bool("chaos_panics")?;
+        p.expect(",")?;
+        let max_stalled_rounds = p.key_u64("max_stalled_rounds")?;
+        p.expect(",")?;
+        let round_hashes = p.key_hex_array("round_hashes")?;
+        p.expect(",")?;
+        let final_fingerprint = p.key_hex("final_fingerprint")?;
+        p.expect("}")?;
+        p.end()?;
+
+        Ok(RunManifest {
+            version,
+            app,
+            input_key,
+            input_seed,
+            size,
+            exec: ExecConfig {
+                threads,
+                schedule,
+                continuation,
+                locality_spread,
+                worklist,
+                chaos_seed,
+                chaos_panics,
+                max_stalled_rounds,
+            },
+            round_hashes,
+            final_fingerprint,
+        })
+    }
+
+    /// Writes the manifest to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), ManifestError> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| ManifestError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Loads and validates a manifest from `path`.
+    pub fn load(path: &Path) -> Result<RunManifest, ManifestError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ManifestError::Io(format!("{}: {e}", path.display())))?;
+        RunManifest::from_json(&text)
+    }
+
+    /// Compares a replay's hash chain against this manifest's, returning
+    /// the first divergent round (`Err`) or `Ok` when every prefix hash and
+    /// the round count agree.
+    pub fn verify_chain(&self, actual: &[u64]) -> Result<(), ReplayDivergence> {
+        for (i, (&e, &a)) in self.round_hashes.iter().zip(actual).enumerate() {
+            if e != a {
+                return Err(ReplayDivergence {
+                    round: i as u64,
+                    expected: e,
+                    actual: a,
+                });
+            }
+        }
+        if self.round_hashes.len() != actual.len() {
+            let round = self.round_hashes.len().min(actual.len()) as u64;
+            return Err(ReplayDivergence {
+                round,
+                expected: self.round_hashes.get(round as usize).copied().unwrap_or(0),
+                actual: actual.get(round as usize).copied().unwrap_or(0),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Strict cursor parser for the flat fixed-order JSON object the manifest
+/// format uses. Any deviation — reordered keys, unknown fields, trailing
+/// garbage — is a [`ManifestError::Parse`].
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { text, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ManifestError> {
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(ManifestError::Parse(format!(
+                "expected `{token}` at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn key(&mut self, name: &str) -> Result<(), ManifestError> {
+        self.expect(&format!("\"{name}\":"))
+    }
+
+    /// Consumes characters while `f` holds, returning the span.
+    fn take_while(&mut self, f: impl Fn(char) -> bool) -> &'a str {
+        let rest = self.rest();
+        let len = rest.find(|c| !f(c)).unwrap_or(rest.len());
+        self.pos += len;
+        &rest[..len]
+    }
+
+    fn u64_value(&mut self) -> Result<u64, ManifestError> {
+        let span = self.take_while(|c| c.is_ascii_digit());
+        span.parse()
+            .map_err(|_| ManifestError::Parse(format!("expected integer at byte {}", self.pos)))
+    }
+
+    fn key_u64(&mut self, name: &str) -> Result<u64, ManifestError> {
+        self.key(name)?;
+        self.u64_value()
+    }
+
+    fn key_u64_or_null(&mut self, name: &str) -> Result<Option<u64>, ManifestError> {
+        self.key(name)?;
+        if self.rest().starts_with("null") {
+            self.pos += 4;
+            Ok(None)
+        } else {
+            self.u64_value().map(Some)
+        }
+    }
+
+    fn key_bool(&mut self, name: &str) -> Result<bool, ManifestError> {
+        self.key(name)?;
+        if self.rest().starts_with("true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.rest().starts_with("false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(ManifestError::Parse(format!(
+                "expected boolean at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn string_value(&mut self) -> Result<String, ManifestError> {
+        self.expect("\"")?;
+        // Manifest strings are app names and input keys: no escapes.
+        let s = self.take_while(|c| c != '"' && c != '\\');
+        let s = s.to_string();
+        self.expect("\"")?;
+        Ok(s)
+    }
+
+    fn key_string(&mut self, name: &str) -> Result<String, ManifestError> {
+        self.key(name)?;
+        self.string_value()
+    }
+
+    fn hex_value(&mut self) -> Result<u64, ManifestError> {
+        self.expect("\"")?;
+        let span = self.take_while(|c| c.is_ascii_hexdigit());
+        let v = u64::from_str_radix(span, 16)
+            .map_err(|_| ManifestError::Parse(format!("expected hex hash at byte {}", self.pos)))?;
+        self.expect("\"")?;
+        Ok(v)
+    }
+
+    fn key_hex(&mut self, name: &str) -> Result<u64, ManifestError> {
+        self.key(name)?;
+        self.hex_value()
+    }
+
+    fn key_hex_array(&mut self, name: &str) -> Result<Vec<u64>, ManifestError> {
+        self.key(name)?;
+        self.expect("[")?;
+        let mut out = Vec::new();
+        if self.rest().starts_with(']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.hex_value()?);
+            if self.rest().starts_with(',') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect("]")?;
+        Ok(out)
+    }
+
+    fn end(&mut self) -> Result<(), ManifestError> {
+        if self.rest().is_empty() {
+            Ok(())
+        } else {
+            Err(ManifestError::Parse(format!(
+                "trailing bytes after manifest object at byte {}",
+                self.pos
+            )))
+        }
+    }
+}
+
+/// A [`Probe`] that records (or verifies) a run's canonical hash chain and
+/// executor configuration. Attach with [`LoopSpec::record`]; multi-pass
+/// runs (pfp bouts) reuse one recorder across every pass, chaining the
+/// rounds into one monotone sequence.
+///
+/// Two modes:
+///
+/// - **Record** ([`ManifestRecorder::new`]): accumulate hashes, then
+///   [`finish`](Self::finish) into a [`RunManifest`].
+/// - **Replay** ([`ManifestRecorder::replaying`]): carry the expected chain
+///   and flag the first divergent round *as it streams past* (fail fast);
+///   [`verify`](Self::verify) renders the verdict.
+///
+/// The recorder asks for no conflict attribution and no timing
+/// ([`Probe::wants_conflicts`]/[`Probe::wants_timing`] are `false`), so
+/// recording adds no observable cost beyond the round-record fan-out.
+///
+/// [`LoopSpec::record`]: crate::LoopSpec::record
+pub struct ManifestRecorder {
+    exec: Option<ExecConfig>,
+    chain: RoundChain,
+    committed: u64,
+    aborted: u64,
+    expected: Option<Vec<u64>>,
+    divergence: Option<ReplayDivergence>,
+    on_round_hash: Option<Box<dyn FnMut(u64, u64) + Send>>,
+}
+
+impl fmt::Debug for ManifestRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ManifestRecorder")
+            .field("rounds", &self.chain.rounds())
+            .field("replay", &self.expected.is_some())
+            .field("divergence", &self.divergence)
+            .finish()
+    }
+}
+
+impl Default for ManifestRecorder {
+    fn default() -> Self {
+        ManifestRecorder {
+            exec: None,
+            chain: RoundChain::new(),
+            committed: 0,
+            aborted: 0,
+            expected: None,
+            divergence: None,
+            on_round_hash: None,
+        }
+    }
+}
+
+impl ManifestRecorder {
+    /// A recorder in record mode.
+    pub fn new() -> Self {
+        ManifestRecorder::default()
+    }
+
+    /// A recorder in replay mode, verifying against `manifest`'s chain.
+    pub fn replaying(manifest: &RunManifest) -> Self {
+        ManifestRecorder {
+            expected: Some(manifest.round_hashes.clone()),
+            ..ManifestRecorder::default()
+        }
+    }
+
+    /// Installs a hook called with `(sequence index, prefix hash)` for
+    /// every round — the lockstep replication cross-check seam.
+    pub fn on_round_hash(mut self, hook: impl FnMut(u64, u64) + Send + 'static) -> Self {
+        self.on_round_hash = Some(Box::new(hook));
+        self
+    }
+
+    /// Whether this recorder verifies a replay (vs. records a fresh run).
+    pub fn is_replay(&self) -> bool {
+        self.expected.is_some()
+    }
+
+    /// Snapshots the executor configuration. Called by
+    /// [`LoopSpec::record`](crate::LoopSpec::record); the first pass of a
+    /// multi-pass run wins (every pass runs the same executor).
+    pub fn capture(&mut self, exec: &Executor) {
+        if self.exec.is_none() {
+            self.exec = Some(ExecConfig::from_executor(exec));
+        }
+    }
+
+    /// The canonical per-round prefix hashes accumulated so far.
+    pub fn round_hashes(&self) -> &[u64] {
+        self.chain.hashes()
+    }
+
+    /// Rounds observed so far.
+    pub fn rounds(&self) -> u64 {
+        self.chain.rounds()
+    }
+
+    /// The first divergence flagged while streaming (replay mode only).
+    pub fn divergence(&self) -> Option<ReplayDivergence> {
+        self.divergence
+    }
+
+    /// The final run fingerprint for output hash `output_hash`, folding the
+    /// chain and the accumulated commit/abort counters.
+    pub fn fingerprint(&self, output_hash: u64) -> u64 {
+        run_fingerprint(
+            output_hash,
+            self.chain.log_hash(),
+            self.chain.rounds(),
+            self.committed,
+            self.aborted,
+        )
+    }
+
+    /// Finishes a **record**-mode run into a manifest.
+    ///
+    /// `app`, `input_key`, `input_seed` and `size` identify the run;
+    /// `output_hash` is the application-level output hash (the manifest's
+    /// final fingerprint folds it in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run was recorded (no [`capture`](Self::capture) call).
+    pub fn finish(
+        self,
+        app: &str,
+        input_key: &str,
+        input_seed: u64,
+        size: u64,
+        output_hash: u64,
+    ) -> RunManifest {
+        let final_fingerprint = self.fingerprint(output_hash);
+        RunManifest {
+            version: MANIFEST_VERSION,
+            app: app.to_string(),
+            input_key: input_key.to_string(),
+            input_seed,
+            size,
+            exec: self.exec.expect("no run recorded: capture() never ran"),
+            round_hashes: self.chain.into_hashes(),
+            final_fingerprint,
+        }
+    }
+
+    /// Renders a **replay**-mode verdict against `manifest`: the streamed
+    /// chain must match every recorded prefix hash, agree on the round
+    /// count, and reproduce the final fingerprint given `output_hash`.
+    pub fn verify(&self, manifest: &RunManifest, output_hash: u64) -> Result<(), ReplayDivergence> {
+        if let Some(d) = self.divergence {
+            return Err(d);
+        }
+        manifest.verify_chain(self.chain.hashes())?;
+        let actual = self.fingerprint(output_hash);
+        if actual != manifest.final_fingerprint {
+            // Every round hash agreed but the folded fingerprint did not:
+            // the output (or a counter) diverged after the last barrier.
+            return Err(ReplayDivergence {
+                round: self.chain.rounds(),
+                expected: manifest.final_fingerprint,
+                actual,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Probe for ManifestRecorder {
+    fn wants_conflicts(&self) -> bool {
+        false
+    }
+
+    fn wants_timing(&self) -> bool {
+        false
+    }
+
+    fn conflict_top_k(&self) -> usize {
+        0
+    }
+
+    fn on_round(&mut self, record: RoundRecord) {
+        let seq = self.chain.rounds();
+        let hash = self.chain.push(&record);
+        if self.divergence.is_none() {
+            if let Some(expected) = &self.expected {
+                let want = expected.get(seq as usize).copied().unwrap_or(0);
+                if want != hash {
+                    self.divergence = Some(ReplayDivergence {
+                        round: seq,
+                        expected: want,
+                        actual: hash,
+                    });
+                }
+            }
+        }
+        if let Some(hook) = &mut self.on_round_hash {
+            hook(seq, hash);
+        }
+    }
+
+    fn on_finish(&mut self, stats: &ExecStats) {
+        // Multi-pass runs finish once per pass; counters accumulate.
+        self.committed += stats.committed;
+        self.aborted += stats.aborted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> RunManifest {
+        RunManifest {
+            version: MANIFEST_VERSION,
+            app: "bfs".into(),
+            input_key: "uniform-n2000-d5-s42".into(),
+            input_seed: 42,
+            size: 0,
+            exec: ExecConfig {
+                threads: 2,
+                schedule: ScheduleKind::Deterministic,
+                continuation: true,
+                locality_spread: 1,
+                worklist: WorklistPolicy::Fifo,
+                chaos_seed: None,
+                chaos_panics: false,
+                max_stalled_rounds: 4096,
+            },
+            round_hashes: vec![0xdead_beef, 0xcafe_f00d, 17],
+            final_fingerprint: 0x0123_4567_89ab_cdef,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let m = manifest();
+        let text = m.to_json();
+        assert!(text.ends_with("\"}\n"));
+        let back = RunManifest::from_json(&text).unwrap();
+        assert_eq!(back, m);
+        // Chaos seed present round-trips too.
+        let mut m2 = manifest();
+        m2.exec.chaos_seed = Some(7);
+        m2.exec.chaos_panics = true;
+        assert_eq!(RunManifest::from_json(&m2.to_json()).unwrap(), m2);
+        // Empty hash chain round-trips.
+        let mut m3 = manifest();
+        m3.round_hashes.clear();
+        assert_eq!(RunManifest::from_json(&m3.to_json()).unwrap(), m3);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let m = manifest();
+        let text = m.to_json();
+
+        // Single-byte flip in the body: checksum mismatch.
+        let flipped = text.replacen("n2000", "n2001", 1);
+        assert!(matches!(
+            RunManifest::from_json(&flipped),
+            Err(ManifestError::Checksum { .. })
+        ));
+
+        // Truncation: missing checksum marker entirely.
+        let truncated = &text[..text.len() / 2];
+        assert!(matches!(
+            RunManifest::from_json(truncated),
+            Err(ManifestError::Parse(_))
+        ));
+
+        // Tampered checksum digits: mismatch against the intact body.
+        let at = text.rfind(":\"").unwrap() + 2;
+        let mut tampered = text.clone();
+        let old = tampered.as_bytes()[at];
+        let new = if old == b'0' { b'1' } else { b'0' };
+        unsafe { tampered.as_bytes_mut()[at] = new };
+        assert!(matches!(
+            RunManifest::from_json(&tampered),
+            Err(ManifestError::Checksum { .. })
+        ));
+
+        // Garbage: parse error, not a panic.
+        assert!(RunManifest::from_json("not json").is_err());
+        assert!(RunManifest::from_json("").is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_with_intact_checksum() {
+        // Re-serialize with a bumped version and a *correct* checksum: the
+        // rejection must be about the version, not the checksum.
+        let mut m = manifest();
+        m.version = MANIFEST_VERSION + 1;
+        assert_eq!(
+            RunManifest::from_json(&m.to_json()),
+            Err(ManifestError::Version(MANIFEST_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn exec_config_round_trips_through_executor() {
+        let exec = Executor::new()
+            .threads(5)
+            .schedule(Schedule::Deterministic(DetOptions {
+                locality_spread: 16,
+                ..Default::default()
+            }))
+            .worklist(WorklistPolicy::Fifo)
+            .max_stalled_rounds(99)
+            .chaos(1234);
+        let cfg = ExecConfig::from_executor(&exec);
+        assert_eq!(cfg.threads, 5);
+        assert_eq!(cfg.schedule, ScheduleKind::Deterministic);
+        assert_eq!(cfg.locality_spread, 16);
+        assert_eq!(cfg.chaos_seed, Some(1234));
+        assert!(!cfg.chaos_panics);
+        // Rebuild at a different thread count: identical but for threads.
+        let rebuilt = cfg.to_executor(8);
+        assert_eq!(ExecConfig::from_executor(&rebuilt).threads, 8);
+        assert_eq!(
+            ExecConfig {
+                threads: 5,
+                ..ExecConfig::from_executor(&rebuilt)
+            },
+            cfg
+        );
+    }
+
+    #[test]
+    fn verify_chain_pinpoints_first_divergence() {
+        let mut m = manifest();
+        m.round_hashes = vec![10, 20, 30];
+        assert!(m.verify_chain(&[10, 20, 30]).is_ok());
+        assert_eq!(
+            m.verify_chain(&[10, 99, 30]),
+            Err(ReplayDivergence {
+                round: 1,
+                expected: 20,
+                actual: 99
+            })
+        );
+        // Count mismatch after an agreeing prefix.
+        assert_eq!(
+            m.verify_chain(&[10, 20]),
+            Err(ReplayDivergence {
+                round: 2,
+                expected: 30,
+                actual: 0
+            })
+        );
+        assert_eq!(
+            m.verify_chain(&[10, 20, 30, 40]),
+            Err(ReplayDivergence {
+                round: 3,
+                expected: 0,
+                actual: 40
+            })
+        );
+    }
+
+    #[test]
+    fn recorder_streams_divergence_fail_fast() {
+        let mut m = manifest();
+        // Expected chain for rounds of (window=8, attempted=8, committed=8).
+        let mut chain = RoundChain::new();
+        let good = RoundRecord {
+            window: 8,
+            attempted: 8,
+            committed: 8,
+            ..Default::default()
+        };
+        m.round_hashes = vec![chain.push(&good), chain.push(&good)];
+
+        let mut rec = ManifestRecorder::replaying(&m);
+        assert!(rec.is_replay());
+        rec.on_round(good.clone());
+        assert!(rec.divergence().is_none());
+        let bad = RoundRecord {
+            window: 8,
+            attempted: 8,
+            committed: 7,
+            failed: 1,
+            ..Default::default()
+        };
+        rec.on_round(bad);
+        let d = rec
+            .divergence()
+            .expect("divergence flagged while streaming");
+        assert_eq!(d.round, 1);
+        assert_eq!(d.expected, m.round_hashes[1]);
+    }
+
+    #[test]
+    fn recorder_hook_sees_every_round() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let mut rec = ManifestRecorder::new()
+            .on_round_hash(move |seq, h| sink.lock().unwrap().push((seq, h)));
+        let r = RoundRecord {
+            window: 4,
+            attempted: 4,
+            committed: 4,
+            ..Default::default()
+        };
+        rec.on_round(r.clone());
+        rec.on_round(r);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].0, 0);
+        assert_eq!(seen[1].0, 1);
+        assert_eq!(&[seen[0].1, seen[1].1], rec.round_hashes());
+    }
+}

@@ -70,6 +70,7 @@ where
             .then_some(ExecTrace::Sequential { total_ns }),
         accesses: cfg.record_access.then(|| vec![accesses]),
         round_log: None,
+        replay: false,
     }
 }
 

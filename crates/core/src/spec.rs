@@ -432,6 +432,7 @@ where
             trace,
             accesses,
             round_log: None,
+            replay: false,
         },
         fault,
     )

@@ -26,15 +26,21 @@
 //! hits/misses, which CI asserts on). `--build-threads N` builds inputs
 //! with the parallel generators — byte-identical for every N, so it never
 //! changes any fingerprint.
+//!
+//! `--manifest DIR` captures each app's converged deterministic run as a
+//! replayable `<app>.manifest.json` in DIR after a successful sweep — the
+//! run the whole matrix agreed on becomes a `galois replay` artifact.
 
-use galois_harness::{run_differential, run_panic_differential, unperturbed, App, DiffConfig};
+use galois_harness::{
+    record_run, run_differential, run_panic_differential, unperturbed, App, DiffConfig,
+};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage: differential [--app all|NAME[,NAME...]] [--threads LIST] \
          [--chaos-seeds LIST|LO..HI] [--panic-chaos LIST|LO..HI] [--input-seed N] \
-         [--build-threads N] [--cache-dir DIR] [--no-spec] [--out FILE]"
+         [--build-threads N] [--cache-dir DIR] [--manifest DIR] [--no-spec] [--out FILE]"
     );
     exit(2);
 }
@@ -72,6 +78,7 @@ fn main() {
     let mut cfg = DiffConfig::default();
     let mut panic_seeds: Option<Vec<u64>> = None;
     let mut out_path = String::from("chaos-repro.txt");
+    let mut manifest_dir: Option<std::path::PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |a: &mut dyn FnMut(String)| match it.next() {
@@ -88,6 +95,7 @@ fn main() {
                 val(&mut |v| cfg.build_threads = v.parse().unwrap_or_else(|_| usage()))
             }
             "--cache-dir" => val(&mut |v| cfg.cache_dir = Some(v.into())),
+            "--manifest" => val(&mut |v| manifest_dir = Some(v.into())),
             "--no-spec" => cfg.check_spec = false,
             "--out" => val(&mut |v| out_path = v),
             _ => usage(),
@@ -152,6 +160,43 @@ fn main() {
         Ok(summary) => {
             for (app, fp) in &summary.det_fingerprints {
                 println!("  {app}: deterministic fingerprint {fp:016x} across the whole matrix");
+            }
+            if let Some(dir) = &manifest_dir {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    exit(1);
+                }
+                let input = cfg.input();
+                for &(app, fp) in &summary.det_fingerprints {
+                    let manifest = match record_run(app, cfg.threads[0], None, &input) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            eprintln!("FAILURE recording {app} manifest: {e}");
+                            exit(1);
+                        }
+                    };
+                    // No-chaos recording must land on the same fingerprint
+                    // the chaos matrix converged on — that is the whole
+                    // point of the invariance sweep.
+                    if manifest.final_fingerprint != fp {
+                        eprintln!(
+                            "FAILURE {app}: manifest fingerprint {:016x} != sweep \
+                             fingerprint {fp:016x}",
+                            manifest.final_fingerprint
+                        );
+                        exit(1);
+                    }
+                    let path = dir.join(format!("{app}.manifest.json"));
+                    if let Err(e) = manifest.save(&path) {
+                        eprintln!("FAILURE {e}");
+                        exit(1);
+                    }
+                    println!(
+                        "  {app}: manifest ({} rounds) written to {}",
+                        manifest.round_hashes.len(),
+                        path.display()
+                    );
+                }
             }
             if cfg.cache_dir.is_some() {
                 println!(

@@ -20,61 +20,25 @@
 //! prints a one-line `cargo run` reproduction command, so a scheduler bug
 //! found on an 8-thread × 8-seed sweep arrives as a two-run repro.
 
+use galois_core::manifest::{
+    ManifestError, ManifestRecorder, ReplayDivergence, RunManifest, ScheduleKind,
+};
 use galois_core::{DetOptions, ExecError, Executor, RoundLog, RunReport, Schedule, WorklistPolicy};
 use galois_graph::cache::{self, CacheOutcome};
 use galois_graph::{gen, FlowNetwork};
 use galois_mesh::check;
+use galois_runtime::fingerprint::{run_fingerprint, RoundChain};
 use galois_runtime::stats::ExecStats;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 pub use galois_apps as apps;
 pub use galois_graph::cache::CacheOutcome as InputCacheOutcome;
-
-/// FNV-1a 64-bit offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a 64-bit prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Incremental FNV-1a hasher — the harness's notion of "byte-identical"
-/// without pulling in an external hashing crate.
-#[derive(Debug, Clone, Copy)]
-pub struct Fnv64(u64);
-
-impl Default for Fnv64 {
-    fn default() -> Self {
-        Fnv64(FNV_OFFSET)
-    }
-}
-
-impl Fnv64 {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    pub fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    pub fn write_u32(&mut self, v: u32) {
-        self.write_bytes(&v.to_le_bytes());
-    }
-
-    pub fn write_u64(&mut self, v: u64) {
-        self.write_bytes(&v.to_le_bytes());
-    }
-
-    pub fn write_i64(&mut self, v: i64) {
-        self.write_bytes(&v.to_le_bytes());
-    }
-
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
+// The harness used to carry its own private FNV implementation; all hashing
+// now goes through the runtime's single authority (see
+// `galois_runtime::fingerprint`). The re-export keeps the harness API.
+pub use galois_runtime::fingerprint::Fnv64;
 
 /// The benchmark applications the harness covers (§4.1 of the paper, plus
 /// maximal matching).
@@ -155,34 +119,30 @@ pub struct RunOutcome {
 }
 
 fn outcome(output_hash: u64, logs: Vec<RoundLog>, stats: &ExecStats) -> RunOutcome {
-    // Renumber rounds across multi-pass runs (pfp bouts) into one monotone
-    // sequence, exactly as the CLI's --round-log writer does. The hash
-    // covers the schedule-derived scalars of each round but NOT the
-    // conflict attribution: conflict entries name abstract lock ids, and
-    // for the mesh apps those are arena triangle ids whose allocation
-    // order is thread-count-dependent even though the schedule (and the
-    // geometry, covered by `output_hash`) is not.
-    let mut log_hash = Fnv64::new();
-    let mut rounds = 0u64;
+    // Chain rounds across multi-pass runs (pfp bouts) into one monotone
+    // sequence — `RoundChain` renumbers with its own counter, exactly as
+    // the CLI's --round-log writer does. The chain covers the
+    // schedule-derived scalars of each round but NOT the conflict
+    // attribution: conflict entries name abstract lock ids, and for the
+    // mesh apps those are arena triangle ids whose allocation order is
+    // thread-count-dependent even though the schedule (and the geometry,
+    // covered by `output_hash`) is not.
+    let mut chain = RoundChain::new();
     for log in logs {
         for rec in log.into_records() {
-            log_hash.write_u64(rounds);
-            log_hash.write_u64(rec.window);
-            log_hash.write_u64(rec.attempted);
-            log_hash.write_u64(rec.committed);
-            log_hash.write_u64(rec.failed);
-            rounds += 1;
+            chain.push(&rec);
         }
     }
-    let log_hash = log_hash.finish();
-    let mut fp = Fnv64::new();
-    fp.write_u64(output_hash);
-    fp.write_u64(log_hash);
-    fp.write_u64(rounds);
-    fp.write_u64(stats.committed);
-    fp.write_u64(stats.aborted);
+    let log_hash = chain.log_hash();
+    let rounds = chain.rounds();
     RunOutcome {
-        fingerprint: fp.finish(),
+        fingerprint: run_fingerprint(
+            output_hash,
+            log_hash,
+            rounds,
+            stats.committed,
+            stats.aborted,
+        ),
         output_hash,
         log_hash,
         rounds,
@@ -252,6 +212,9 @@ pub struct InputConfig {
     pub build_threads: usize,
     /// Directory for the on-disk input cache; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Input size override (nodes / points / triangles per app); `None`
+    /// uses each app's default corpus size.
+    pub size: Option<usize>,
 }
 
 impl Default for InputConfig {
@@ -260,6 +223,7 @@ impl Default for InputConfig {
             seed: 42,
             build_threads: 1,
             cache_dir: None,
+            size: None,
         }
     }
 }
@@ -272,6 +236,33 @@ impl InputConfig {
             seed,
             ..Default::default()
         }
+    }
+
+    /// The effective size parameter for `app` (the override, or the app's
+    /// default corpus size).
+    pub fn size_for(&self, app: App) -> usize {
+        self.size.unwrap_or(match app {
+            App::Bfs => 2_000,
+            App::Mis | App::Mm => 1_500,
+            App::Dt => 300,
+            App::Dmr => 120,
+            App::Pfp => 96,
+        })
+    }
+}
+
+/// The canonical input-identity key for one `(app, size, seed)` — the same
+/// string the on-disk input cache files are named by, and the string a
+/// [`RunManifest`] pins so a replay provably re-runs the same input family.
+pub fn input_key(app: App, input: &InputConfig) -> String {
+    let n = input.size_for(app);
+    let seed = input.seed;
+    match app {
+        App::Bfs => format!("uniform-n{n}-d5-s{seed}"),
+        App::Mis | App::Mm => format!("uniform-und-n{n}-d4-s{seed}"),
+        App::Dt => format!("points-n{n}-s{seed}"),
+        App::Dmr => format!("mesh-n{n}-s{seed}"),
+        App::Pfp => format!("flowrand-n{n}-d4-c100-s{seed}"),
     }
 }
 
@@ -302,74 +293,83 @@ pub fn run_app(
         chaos_seed,
         executor_for(app, variant, threads, chaos_seed),
     );
-    let (result, cached) = run_cell(app, &exec, input)?;
+    let (result, cached) = run_cell(app, &exec, input, None)?;
     Ok((result.unwrap_or_else(|e| panic!("{e}")), cached))
 }
 
 /// Runs one cell under `exec`, separating the three ways it can end:
 /// outer `Err` = the output failed validation, inner `Err` = the executor
 /// reported a fault (no output to validate), inner `Ok` = a validated
-/// [`RunOutcome`].
+/// [`RunOutcome`]. A [`ManifestRecorder`] passed in `rec` rides the run via
+/// the apps' `try_galois_recorded` paths, capturing (or replay-verifying)
+/// the canonical hash chain.
 fn run_cell(
     app: App,
     exec: &Executor,
     input: &InputConfig,
+    mut rec: Option<&mut ManifestRecorder>,
 ) -> Result<(Result<RunOutcome, ExecError>, CacheOutcome), String> {
     let seed = input.seed;
     let bt = input.build_threads;
     let dir = input.cache_dir.as_deref();
+    let n = input.size_for(app);
+    let key = input_key(app, input);
     match app {
         App::Bfs => {
-            let (g, cached) =
-                cache::load_or_build_graph(dir, &format!("uniform-n2000-d5-s{seed}"), || {
-                    gen::uniform_random_parallel(2_000, 5, seed, bt)
-                });
-            let (dist, mut r) = match apps::bfs::try_galois(&g, 0, exec) {
+            let (g, cached) = cache::load_or_build_graph(dir, &key, || {
+                gen::uniform_random_parallel(n, 5, seed, bt)
+            });
+            let result = match rec.as_deref_mut() {
+                Some(r) => apps::bfs::try_galois_recorded(&g, 0, exec, r),
+                None => apps::bfs::try_galois(&g, 0, exec),
+            };
+            let (dist, mut r) = match result {
                 Ok(v) => v,
                 Err(e) => return Ok((Err(e), cached)),
             };
             apps::bfs::verify(&g, 0, &dist).map_err(|e| format!("bfs: {e}"))?;
-            let mut h = Fnv64::new();
-            for &d in &dist {
-                h.write_u32(d);
-            }
-            Ok((Ok(outcome(h.finish(), take_logs(&mut r), &r.stats)), cached))
+            let h = galois_runtime::fingerprint::hash_u32s(&dist);
+            Ok((Ok(outcome(h, take_logs(&mut r), &r.stats)), cached))
         }
         App::Mis => {
-            let (g, cached) =
-                cache::load_or_build_graph(dir, &format!("uniform-und-n1500-d4-s{seed}"), || {
-                    gen::uniform_random_undirected_parallel(1_500, 4, seed, bt)
-                });
-            let (flags, mut r) = match apps::mis::try_galois(&g, exec) {
+            let (g, cached) = cache::load_or_build_graph(dir, &key, || {
+                gen::uniform_random_undirected_parallel(n, 4, seed, bt)
+            });
+            let result = match rec.as_deref_mut() {
+                Some(r) => apps::mis::try_galois_recorded(&g, exec, r),
+                None => apps::mis::try_galois(&g, exec),
+            };
+            let (flags, mut r) = match result {
                 Ok(v) => v,
                 Err(e) => return Ok((Err(e), cached)),
             };
             apps::mis::verify(&g, &flags).map_err(|e| format!("mis: {e}"))?;
-            let mut h = Fnv64::new();
-            for &f in &flags {
-                h.write_u32(f);
-            }
-            Ok((Ok(outcome(h.finish(), take_logs(&mut r), &r.stats)), cached))
+            let h = galois_runtime::fingerprint::hash_u32s(&flags);
+            Ok((Ok(outcome(h, take_logs(&mut r), &r.stats)), cached))
         }
         App::Mm => {
-            let (g, cached) =
-                cache::load_or_build_graph(dir, &format!("uniform-und-n1500-d4-s{seed}"), || {
-                    gen::uniform_random_undirected_parallel(1_500, 4, seed, bt)
-                });
-            let (mate, mut r) = match apps::mm::try_galois(&g, exec) {
+            let (g, cached) = cache::load_or_build_graph(dir, &key, || {
+                gen::uniform_random_undirected_parallel(n, 4, seed, bt)
+            });
+            let result = match rec.as_deref_mut() {
+                Some(r) => apps::mm::try_galois_recorded(&g, exec, r),
+                None => apps::mm::try_galois(&g, exec),
+            };
+            let (mate, mut r) = match result {
                 Ok(v) => v,
                 Err(e) => return Ok((Err(e), cached)),
             };
             apps::mm::verify(&g, &mate).map_err(|e| format!("mm: {e}"))?;
-            let mut h = Fnv64::new();
-            for &m in &mate {
-                h.write_u32(m);
-            }
-            Ok((Ok(outcome(h.finish(), take_logs(&mut r), &r.stats)), cached))
+            let h = galois_runtime::fingerprint::hash_u32s(&mate);
+            Ok((Ok(outcome(h, take_logs(&mut r), &r.stats)), cached))
         }
         App::Dt => {
-            let pts = galois_geometry::point::random_points(300, seed);
-            let (mesh, mut r) = match apps::dt::try_galois(&pts, seed, exec) {
+            let pts = galois_geometry::point::random_points(n, seed);
+            let result = match rec.as_deref_mut() {
+                Some(r) => apps::dt::try_galois_recorded(&pts, seed, exec, r),
+                None => apps::dt::try_galois(&pts, seed, exec),
+            };
+            let (mesh, mut r) = match result {
                 Ok(v) => v,
                 Err(e) => return Ok((Err(e), CacheOutcome::Disabled)),
             };
@@ -381,8 +381,12 @@ fn run_cell(
             ))
         }
         App::Dmr => {
-            let mesh = apps::dmr::make_input(120, seed);
-            let mut r = match apps::dmr::try_galois(&mesh, exec) {
+            let mesh = apps::dmr::make_input(n, seed);
+            let result = match rec.as_deref_mut() {
+                Some(r) => apps::dmr::try_galois_recorded(&mesh, exec, r),
+                None => apps::dmr::try_galois(&mesh, exec),
+            };
+            let mut r = match result {
                 Ok(v) => v,
                 Err(e) => return Ok((Err(e), CacheOutcome::Disabled)),
             };
@@ -398,11 +402,14 @@ fn run_cell(
             ))
         }
         App::Pfp => {
-            let (net, cached) =
-                cache::load_or_build_flow(dir, &format!("flowrand-n96-d4-c100-s{seed}"), || {
-                    FlowNetwork::random_parallel(96, 4, 100, seed, bt)
-                });
-            let (flow, mut r) = match apps::pfp::try_galois(&net, exec) {
+            let (net, cached) = cache::load_or_build_flow(dir, &key, || {
+                FlowNetwork::random_parallel(n, 4, 100, seed, bt)
+            });
+            let result = match rec {
+                Some(r) => apps::pfp::try_galois_recorded(&net, exec, r),
+                None => apps::pfp::try_galois(&net, exec),
+            };
+            let (flow, mut r) = match result {
                 Ok(v) => v,
                 Err(e) => return Ok((Err(e), cached)),
             };
@@ -458,7 +465,7 @@ pub fn run_app_panic(
     input: &InputConfig,
 ) -> Result<FaultOutcome, String> {
     let exec = executor_for(app, variant, threads, None).chaos_panics(panic_seed);
-    let (result, _cached) = run_cell(app, &exec, input)?;
+    let (result, _cached) = run_cell(app, &exec, input, None)?;
     Ok(match result {
         Ok(out) => FaultOutcome::Clean(out.fingerprint),
         Err(e) => FaultOutcome::Faulted(e),
@@ -474,6 +481,325 @@ fn hash_mesh(mesh: &galois_mesh::Mesh) -> u64 {
         }
     }
     h.finish()
+}
+
+/// Why a record, replay or lockstep run failed.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The manifest file was rejected (corrupt, wrong version, unreadable).
+    Manifest(ManifestError),
+    /// The manifest does not describe a run this harness can re-execute
+    /// (unknown app, non-deterministic schedule, foreign input key).
+    Mismatch(String),
+    /// The re-executed run's output failed its app-level validator.
+    Validation(String),
+    /// The re-executed run faulted.
+    Exec(ExecError),
+    /// The replay ran, validated — and hashed differently. The structured
+    /// payload names the exact first divergent round.
+    Divergence(ReplayDivergence),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Manifest(e) => write!(f, "{e}"),
+            ReplayError::Mismatch(msg) => write!(f, "manifest mismatch: {msg}"),
+            ReplayError::Validation(msg) => write!(f, "replayed output failed validation: {msg}"),
+            ReplayError::Exec(e) => write!(f, "replayed run faulted: {e}"),
+            ReplayError::Divergence(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<ManifestError> for ReplayError {
+    fn from(e: ManifestError) -> Self {
+        ReplayError::Manifest(e)
+    }
+}
+
+/// Resolves a manifest back to the `(app, input)` pair it was recorded
+/// from, rejecting manifests this harness cannot faithfully re-execute.
+fn manifest_app_input(manifest: &RunManifest) -> Result<(App, InputConfig), ReplayError> {
+    let app = App::from_name(&manifest.app)
+        .ok_or_else(|| ReplayError::Mismatch(format!("unknown app `{}`", manifest.app)))?;
+    if manifest.exec.schedule != ScheduleKind::Deterministic {
+        return Err(ReplayError::Mismatch(format!(
+            "only deterministic runs replay bit-identically (manifest recorded a {:?} run)",
+            manifest.exec.schedule
+        )));
+    }
+    let input = InputConfig {
+        seed: manifest.input_seed,
+        build_threads: 1,
+        cache_dir: None,
+        size: (manifest.size != 0).then_some(manifest.size as usize),
+    };
+    let key = input_key(app, &input);
+    if key != manifest.input_key {
+        return Err(ReplayError::Mismatch(format!(
+            "input key `{}` is not this harness's `{key}` for {app} \
+             (size {}, seed {}) — different input family or generator version",
+            manifest.input_key, manifest.size, manifest.input_seed
+        )));
+    }
+    Ok((app, input))
+}
+
+/// Records one deterministic run of `app` into a [`RunManifest`]: input
+/// identity, executor configuration, the canonical per-round hash chain,
+/// and the final fingerprint. The manifest replays bit-identically at any
+/// thread count via [`replay_run`].
+pub fn record_run(
+    app: App,
+    threads: usize,
+    chaos_seed: Option<u64>,
+    input: &InputConfig,
+) -> Result<RunManifest, ReplayError> {
+    let exec = executor_for(app, Variant::Deterministic, threads, chaos_seed);
+    let mut rec = ManifestRecorder::new();
+    let (result, _cached) =
+        run_cell(app, &exec, input, Some(&mut rec)).map_err(ReplayError::Validation)?;
+    let out = result.map_err(ReplayError::Exec)?;
+    let manifest = rec.finish(
+        app.name(),
+        &input_key(app, input),
+        input.seed,
+        input.size.map(|s| s as u64).unwrap_or(0),
+        out.output_hash,
+    );
+    // One hashing authority: the recorder's chained fingerprint and the
+    // harness's round-log fingerprint are the same bytes through the same
+    // FNV, so they cannot disagree.
+    debug_assert_eq!(manifest.final_fingerprint, out.fingerprint);
+    Ok(manifest)
+}
+
+/// Re-executes a recorded run at `threads` workers and verifies it against
+/// the manifest: every per-round prefix hash, the round count, and the
+/// final fingerprint must match bit for bit. The first divergent round
+/// comes back as [`ReplayError::Divergence`].
+///
+/// `cache_dir` optionally serves the input from (or stores it into) the
+/// on-disk input cache; the manifest's input key is the cache key, so a
+/// replay and its recording share cache entries.
+pub fn replay_run(
+    manifest: &RunManifest,
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+) -> Result<RunOutcome, ReplayError> {
+    let (app, mut input) = manifest_app_input(manifest)?;
+    input.cache_dir = cache_dir;
+    // record_rounds keeps the harness's own fingerprint path alive so the
+    // returned outcome is directly comparable with fresh runs.
+    let exec = manifest.exec.to_executor(threads).record_rounds(true);
+    let mut rec = ManifestRecorder::replaying(manifest);
+    let (result, _cached) =
+        run_cell(app, &exec, &input, Some(&mut rec)).map_err(ReplayError::Validation)?;
+    let out = result.map_err(ReplayError::Exec)?;
+    rec.verify(manifest, out.output_hash)
+        .map_err(ReplayError::Divergence)?;
+    Ok(out)
+}
+
+/// One replica of a lockstep replication run.
+#[derive(Debug, Clone, Copy)]
+pub struct LockstepReplica {
+    /// Worker threads this replica uses.
+    pub threads: usize,
+    /// Chaos seed override (`None` keeps the manifest's chaos config).
+    pub chaos_seed: Option<u64>,
+}
+
+/// The first round where two lockstep replicas hashed differently.
+///
+/// A hash of `0` means that replica had no such round (the replicas
+/// disagreed on round *count* after agreeing on every common round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockstepDivergence {
+    /// First divergent round (chain sequence index).
+    pub round: u64,
+    /// Lower-index replica of the diverging pair.
+    pub replica_a: usize,
+    /// Higher-index replica of the diverging pair.
+    pub replica_b: usize,
+    /// Replica `a`'s prefix hash at that round.
+    pub hash_a: u64,
+    /// Replica `b`'s prefix hash at that round.
+    pub hash_b: u64,
+}
+
+impl fmt::Display for LockstepDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replicas {} and {} diverged at round {}: {:016x} vs {:016x}",
+            self.replica_a, self.replica_b, self.round, self.hash_a, self.hash_b
+        )
+    }
+}
+
+/// What a lockstep replication run observed.
+#[derive(Debug)]
+pub struct LockstepReport {
+    /// Replica count.
+    pub replicas: usize,
+    /// Rounds the longest replica executed.
+    pub rounds: u64,
+    /// First round where two replicas disagreed (`None` = full agreement).
+    pub divergence: Option<LockstepDivergence>,
+    /// Per-replica verdict against the *manifest's* chain (`None` = that
+    /// replica reproduced the recording exactly).
+    pub manifest_divergences: Vec<Option<ReplayDivergence>>,
+}
+
+impl LockstepReport {
+    /// Whether every replica agreed with every other *and* with the
+    /// recorded manifest.
+    pub fn all_agree(&self) -> bool {
+        self.divergence.is_none() && self.manifest_divergences.iter().all(Option::is_none)
+    }
+}
+
+/// Shared round-hash board the replicas cross-check through: each replica's
+/// recorder hook publishes `(round, hash)` as its barrier completes, and
+/// the publisher compares against every stream that already reached that
+/// round — the Aviram & Ford fault-detection pattern, at barrier latency.
+struct LockstepMonitor {
+    streams: Vec<Vec<u64>>,
+    first_mismatch: Option<(u64, usize, usize)>,
+}
+
+impl LockstepMonitor {
+    fn new(replicas: usize) -> Self {
+        LockstepMonitor {
+            streams: vec![Vec::new(); replicas],
+            first_mismatch: None,
+        }
+    }
+
+    fn push(&mut self, replica: usize, seq: u64, hash: u64) {
+        debug_assert_eq!(self.streams[replica].len() as u64, seq);
+        self.streams[replica].push(hash);
+        for (other, stream) in self.streams.iter().enumerate() {
+            if other == replica {
+                continue;
+            }
+            if let Some(&h) = stream.get(seq as usize) {
+                if h != hash && self.first_mismatch.is_none_or(|(r, _, _)| seq < r) {
+                    self.first_mismatch = Some((seq, other.min(replica), other.max(replica)));
+                }
+            }
+        }
+    }
+}
+
+/// Runs N in-process replicas of a recorded run — each with its own thread
+/// count and chaos seed over the *same* manifest — cross-checking round
+/// hashes at each barrier and reporting the first divergent round.
+///
+/// Under a healthy deterministic scheduler every replica produces the
+/// identical chain regardless of `threads`/`chaos_seed`, so the report is
+/// all-agreement; a schedule bug (or a perturbation planted through the
+/// [`Mutation`] seam) surfaces as the exact round where the replicas'
+/// schedules parted. Replica configuration errors (validation failures,
+/// executor faults) are `Err`; divergence is a *successful observation*,
+/// reported in the `Ok` value.
+pub fn run_lockstep(
+    manifest: &RunManifest,
+    replicas: &[LockstepReplica],
+    mutation: Mutation,
+) -> Result<LockstepReport, ReplayError> {
+    assert!(replicas.len() >= 2, "lockstep needs at least two replicas");
+    let (app, input) = manifest_app_input(manifest)?;
+    // The mutation seam is applied here, on the caller's thread, so the
+    // seam (a plain `&dyn Fn`) never has to cross threads.
+    let execs: Vec<Executor> = replicas
+        .iter()
+        .map(|r| {
+            let mut exec = manifest.exec.to_executor(r.threads);
+            if let Some(seed) = r.chaos_seed {
+                exec = exec.chaos(seed);
+            }
+            mutation(app, Variant::Deterministic, r.threads, r.chaos_seed, exec)
+        })
+        .collect();
+
+    let monitor = Arc::new(Mutex::new(LockstepMonitor::new(replicas.len())));
+    let results: Vec<Result<ManifestRecorder, ReplayError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = execs
+            .into_iter()
+            .enumerate()
+            .map(|(i, exec)| {
+                let board = Arc::clone(&monitor);
+                let input = input.clone();
+                let mut rec = ManifestRecorder::replaying(manifest)
+                    .on_round_hash(move |seq, hash| board.lock().unwrap().push(i, seq, hash));
+                s.spawn(move || {
+                    let (result, _cached) = run_cell(app, &exec, &input, Some(&mut rec))
+                        .map_err(ReplayError::Validation)?;
+                    result.map_err(ReplayError::Exec)?;
+                    Ok(rec)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("lockstep replica panicked"))
+            .collect()
+    });
+
+    let mut recorders = Vec::with_capacity(results.len());
+    for r in results {
+        recorders.push(r?);
+    }
+    let chains: Vec<&[u64]> = recorders.iter().map(|r| r.round_hashes()).collect();
+    let rounds = chains.iter().map(|c| c.len()).max().unwrap_or(0);
+
+    // Authoritative post-hoc scan (deterministic order: smallest round,
+    // then smallest replica pair). The monitor's live cross-check must have
+    // found the same first round — it saw every hash the scan sees.
+    let mut divergence = None;
+    'scan: for seq in 0..rounds {
+        for a in 0..chains.len() {
+            for b in (a + 1)..chains.len() {
+                let ha = chains[a].get(seq).copied().unwrap_or(0);
+                let hb = chains[b].get(seq).copied().unwrap_or(0);
+                if ha != hb {
+                    divergence = Some(LockstepDivergence {
+                        round: seq as u64,
+                        replica_a: a,
+                        replica_b: b,
+                        hash_a: ha,
+                        hash_b: hb,
+                    });
+                    break 'scan;
+                }
+            }
+        }
+    }
+    // The live cross-check sees every hash the scan sees, so a live
+    // mismatch implies a (no later) post-hoc one; the converse need not
+    // hold when replicas disagree only on round *count*.
+    if let Some((live_round, _, _)) = monitor.lock().unwrap().first_mismatch {
+        debug_assert!(
+            divergence.as_ref().is_some_and(|d| d.round <= live_round),
+            "live cross-check found a mismatch the post-hoc scan missed"
+        );
+    }
+
+    let manifest_divergences = chains
+        .iter()
+        .map(|c| manifest.verify_chain(c).err())
+        .collect();
+    Ok(LockstepReport {
+        replicas: replicas.len(),
+        rounds: rounds as u64,
+        divergence,
+        manifest_divergences,
+    })
 }
 
 /// One differential sweep's shape.
@@ -513,6 +839,7 @@ impl DiffConfig {
             seed: self.input_seed,
             build_threads: self.build_threads,
             cache_dir: self.cache_dir.clone(),
+            size: None,
         }
     }
 
@@ -887,6 +1214,105 @@ mod tests {
         assert!(line.contains("--chaos-seeds 3"));
         assert!(line.contains("--input-seed 42"));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn outcome_matches_legacy_private_fingerprint() {
+        // The harness used to hash round logs with its own private FNV:
+        // per record (seq, window, attempted, committed, failed) as u64 LE
+        // into one running hash, then fold (output, log hash, rounds,
+        // committed, aborted). The runtime-owned `RoundChain` +
+        // `run_fingerprint` must reproduce that byte stream exactly on the
+        // seed corpus, or every historical fingerprint shifts.
+        use galois_core::RoundRecord;
+        let corpus: Vec<Vec<RoundRecord>> = (0u64..4)
+            .map(|seed| {
+                (0..5 + seed)
+                    .map(|i| RoundRecord {
+                        round: i,
+                        window: 16 << (i % 3),
+                        attempted: 10 + seed + i,
+                        committed: 8 + i,
+                        failed: 2 + seed,
+                        ..Default::default()
+                    })
+                    .collect()
+            })
+            .collect();
+        for (seed, records) in corpus.iter().enumerate() {
+            // Legacy implementation, inlined verbatim.
+            let mut legacy = Fnv64::new();
+            let mut rounds = 0u64;
+            for rec in records {
+                legacy.write_u64(rounds);
+                legacy.write_u64(rec.window);
+                legacy.write_u64(rec.attempted);
+                legacy.write_u64(rec.committed);
+                legacy.write_u64(rec.failed);
+                rounds += 1;
+            }
+            let mut legacy_fp = Fnv64::new();
+            legacy_fp.write_u64(7);
+            legacy_fp.write_u64(legacy.finish());
+            legacy_fp.write_u64(rounds);
+            legacy_fp.write_u64(100);
+            legacy_fp.write_u64(3);
+
+            let mut log = RoundLog::new();
+            for rec in records {
+                use galois_core::Probe;
+                log.on_round(rec.clone());
+            }
+            let stats = ExecStats {
+                committed: 100,
+                aborted: 3,
+                ..Default::default()
+            };
+            let out = outcome(7, vec![log], &stats);
+            assert_eq!(out.log_hash, legacy.finish(), "log hash, corpus {seed}");
+            assert_eq!(
+                out.fingerprint,
+                legacy_fp.finish(),
+                "fingerprint, corpus {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn recorded_manifest_agrees_with_run_app_fingerprint() {
+        // The recorder path (ManifestRecorder through LoopSpec::record) and
+        // the round-log path (record_rounds + outcome) hash through the one
+        // runtime implementation; their fingerprints must coincide on the
+        // seed corpus.
+        for seed in [42u64, 7] {
+            let input = InputConfig::from_seed(seed);
+            let manifest = record_run(App::Mis, 2, None, &input).unwrap();
+            let (out, _) = run_app(
+                App::Mis,
+                Variant::Deterministic,
+                2,
+                None,
+                &input,
+                &unperturbed,
+            )
+            .unwrap();
+            assert_eq!(manifest.final_fingerprint, out.fingerprint, "seed {seed}");
+            assert_eq!(manifest.round_hashes.len() as u64, out.rounds);
+        }
+    }
+
+    #[test]
+    fn input_keys_match_historical_cache_keys() {
+        // The default-size keys are the exact strings pre-manifest harness
+        // versions used as cache filenames; changing them silently orphans
+        // every cached input.
+        let input = InputConfig::from_seed(42);
+        assert_eq!(input_key(App::Bfs, &input), "uniform-n2000-d5-s42");
+        assert_eq!(input_key(App::Mis, &input), "uniform-und-n1500-d4-s42");
+        assert_eq!(input_key(App::Mm, &input), "uniform-und-n1500-d4-s42");
+        assert_eq!(input_key(App::Pfp, &input), "flowrand-n96-d4-c100-s42");
+        assert_eq!(input_key(App::Dt, &input), "points-n300-s42");
+        assert_eq!(input_key(App::Dmr, &input), "mesh-n120-s42");
     }
 
     #[test]

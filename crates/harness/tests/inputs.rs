@@ -25,6 +25,7 @@ fn parallel_built_inputs_leave_fingerprints_unchanged() {
                 seed: 42,
                 build_threads,
                 cache_dir: None,
+                size: None,
             };
             let (fp, cached) = cell(app, &cfg);
             assert_eq!(cached, InputCacheOutcome::Disabled);
@@ -46,6 +47,7 @@ fn cached_inputs_leave_fingerprints_unchanged() {
             seed: 42,
             build_threads: 4,
             cache_dir: Some(PathBuf::from(&dir)),
+            size: None,
         };
         let (first_fp, first) = cell(app, &cfg);
         let (second_fp, second) = cell(app, &cfg);
@@ -77,6 +79,7 @@ fn mis_and_mm_share_one_cache_entry() {
         seed: 77,
         build_threads: 2,
         cache_dir: Some(dir.clone()),
+        size: None,
     };
     let (_, mis) = cell(App::Mis, &cfg);
     let (_, mm) = cell(App::Mm, &cfg);

@@ -1,0 +1,297 @@
+//! Canonical state fingerprints: the runtime's single hashing authority.
+//!
+//! Deterministic execution turns replication, record/replay and differential
+//! testing into *hash comparison*: two runs that should agree are reduced to
+//! one 64-bit value each, and disagreement names the exact round where the
+//! schedules parted (Aviram & Ford, "Efficient System-Enforced Deterministic
+//! Parallelism"). For that to work every consumer — the differential
+//! harness, the `RunManifest` recorder, the replay verifier, the lockstep
+//! cross-check — must hash **the same bytes the same way**. This module is
+//! that one implementation; nothing else in the tree may define its own
+//! run fingerprint.
+//!
+//! Three layers:
+//!
+//! - [`Fnv64`] — an incremental FNV-1a 64-bit hasher (no external crates,
+//!   stable across platforms: everything is hashed as little-endian bytes).
+//! - [`RoundChain`] — folds a stream of [`RoundRecord`]s into a *hash
+//!   chain*: after round *i* the chain value digests rounds `0..=i`, so the
+//!   per-round snapshots double as prefix fingerprints. Comparing two
+//!   chains index by index pinpoints the first divergent round; comparing
+//!   only the latest snapshots still detects any past divergence.
+//! - [`run_fingerprint`] — the final run fingerprint: output hash + round
+//!   chain + schedule-derived counters folded into one value.
+//!
+//! # What is (and is not) hashed
+//!
+//! A round contributes its **schedule-derived scalars** only: sequence
+//! index, window, attempted, committed, failed. Conflict attribution is
+//! excluded — conflict entries name abstract lock ids, and for the mesh
+//! apps those are arena triangle ids whose allocation order is
+//! thread-count-dependent even though the schedule is not. Wall-clock
+//! timings are excluded for the obvious reason. The sequence index is the
+//! chain's own counter, not [`RoundRecord::round`], so multi-pass runs
+//! (pfp bouts, whose per-bout round indices restart at zero) fingerprint
+//! as one monotone sequence.
+
+use crate::probe::RoundRecord;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher — the tree's notion of
+/// "byte-identical" without pulling in an external hashing crate.
+///
+/// All integer writes hash little-endian bytes, so fingerprints are
+/// platform-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hashes raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes a `u32` as little-endian bytes.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes an `i64` as little-endian bytes.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes a `u32` slice element by element (the common output-hash shape:
+/// distances, flags, mate arrays).
+pub fn hash_u32s(values: &[u32]) -> u64 {
+    let mut h = Fnv64::new();
+    for &v in values {
+        h.write_u32(v);
+    }
+    h.finish()
+}
+
+/// Folds a stream of round records into per-round prefix hashes.
+///
+/// The chain value after `push`ing round *i* digests the schedule-derived
+/// scalars of rounds `0..=i`; [`RoundChain::hashes`] keeps every snapshot so
+/// two runs can be compared round by round. Under deterministic scheduling
+/// every snapshot is byte-identical at any thread count; the first index
+/// where two chains differ is the first round where the schedules diverged.
+#[derive(Debug, Clone, Default)]
+pub struct RoundChain {
+    hasher: Fnv64,
+    hashes: Vec<u64>,
+}
+
+impl RoundChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        RoundChain::default()
+    }
+
+    /// Folds one round into the chain and returns its prefix hash.
+    pub fn push(&mut self, rec: &RoundRecord) -> u64 {
+        self.hasher.write_u64(self.hashes.len() as u64);
+        self.hasher.write_u64(rec.window);
+        self.hasher.write_u64(rec.attempted);
+        self.hasher.write_u64(rec.committed);
+        self.hasher.write_u64(rec.failed);
+        let h = self.hasher.finish();
+        self.hashes.push(h);
+        h
+    }
+
+    /// Per-round prefix hashes, in sequence order.
+    pub fn hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// Consumes the chain, yielding the per-round prefix hashes.
+    pub fn into_hashes(self) -> Vec<u64> {
+        self.hashes
+    }
+
+    /// Rounds folded so far.
+    pub fn rounds(&self) -> u64 {
+        self.hashes.len() as u64
+    }
+
+    /// The chain value over every round pushed so far (the round-log hash;
+    /// equals the last element of [`RoundChain::hashes`], or the FNV offset
+    /// basis for an empty chain).
+    pub fn log_hash(&self) -> u64 {
+        self.hasher.finish()
+    }
+}
+
+/// The final fingerprint of one run: everything that must be invariant for
+/// a deterministic run, folded into one value — the output hash, the round
+/// chain, and the schedule-derived counters.
+///
+/// Chaos-injected aborts are deliberately **not** an input: they are
+/// seed-dependent by construction and must not move the fingerprint.
+pub fn run_fingerprint(
+    output_hash: u64,
+    log_hash: u64,
+    rounds: u64,
+    committed: u64,
+    aborted: u64,
+) -> u64 {
+    let mut fp = Fnv64::new();
+    fp.write_u64(output_hash);
+    fp.write_u64(log_hash);
+    fp.write_u64(rounds);
+    fp.write_u64(committed);
+    fp.write_u64(aborted);
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        let mut h = Fnv64::new();
+        h.write_bytes(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv64::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    fn rec(window: u64, attempted: u64, committed: u64) -> RoundRecord {
+        RoundRecord {
+            window,
+            attempted,
+            committed,
+            failed: attempted - committed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn chain_snapshots_are_prefix_hashes() {
+        let rounds = [rec(8, 8, 6), rec(12, 12, 12), rec(4, 3, 3)];
+        let mut full = RoundChain::new();
+        for r in &rounds {
+            full.push(r);
+        }
+        // The snapshot at index i equals a fresh chain over rounds 0..=i.
+        for i in 0..rounds.len() {
+            let mut prefix = RoundChain::new();
+            for r in &rounds[..=i] {
+                prefix.push(r);
+            }
+            assert_eq!(full.hashes()[i], prefix.log_hash());
+        }
+        assert_eq!(full.rounds(), 3);
+        assert_eq!(full.log_hash(), *full.hashes().last().unwrap());
+    }
+
+    #[test]
+    fn chain_uses_its_own_sequence_index() {
+        // Two records with different `round` fields but identical scalars
+        // hash identically: multi-pass runs renumber implicitly.
+        let mut a = RoundChain::new();
+        let mut b = RoundChain::new();
+        let mut ra = rec(8, 8, 8);
+        let mut rb = rec(8, 8, 8);
+        ra.round = 0;
+        rb.round = 999;
+        assert_eq!(a.push(&ra), b.push(&rb));
+    }
+
+    #[test]
+    fn chain_ignores_conflicts_and_timing() {
+        let mut plain = rec(8, 8, 7);
+        let mut noisy = rec(8, 8, 7);
+        noisy.conflicts = vec![(3, 2), (9, 1)];
+        noisy.inspect_ns = 1e6;
+        noisy.commit_ns = 2e6;
+        plain.serial_ns = 0.0;
+        let mut a = RoundChain::new();
+        let mut b = RoundChain::new();
+        assert_eq!(a.push(&plain), b.push(&noisy));
+    }
+
+    #[test]
+    fn divergence_is_pinpointed_at_first_differing_round() {
+        let mut a = RoundChain::new();
+        let mut b = RoundChain::new();
+        for r in [rec(8, 8, 8), rec(8, 8, 8)] {
+            a.push(&r);
+            b.push(&r);
+        }
+        a.push(&rec(8, 8, 8));
+        b.push(&rec(8, 8, 7)); // diverges here
+        a.push(&rec(4, 4, 4));
+        b.push(&rec(4, 4, 4)); // same scalars, but chained past a divergence
+        let first = a.hashes().iter().zip(b.hashes()).position(|(x, y)| x != y);
+        assert_eq!(first, Some(2));
+        // Chaining propagates: everything after the divergence differs too,
+        // so the *latest* snapshot alone still detects it.
+        assert_ne!(a.hashes()[3], b.hashes()[3]);
+        assert_ne!(a.log_hash(), b.log_hash());
+    }
+
+    #[test]
+    fn empty_chain_log_hash_is_offset_basis() {
+        assert_eq!(RoundChain::new().log_hash(), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(RoundChain::new().rounds(), 0);
+    }
+
+    #[test]
+    fn run_fingerprint_folds_all_inputs() {
+        let base = run_fingerprint(1, 2, 3, 4, 5);
+        assert_ne!(base, run_fingerprint(9, 2, 3, 4, 5));
+        assert_ne!(base, run_fingerprint(1, 9, 3, 4, 5));
+        assert_ne!(base, run_fingerprint(1, 2, 9, 4, 5));
+        assert_ne!(base, run_fingerprint(1, 2, 3, 9, 5));
+        assert_ne!(base, run_fingerprint(1, 2, 3, 4, 9));
+    }
+
+    #[test]
+    fn hash_u32s_matches_manual_loop() {
+        let vals = [0u32, 7, u32::MAX];
+        let mut h = Fnv64::new();
+        for &v in &vals {
+            h.write_u32(v);
+        }
+        assert_eq!(hash_u32s(&vals), h.finish());
+    }
+}

@@ -9,6 +9,9 @@
 //! - [`worklist`]: concurrent chunked work bags with per-thread locality.
 //! - [`chaos`]: seeded adversarial-schedule injection ([`ChaosPolicy`]) used
 //!   by the differential test harness to prove schedule invariance.
+//! - [`fingerprint`]: the canonical state-fingerprint implementation
+//!   ([`Fnv64`], [`RoundChain`]) shared by the differential harness and the
+//!   record/replay layer — one hashing authority for the whole tree.
 //! - [`padded`]: cache-line padded cells and per-thread counter arrays.
 //! - [`stats`]: mergeable per-thread execution statistics.
 //! - [`probe`]: round-level observability — the [`Probe`] trait and the
@@ -41,6 +44,7 @@
 
 pub mod barrier;
 pub mod chaos;
+pub mod fingerprint;
 pub mod padded;
 pub mod pool;
 pub mod probe;
@@ -53,6 +57,7 @@ pub mod worklist;
 
 pub use barrier::{BarrierPoisoned, SenseBarrier};
 pub use chaos::ChaosPolicy;
+pub use fingerprint::{Fnv64, RoundChain};
 pub use pool::{run_on_threads, run_on_threads_fault};
 pub use probe::{Probe, RoundLog, RoundRecord};
 pub use stats::ExecStats;

@@ -26,6 +26,16 @@
 //! exactly under a single-threaded debugger. (Speculative-mode fault
 //! reports name whichever fault was observed first and are not canonical.)
 //!
+//! To carry a run between machines (or CI shards), skip the raw logs and
+//! record a *manifest* instead: `galois record <app> --out run.json`
+//! captures the input identity, executor config, and a per-round hash
+//! chain; `galois replay run.json --threads N` re-executes it anywhere and
+//! names the first divergent round (exit code 13) if anything changed.
+//! The minimizer workflow composes: point the differential harness's
+//! `--manifest DIR` at a sweep, keep the emitted `<app>.manifest.json`
+//! artifacts, and a divergence found later shrinks to "replay this
+//! manifest" instead of "re-run this whole matrix".
+//!
 //! ```text
 //! cargo run --release --example determinism_debugging
 //! ```

@@ -7,6 +7,10 @@
 //! ```text
 //! galois <app> [--variant seq|g-n|g-d|pbbs] [--threads N] [--size N] [--seed N] [--verify]
 //!        [--round-log FILE] [--chaos-seed N] [--cache-dir DIR]
+//! galois record <app> --out FILE [--threads N] [--size N] [--seed N]
+//!        [--chaos-seed N] [--cache-dir DIR]
+//! galois replay FILE [--threads N] [--cache-dir DIR]
+//!        [--lockstep T1,T2[,..]] [--lockstep-chaos S1,S2[,..]]
 //!
 //! apps: bfs, mis, dt, dmr, pfp
 //! ```
@@ -32,7 +36,20 @@
 //! operator panics at the failsafe point, exercising the fault-containment
 //! layer; `--max-stalled-rounds N` overrides the stall watchdog threshold.
 //! Executor faults map to distinct exit codes: operator panic = 10,
-//! stall/livelock = 11, quarantine overflow = 12.
+//! stall/livelock = 11, quarantine overflow = 12, replay divergence = 13.
+//!
+//! `galois record` runs an app deterministically and writes a versioned,
+//! checksummed [`RunManifest`] capturing the input identity, executor
+//! configuration, per-round hash chain, and final fingerprint. `galois
+//! replay FILE` re-executes the manifest — at `--threads N`, which may
+//! differ from the recording — and verifies every round hash; the first
+//! divergent round is reported with exit code 13. `--lockstep T1,T2[,..]`
+//! instead runs N in-process replicas at the given thread counts
+//! (optionally with per-replica `--lockstep-chaos` seeds), cross-checking
+//! round hashes at every barrier and reporting the first round where any
+//! two replicas — or a replica and the recording — disagree.
+//!
+//! [`RunManifest`]: deterministic_galois::core::RunManifest
 
 use deterministic_galois::apps::{bfs, dmr, dt, mis, mm, pfp};
 use deterministic_galois::core::{
@@ -65,12 +82,204 @@ fn usage() -> ! {
         "usage: galois <bfs|mis|mm|dt|dmr|pfp> [--variant seq|g-n|g-d|pbbs] \
          [--threads N] [--size N] [--seed N] [--verify] [--round-log FILE] \
          [--chaos-seed N] [--chaos-panics N] [--max-stalled-rounds N] \
-         [--cache-dir DIR]"
+         [--cache-dir DIR]\n       \
+         galois record <app> --out FILE [--threads N] [--size N] [--seed N] \
+         [--chaos-seed N] [--cache-dir DIR]\n       \
+         galois replay FILE [--threads N] [--cache-dir DIR] \
+         [--lockstep T1,T2[,..]] [--lockstep-chaos S1,S2[,..]]"
     );
     exit(2);
 }
 
+/// Exit code for a verified replay that hashed differently from its
+/// manifest (or a lockstep replica pair that disagreed).
+const EXIT_DIVERGENCE: i32 = 13;
+
+/// `galois record <app> --out FILE ...` — run deterministically, capture a
+/// replayable manifest.
+fn cmd_record(argv: &[String]) -> ! {
+    use deterministic_galois::harness::{record_run, App, InputConfig};
+    let mut it = argv.iter().cloned();
+    let Some(app) = it.next() else { usage() };
+    let Some(app) = App::from_name(&app) else {
+        eprintln!("unknown app {app}");
+        usage();
+    };
+    let mut threads = 2usize;
+    let mut input = InputConfig::default();
+    let mut chaos_seed = None;
+    let mut out: Option<PathBuf> = None;
+    while let Some(flag) = it.next() {
+        let mut val = |a: &mut dyn FnMut(String)| match it.next() {
+            Some(v) => a(v),
+            None => usage(),
+        };
+        match flag.as_str() {
+            "--threads" => val(&mut |v| threads = v.parse().unwrap_or_else(|_| usage())),
+            "--size" => val(&mut |v| input.size = Some(v.parse().unwrap_or_else(|_| usage()))),
+            "--seed" => val(&mut |v| input.seed = v.parse().unwrap_or_else(|_| usage())),
+            "--chaos-seed" => {
+                val(&mut |v| chaos_seed = Some(v.parse().unwrap_or_else(|_| usage())))
+            }
+            "--cache-dir" => val(&mut |v| input.cache_dir = Some(v.into())),
+            "--out" => val(&mut |v| out = Some(v.into())),
+            _ => usage(),
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("record requires --out FILE");
+        usage();
+    };
+    input.build_threads = threads;
+    let t0 = std::time::Instant::now();
+    let manifest = match record_run(app, threads, chaos_seed, &input) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("record failed: {e}");
+            exit(1);
+        }
+    };
+    if let Err(e) = manifest.save(&out) {
+        eprintln!("{e}");
+        exit(1);
+    }
+    println!(
+        "recorded {app} ({}): {} rounds, fingerprint {:016x} -> {} in {:?}",
+        manifest.input_key,
+        manifest.round_hashes.len(),
+        manifest.final_fingerprint,
+        out.display(),
+        t0.elapsed(),
+    );
+    exit(0);
+}
+
+/// `galois replay FILE ...` — re-execute a manifest and verify every round
+/// hash, or cross-check N lockstep replicas.
+fn cmd_replay(argv: &[String]) -> ! {
+    use deterministic_galois::core::RunManifest;
+    use deterministic_galois::harness::{
+        replay_run, run_lockstep, unperturbed, LockstepReplica, ReplayError,
+    };
+    let mut it = argv.iter().cloned();
+    let Some(path) = it.next() else { usage() };
+    let manifest = match RunManifest::load(path.as_ref()) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot load manifest {path}: {e}");
+            exit(1);
+        }
+    };
+    let mut threads = manifest.exec.threads;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut lockstep: Option<Vec<usize>> = None;
+    let mut lockstep_chaos: Vec<u64> = Vec::new();
+    while let Some(flag) = it.next() {
+        let mut val = |a: &mut dyn FnMut(String)| match it.next() {
+            Some(v) => a(v),
+            None => usage(),
+        };
+        match flag.as_str() {
+            "--threads" => val(&mut |v| threads = v.parse().unwrap_or_else(|_| usage())),
+            "--cache-dir" => val(&mut |v| cache_dir = Some(v.into())),
+            "--lockstep" => val(&mut |v| {
+                lockstep = Some(
+                    v.split(',')
+                        .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }),
+            "--lockstep-chaos" => val(&mut |v| {
+                lockstep_chaos = v
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }),
+            _ => usage(),
+        }
+    }
+    let t0 = std::time::Instant::now();
+    if let Some(replica_threads) = lockstep {
+        if replica_threads.len() < 2 {
+            eprintln!("--lockstep needs at least two replica thread counts");
+            exit(2);
+        }
+        let replicas: Vec<LockstepReplica> = replica_threads
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| LockstepReplica {
+                threads: t,
+                chaos_seed: lockstep_chaos.get(i).copied(),
+            })
+            .collect();
+        let report = match run_lockstep(&manifest, &replicas, &unperturbed) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("lockstep failed: {e}");
+                exit(1);
+            }
+        };
+        for (i, (replica, verdict)) in replicas
+            .iter()
+            .zip(&report.manifest_divergences)
+            .enumerate()
+        {
+            match verdict {
+                None => println!(
+                    "  replica {i} (threads {}): reproduced the recording",
+                    replica.threads
+                ),
+                Some(d) => println!("  replica {i} (threads {}): {d}", replica.threads),
+            }
+        }
+        if report.all_agree() {
+            println!(
+                "lockstep ok: {} replicas agreed on all {} rounds in {:?}",
+                report.replicas,
+                report.rounds,
+                t0.elapsed(),
+            );
+            exit(0);
+        }
+        if let Some(d) = report.divergence {
+            eprintln!("lockstep DIVERGED: {d}");
+        } else {
+            eprintln!("lockstep DIVERGED from the recording (replica verdicts above)");
+        }
+        exit(EXIT_DIVERGENCE);
+    }
+    match replay_run(&manifest, threads, cache_dir) {
+        Ok(out) => {
+            println!(
+                "replay ok: {} at {threads} threads, {} rounds, fingerprint {:016x} \
+                 matches the recording in {:?}",
+                manifest.app,
+                out.rounds,
+                out.fingerprint,
+                t0.elapsed(),
+            );
+            exit(0);
+        }
+        Err(ReplayError::Divergence(d)) => {
+            eprintln!("replay DIVERGED: {d}");
+            exit(EXIT_DIVERGENCE);
+        }
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn parse_args() -> Args {
+    {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match argv.first().map(String::as_str) {
+            Some("record") => cmd_record(&argv[1..]),
+            Some("replay") => cmd_replay(&argv[1..]),
+            _ => {}
+        }
+    }
     let mut args = Args {
         app: String::new(),
         variant: "g-d".into(),

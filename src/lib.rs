@@ -51,6 +51,7 @@ pub use galois_apps as apps;
 pub use galois_core as core;
 pub use galois_geometry as geometry;
 pub use galois_graph as graph;
+pub use galois_harness as harness;
 pub use galois_mesh as mesh;
 pub use galois_runtime as runtime;
 pub use pbbs_det as pbbs;
