@@ -80,6 +80,18 @@ impl ExecError {
             ExecError::QuarantineOverflow { .. } => 12,
         }
     }
+
+    /// Stable machine-readable variant name, used by structured error
+    /// surfaces (the `galois-serve` JSON fault responses) where an exit
+    /// code alone is too opaque: `operator_panic`, `stalled`,
+    /// `quarantine_overflow`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExecError::OperatorPanic { .. } => "operator_panic",
+            ExecError::Stalled { .. } => "stalled",
+            ExecError::QuarantineOverflow { .. } => "quarantine_overflow",
+        }
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -181,6 +193,10 @@ mod tests {
         uniq.dedup();
         assert_eq!(uniq.len(), errs.len());
         assert!(codes.iter().all(|&c| c != 0 && c != 1 && c != 2));
+        let mut kinds: Vec<&str> = errs.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), errs.len());
     }
 
     #[test]

@@ -23,18 +23,22 @@
 use galois_core::manifest::{
     ManifestError, ManifestRecorder, ReplayDivergence, RunManifest, ScheduleKind,
 };
-use galois_core::{DetOptions, ExecError, Executor, RoundLog, RunReport, Schedule, WorklistPolicy};
-use galois_graph::cache::{self, CacheOutcome};
-use galois_graph::{gen, FlowNetwork};
-use galois_mesh::check;
+use galois_core::{
+    DetOptions, ExecError, Executor, RoundLog, RoundRecord, Schedule, WorklistPolicy,
+};
+use galois_graph::cache::CacheOutcome;
 use galois_runtime::fingerprint::{run_fingerprint, RoundChain};
 use galois_runtime::stats::ExecStats;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
+pub mod resident;
+pub mod sweep;
+
 pub use galois_apps as apps;
 pub use galois_graph::cache::CacheOutcome as InputCacheOutcome;
+pub use resident::{load_input, run_resident, InputStore, Residency, ResidentInput, ResidentRun};
 // The harness used to carry its own private FNV implementation; all hashing
 // now goes through the runtime's single authority (see
 // `galois_runtime::fingerprint`). The re-export keeps the harness API.
@@ -93,6 +97,17 @@ impl Variant {
             Variant::Deterministic => "deterministic",
         }
     }
+
+    /// Parses a variant name, accepting both the harness spellings and the
+    /// `galois` CLI's short forms (`seq`, `g-n`, `g-d`).
+    pub fn from_name(name: &str) -> Option<Variant> {
+        match name {
+            "serial" | "seq" => Some(Variant::Serial),
+            "speculative" | "g-n" => Some(Variant::Speculative),
+            "deterministic" | "g-d" => Some(Variant::Deterministic),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Variant {
@@ -118,24 +133,35 @@ pub struct RunOutcome {
     pub injected_aborts: u64,
 }
 
-fn outcome(output_hash: u64, logs: Vec<RoundLog>, stats: &ExecStats) -> RunOutcome {
-    // Chain rounds across multi-pass runs (pfp bouts) into one monotone
-    // sequence — `RoundChain` renumbers with its own counter, exactly as
-    // the CLI's --round-log writer does. The chain covers the
-    // schedule-derived scalars of each round but NOT the conflict
-    // attribution: conflict entries name abstract lock ids, and for the
-    // mesh apps those are arena triangle ids whose allocation order is
-    // thread-count-dependent even though the schedule (and the geometry,
-    // covered by `output_hash`) is not.
-    let mut chain = RoundChain::new();
+/// Chains rounds across multi-pass runs (pfp bouts) into one monotone
+/// sequence — `RoundChain` renumbers with its own counter, exactly as the
+/// CLI's --round-log writer does — and reduces the run to a [`RunOutcome`]
+/// plus the renumbered records themselves (so a server can stream the
+/// canonical round log without re-running). The chain covers the
+/// schedule-derived scalars of each round but NOT the conflict
+/// attribution: conflict entries name abstract lock ids, and for the
+/// mesh apps those are arena triangle ids whose allocation order is
+/// thread-count-dependent even though the schedule (and the geometry,
+/// covered by `output_hash`) is not.
+pub(crate) fn reduce_run(
+    output_hash: u64,
+    logs: Vec<RoundLog>,
+    stats: &ExecStats,
+) -> (RunOutcome, Vec<RoundRecord>) {
+    let mut records: Vec<RoundRecord> = Vec::new();
     for log in logs {
-        for rec in log.into_records() {
-            chain.push(&rec);
+        for mut rec in log.into_records() {
+            rec.round = records.len() as u64;
+            records.push(rec);
         }
+    }
+    let mut chain = RoundChain::new();
+    for rec in &records {
+        chain.push(rec);
     }
     let log_hash = chain.log_hash();
     let rounds = chain.rounds();
-    RunOutcome {
+    let outcome = RunOutcome {
         fingerprint: run_fingerprint(
             output_hash,
             log_hash,
@@ -149,7 +175,13 @@ fn outcome(output_hash: u64, logs: Vec<RoundLog>, stats: &ExecStats) -> RunOutco
         committed: stats.committed,
         aborted: stats.aborted,
         injected_aborts: stats.injected_aborts,
-    }
+    };
+    (outcome, records)
+}
+
+#[cfg(test)]
+fn outcome(output_hash: u64, logs: Vec<RoundLog>, stats: &ExecStats) -> RunOutcome {
+    reduce_run(output_hash, logs, stats).0
 }
 
 /// Hook that may replace the executor a run would use — the harness's
@@ -165,7 +197,15 @@ pub fn unperturbed(_: App, _: Variant, _: usize, _: Option<u64>, exec: Executor)
 
 /// The executor configuration each app runs under, mirroring the `galois`
 /// CLI: dt/dmr spread task ids for locality, bfs/pfp use FIFO worklists.
-fn executor_for(app: App, variant: Variant, threads: usize, chaos_seed: Option<u64>) -> Executor {
+/// Public so the serving layer builds *the same* executors the harness
+/// proves deterministic — a served request and a differential-sweep cell
+/// are the same computation.
+pub fn executor_for(
+    app: App,
+    variant: Variant,
+    threads: usize,
+    chaos_seed: Option<u64>,
+) -> Executor {
     let (spread, fifo) = match app {
         App::Dt | App::Dmr => (16, false),
         App::Bfs | App::Pfp => (1, true),
@@ -194,10 +234,6 @@ fn executor_for(app: App, variant: Variant, threads: usize, chaos_seed: Option<u
         exec = exec.chaos(seed);
     }
     exec
-}
-
-fn take_logs(report: &mut RunReport) -> Vec<RoundLog> {
-    report.take_round_log().into_iter().collect()
 }
 
 /// How one run's input is produced: the generator seed, the thread count
@@ -307,126 +343,11 @@ fn run_cell(
     app: App,
     exec: &Executor,
     input: &InputConfig,
-    mut rec: Option<&mut ManifestRecorder>,
+    rec: Option<&mut ManifestRecorder>,
 ) -> Result<(Result<RunOutcome, ExecError>, CacheOutcome), String> {
-    let seed = input.seed;
-    let bt = input.build_threads;
-    let dir = input.cache_dir.as_deref();
-    let n = input.size_for(app);
-    let key = input_key(app, input);
-    match app {
-        App::Bfs => {
-            let (g, cached) = cache::load_or_build_graph(dir, &key, || {
-                gen::uniform_random_parallel(n, 5, seed, bt)
-            });
-            let result = match rec.as_deref_mut() {
-                Some(r) => apps::bfs::try_galois_recorded(&g, 0, exec, r),
-                None => apps::bfs::try_galois(&g, 0, exec),
-            };
-            let (dist, mut r) = match result {
-                Ok(v) => v,
-                Err(e) => return Ok((Err(e), cached)),
-            };
-            apps::bfs::verify(&g, 0, &dist).map_err(|e| format!("bfs: {e}"))?;
-            let h = galois_runtime::fingerprint::hash_u32s(&dist);
-            Ok((Ok(outcome(h, take_logs(&mut r), &r.stats)), cached))
-        }
-        App::Mis => {
-            let (g, cached) = cache::load_or_build_graph(dir, &key, || {
-                gen::uniform_random_undirected_parallel(n, 4, seed, bt)
-            });
-            let result = match rec.as_deref_mut() {
-                Some(r) => apps::mis::try_galois_recorded(&g, exec, r),
-                None => apps::mis::try_galois(&g, exec),
-            };
-            let (flags, mut r) = match result {
-                Ok(v) => v,
-                Err(e) => return Ok((Err(e), cached)),
-            };
-            apps::mis::verify(&g, &flags).map_err(|e| format!("mis: {e}"))?;
-            let h = galois_runtime::fingerprint::hash_u32s(&flags);
-            Ok((Ok(outcome(h, take_logs(&mut r), &r.stats)), cached))
-        }
-        App::Mm => {
-            let (g, cached) = cache::load_or_build_graph(dir, &key, || {
-                gen::uniform_random_undirected_parallel(n, 4, seed, bt)
-            });
-            let result = match rec.as_deref_mut() {
-                Some(r) => apps::mm::try_galois_recorded(&g, exec, r),
-                None => apps::mm::try_galois(&g, exec),
-            };
-            let (mate, mut r) = match result {
-                Ok(v) => v,
-                Err(e) => return Ok((Err(e), cached)),
-            };
-            apps::mm::verify(&g, &mate).map_err(|e| format!("mm: {e}"))?;
-            let h = galois_runtime::fingerprint::hash_u32s(&mate);
-            Ok((Ok(outcome(h, take_logs(&mut r), &r.stats)), cached))
-        }
-        App::Dt => {
-            let pts = galois_geometry::point::random_points(n, seed);
-            let result = match rec.as_deref_mut() {
-                Some(r) => apps::dt::try_galois_recorded(&pts, seed, exec, r),
-                None => apps::dt::try_galois(&pts, seed, exec),
-            };
-            let (mesh, mut r) = match result {
-                Ok(v) => v,
-                Err(e) => return Ok((Err(e), CacheOutcome::Disabled)),
-            };
-            check::validate(&mesh).map_err(|e| format!("dt structure: {e}"))?;
-            check::check_delaunay(&mesh).map_err(|e| format!("dt delaunay: {e}"))?;
-            Ok((
-                Ok(outcome(hash_mesh(&mesh), take_logs(&mut r), &r.stats)),
-                CacheOutcome::Disabled,
-            ))
-        }
-        App::Dmr => {
-            let mesh = apps::dmr::make_input(n, seed);
-            let result = match rec.as_deref_mut() {
-                Some(r) => apps::dmr::try_galois_recorded(&mesh, exec, r),
-                None => apps::dmr::try_galois(&mesh, exec),
-            };
-            let mut r = match result {
-                Ok(v) => v,
-                Err(e) => return Ok((Err(e), CacheOutcome::Disabled)),
-            };
-            check::validate(&mesh).map_err(|e| format!("dmr structure: {e}"))?;
-            check::check_delaunay(&mesh).map_err(|e| format!("dmr delaunay: {e}"))?;
-            let bad = check::quality(&mesh).bad;
-            if bad != 0 {
-                return Err(format!("dmr: {bad} bad triangles survive refinement"));
-            }
-            Ok((
-                Ok(outcome(hash_mesh(&mesh), take_logs(&mut r), &r.stats)),
-                CacheOutcome::Disabled,
-            ))
-        }
-        App::Pfp => {
-            let (net, cached) = cache::load_or_build_flow(dir, &key, || {
-                FlowNetwork::random_parallel(n, 4, 100, seed, bt)
-            });
-            let result = match rec {
-                Some(r) => apps::pfp::try_galois_recorded(&net, exec, r),
-                None => apps::pfp::try_galois(&net, exec),
-            };
-            let (flow, mut r) = match result {
-                Ok(v) => v,
-                Err(e) => return Ok((Err(e), cached)),
-            };
-            let checked = net.verify_flow().map_err(|e| format!("pfp: {e}"))?;
-            if checked != flow {
-                return Err(format!("pfp: reported flow {flow} != recomputed {checked}"));
-            }
-            let logs: Vec<RoundLog> = r
-                .reports
-                .iter_mut()
-                .filter_map(|b| b.take_round_log())
-                .collect();
-            let mut h = Fnv64::new();
-            h.write_i64(flow);
-            Ok((Ok(outcome(h.finish(), logs, &r.stats)), cached))
-        }
-    }
+    let (resident, cached) = resident::load_input(app, input);
+    let result = resident::run_resident(app, exec, &resident, rec)?;
+    Ok((result.map(|run| run.outcome), cached))
 }
 
 /// What one panic-injection run reduces to for cross-run comparison.
@@ -472,9 +393,9 @@ pub fn run_app_panic(
     })
 }
 
-fn hash_mesh(mesh: &galois_mesh::Mesh) -> u64 {
+pub(crate) fn hash_mesh(mesh: &galois_mesh::Mesh) -> u64 {
     let mut h = Fnv64::new();
-    for tri in check::canonical_triangles(mesh) {
+    for tri in galois_mesh::check::canonical_triangles(mesh) {
         for (x, y) in tri {
             h.write_i64(x);
             h.write_i64(y);

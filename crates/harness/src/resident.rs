@@ -1,0 +1,417 @@
+//! Resident inputs: the request→run plumbing behind `galois-serve`.
+//!
+//! A one-shot CLI run builds its input, runs, and exits; a resident server
+//! answering the same request family over and over should pay the input
+//! build once. This module splits the harness's `run_cell` into its two
+//! halves — *materialize the input* ([`load_input`] / [`InputStore::get`])
+//! and *run an executor over an already-materialized input*
+//! ([`run_resident`]) — so a server can keep inputs warm in memory across
+//! requests while every run still goes through the exact validation and
+//! fingerprint reduction the differential harness uses.
+//!
+//! Not every input can stay resident: runs mutate some of them.
+//!
+//! - **bfs / mis / mm** — the CSR graph is read-only during a run; it is
+//!   shared freely (`Arc`) between concurrent requests.
+//! - **dt** — the point set is read-only (the run builds a fresh mesh);
+//!   shared freely.
+//! - **pfp** — the flow network stores flow state in atomics. It stays
+//!   resident behind a mutex: each run takes the lock, [`reset`]s the
+//!   residual state, and runs exclusively. Concurrent pfp requests on the
+//!   same input key serialize; requests on different keys do not.
+//! - **dmr** — refinement consumes the mesh; the input is rebuilt per
+//!   request ([`Residency::Uncacheable`]).
+//!
+//! [`reset`]: FlowNetwork::reset
+
+use crate::{input_key, reduce_run, App, InputConfig, RunOutcome};
+use galois_core::manifest::ManifestRecorder;
+use galois_core::{ExecError, Executor, RoundLog, RoundRecord};
+use galois_graph::cache::{self, CacheOutcome};
+use galois_graph::{gen, CsrGraph, FlowNetwork};
+use galois_mesh::check;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An input materialized for (potentially repeated) execution.
+#[derive(Clone)]
+pub enum ResidentInput {
+    /// CSR graph (bfs directed, mis/mm undirected) — immutable, shared.
+    Graph(Arc<CsrGraph>),
+    /// Point set for Delaunay triangulation, plus the BRIO seed.
+    Points {
+        /// The points themselves.
+        pts: Arc<Vec<galois_geometry::point::Point>>,
+        /// Seed for the biased randomized insertion order.
+        seed: u64,
+    },
+    /// A mesh *recipe* for dmr: refinement consumes the mesh, so only the
+    /// generator parameters stay resident and the mesh is rebuilt per run.
+    MeshSpec {
+        /// Input point count.
+        n: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Flow network for pfp — resident but exclusive: runs lock it and
+    /// reset the residual state before executing.
+    Flow(Arc<Mutex<FlowNetwork>>),
+}
+
+/// Where a request's input came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Served from the in-memory resident store.
+    Warm,
+    /// Materialized now (generated, or loaded from the on-disk input
+    /// cache) and made resident for subsequent requests.
+    Cold,
+    /// Rebuilt for this request because the run consumes its input (dmr).
+    Uncacheable,
+}
+
+impl Residency {
+    /// Lowercase label used in HTTP headers and stats.
+    pub fn name(self) -> &'static str {
+        match self {
+            Residency::Warm => "warm",
+            Residency::Cold => "cold",
+            Residency::Uncacheable => "uncacheable",
+        }
+    }
+}
+
+/// Materializes the input described by `input` for `app`, honoring the
+/// on-disk input cache in `input.cache_dir`. One-shot: no in-memory
+/// residency (that is [`InputStore`]'s job).
+pub fn load_input(app: App, input: &InputConfig) -> (ResidentInput, CacheOutcome) {
+    let seed = input.seed;
+    let bt = input.build_threads;
+    let dir = input.cache_dir.as_deref();
+    let n = input.size_for(app);
+    let key = input_key(app, input);
+    match app {
+        App::Bfs => {
+            let (g, cached) = cache::load_or_build_graph(dir, &key, || {
+                gen::uniform_random_parallel(n, 5, seed, bt)
+            });
+            (ResidentInput::Graph(Arc::new(g)), cached)
+        }
+        App::Mis | App::Mm => {
+            let (g, cached) = cache::load_or_build_graph(dir, &key, || {
+                gen::uniform_random_undirected_parallel(n, 4, seed, bt)
+            });
+            (ResidentInput::Graph(Arc::new(g)), cached)
+        }
+        App::Dt => {
+            let pts = galois_geometry::point::random_points(n, seed);
+            (
+                ResidentInput::Points {
+                    pts: Arc::new(pts),
+                    seed,
+                },
+                CacheOutcome::Disabled,
+            )
+        }
+        App::Dmr => (ResidentInput::MeshSpec { n, seed }, CacheOutcome::Disabled),
+        App::Pfp => {
+            let (net, cached) = cache::load_or_build_flow(dir, &key, || {
+                FlowNetwork::random_parallel(n, 4, 100, seed, bt)
+            });
+            (ResidentInput::Flow(Arc::new(Mutex::new(net))), cached)
+        }
+    }
+}
+
+/// What [`run_resident`] reduces a completed run to: the harness's
+/// cross-run [`RunOutcome`] plus the canonical round records (renumbered
+/// into one monotone sequence across multi-bout runs), so a server can
+/// stream the round log without re-running.
+#[derive(Debug, Clone)]
+pub struct ResidentRun {
+    /// The fingerprint reduction every harness comparison uses.
+    pub outcome: RunOutcome,
+    /// Canonical round records; byte-identical at any thread count for
+    /// deterministic runs.
+    pub records: Vec<RoundRecord>,
+}
+
+fn reduce(
+    output_hash: u64,
+    logs: Vec<RoundLog>,
+    stats: &galois_runtime::stats::ExecStats,
+) -> ResidentRun {
+    let (outcome, records) = reduce_run(output_hash, logs, stats);
+    ResidentRun { outcome, records }
+}
+
+fn take_logs(report: &mut galois_core::RunReport) -> Vec<RoundLog> {
+    report.take_round_log().into_iter().collect()
+}
+
+/// Runs `exec` over an already-materialized input, validating the output
+/// and reducing the run exactly as the differential harness does. The
+/// layering mirrors `run_cell`: outer `Err` = validation failure (or an
+/// app/input mismatch), inner `Err` = a contained executor fault, inner
+/// `Ok` = a validated [`ResidentRun`]. A [`ManifestRecorder`] in `rec`
+/// rides the run, capturing (or replay-verifying) the canonical chain.
+pub fn run_resident(
+    app: App,
+    exec: &Executor,
+    input: &ResidentInput,
+    mut rec: Option<&mut ManifestRecorder>,
+) -> Result<Result<ResidentRun, ExecError>, String> {
+    use crate::apps;
+    match (app, input) {
+        (App::Bfs, ResidentInput::Graph(g)) => {
+            let result = match rec.as_deref_mut() {
+                Some(r) => apps::bfs::try_galois_recorded(g, 0, exec, r),
+                None => apps::bfs::try_galois(g, 0, exec),
+            };
+            let (dist, mut r) = match result {
+                Ok(v) => v,
+                Err(e) => return Ok(Err(e)),
+            };
+            apps::bfs::verify(g, 0, &dist).map_err(|e| format!("bfs: {e}"))?;
+            let h = galois_runtime::fingerprint::hash_u32s(&dist);
+            Ok(Ok(reduce(h, take_logs(&mut r), &r.stats)))
+        }
+        (App::Mis, ResidentInput::Graph(g)) => {
+            let result = match rec.as_deref_mut() {
+                Some(r) => apps::mis::try_galois_recorded(g, exec, r),
+                None => apps::mis::try_galois(g, exec),
+            };
+            let (flags, mut r) = match result {
+                Ok(v) => v,
+                Err(e) => return Ok(Err(e)),
+            };
+            apps::mis::verify(g, &flags).map_err(|e| format!("mis: {e}"))?;
+            let h = galois_runtime::fingerprint::hash_u32s(&flags);
+            Ok(Ok(reduce(h, take_logs(&mut r), &r.stats)))
+        }
+        (App::Mm, ResidentInput::Graph(g)) => {
+            let result = match rec.as_deref_mut() {
+                Some(r) => apps::mm::try_galois_recorded(g, exec, r),
+                None => apps::mm::try_galois(g, exec),
+            };
+            let (mate, mut r) = match result {
+                Ok(v) => v,
+                Err(e) => return Ok(Err(e)),
+            };
+            apps::mm::verify(g, &mate).map_err(|e| format!("mm: {e}"))?;
+            let h = galois_runtime::fingerprint::hash_u32s(&mate);
+            Ok(Ok(reduce(h, take_logs(&mut r), &r.stats)))
+        }
+        (App::Dt, ResidentInput::Points { pts, seed }) => {
+            let result = match rec.as_deref_mut() {
+                Some(r) => apps::dt::try_galois_recorded(pts, *seed, exec, r),
+                None => apps::dt::try_galois(pts, *seed, exec),
+            };
+            let (mesh, mut r) = match result {
+                Ok(v) => v,
+                Err(e) => return Ok(Err(e)),
+            };
+            check::validate(&mesh).map_err(|e| format!("dt structure: {e}"))?;
+            check::check_delaunay(&mesh).map_err(|e| format!("dt delaunay: {e}"))?;
+            Ok(Ok(reduce(
+                crate::hash_mesh(&mesh),
+                take_logs(&mut r),
+                &r.stats,
+            )))
+        }
+        (App::Dmr, ResidentInput::MeshSpec { n, seed }) => {
+            let mesh = apps::dmr::make_input(*n, *seed);
+            let result = match rec.as_deref_mut() {
+                Some(r) => apps::dmr::try_galois_recorded(&mesh, exec, r),
+                None => apps::dmr::try_galois(&mesh, exec),
+            };
+            let mut r = match result {
+                Ok(v) => v,
+                Err(e) => return Ok(Err(e)),
+            };
+            check::validate(&mesh).map_err(|e| format!("dmr structure: {e}"))?;
+            check::check_delaunay(&mesh).map_err(|e| format!("dmr delaunay: {e}"))?;
+            let bad = check::quality(&mesh).bad;
+            if bad != 0 {
+                return Err(format!("dmr: {bad} bad triangles survive refinement"));
+            }
+            Ok(Ok(reduce(
+                crate::hash_mesh(&mesh),
+                take_logs(&mut r),
+                &r.stats,
+            )))
+        }
+        (App::Pfp, ResidentInput::Flow(net)) => {
+            // Exclusive: pfp writes flow state into the network's atomics,
+            // so a resident network serves one run at a time, from a clean
+            // residual state.
+            let net = net.lock().unwrap();
+            net.reset();
+            let result = match rec {
+                Some(r) => apps::pfp::try_galois_recorded(&net, exec, r),
+                None => apps::pfp::try_galois(&net, exec),
+            };
+            let (flow, mut r) = match result {
+                Ok(v) => v,
+                Err(e) => return Ok(Err(e)),
+            };
+            let checked = net.verify_flow().map_err(|e| format!("pfp: {e}"))?;
+            if checked != flow {
+                return Err(format!("pfp: reported flow {flow} != recomputed {checked}"));
+            }
+            let logs: Vec<RoundLog> = r
+                .reports
+                .iter_mut()
+                .filter_map(|b| b.take_round_log())
+                .collect();
+            let mut h = crate::Fnv64::new();
+            h.write_i64(flow);
+            Ok(Ok(reduce(h.finish(), logs, &r.stats)))
+        }
+        _ => Err(format!(
+            "resident input does not match app {app} — store keys crossed"
+        )),
+    }
+}
+
+/// Thread-safe resident input store: one materialized input per input key,
+/// kept warm across requests. mis and mm share an entry (their input key
+/// is identical by construction).
+pub struct InputStore {
+    cache_dir: Option<PathBuf>,
+    map: Mutex<HashMap<String, ResidentInput>>,
+    warm: AtomicU64,
+    cold: AtomicU64,
+    rebuilt: AtomicU64,
+}
+
+impl InputStore {
+    /// An empty store; `cache_dir` optionally backs cold loads with the
+    /// on-disk input cache.
+    pub fn new(cache_dir: Option<PathBuf>) -> Self {
+        InputStore {
+            cache_dir,
+            map: Mutex::new(HashMap::new()),
+            warm: AtomicU64::new(0),
+            cold: AtomicU64::new(0),
+            rebuilt: AtomicU64::new(0),
+        }
+    }
+
+    /// The on-disk cache directory backing this store, if any.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// Materializes (or returns the resident copy of) the input for
+    /// `(app, input)`. The store's own `cache_dir` overrides the one in
+    /// `input`. Builds happen under the store lock, so concurrent requests
+    /// for the same missing key build it exactly once.
+    pub fn get(&self, app: App, input: &InputConfig) -> (ResidentInput, Residency) {
+        let mut input = input.clone();
+        input.cache_dir = self.cache_dir.clone();
+        if matches!(app, App::Dmr) {
+            self.rebuilt.fetch_add(1, Ordering::Relaxed);
+            let (built, _) = load_input(app, &input);
+            return (built, Residency::Uncacheable);
+        }
+        let key = input_key(app, &input);
+        let mut map = self.map.lock().unwrap();
+        if let Some(found) = map.get(&key) {
+            self.warm.fetch_add(1, Ordering::Relaxed);
+            return (found.clone(), Residency::Warm);
+        }
+        let (built, _) = load_input(app, &input);
+        map.insert(key, built.clone());
+        self.cold.fetch_add(1, Ordering::Relaxed);
+        (built, Residency::Cold)
+    }
+
+    /// Requests served from memory.
+    pub fn warm_hits(&self) -> u64 {
+        self.warm.load(Ordering::Relaxed)
+    }
+
+    /// Requests that materialized (and retained) a new input.
+    pub fn cold_loads(&self) -> u64 {
+        self.cold.load(Ordering::Relaxed)
+    }
+
+    /// Requests whose input had to be rebuilt (uncacheable apps).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilt.load(Ordering::Relaxed)
+    }
+
+    /// Distinct inputs currently resident.
+    pub fn resident_inputs(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{executor_for, Variant};
+
+    #[test]
+    fn store_serves_warm_after_first_load() {
+        let store = InputStore::new(None);
+        let input = InputConfig::from_seed(42);
+        let (_, r1) = store.get(App::Mis, &input);
+        assert_eq!(r1, Residency::Cold);
+        let (_, r2) = store.get(App::Mis, &input);
+        assert_eq!(r2, Residency::Warm);
+        // mm shares mis's undirected entry.
+        let (_, r3) = store.get(App::Mm, &input);
+        assert_eq!(r3, Residency::Warm);
+        assert_eq!(store.warm_hits(), 2);
+        assert_eq!(store.cold_loads(), 1);
+        assert_eq!(store.resident_inputs(), 1);
+    }
+
+    #[test]
+    fn dmr_is_rebuilt_per_request() {
+        let store = InputStore::new(None);
+        let input = InputConfig::from_seed(42);
+        let (_, r1) = store.get(App::Dmr, &input);
+        let (_, r2) = store.get(App::Dmr, &input);
+        assert_eq!(r1, Residency::Uncacheable);
+        assert_eq!(r2, Residency::Uncacheable);
+        assert_eq!(store.rebuilds(), 2);
+        assert_eq!(store.resident_inputs(), 0);
+    }
+
+    #[test]
+    fn resident_run_matches_oneshot_fingerprint() {
+        // A run over a store-resident input must fingerprint identically to
+        // the one-shot run_app path — residency is invisible to results.
+        let input = InputConfig::from_seed(42);
+        let (oneshot, _) = crate::run_app(
+            App::Mis,
+            Variant::Deterministic,
+            2,
+            None,
+            &input,
+            &crate::unperturbed,
+        )
+        .unwrap();
+        let store = InputStore::new(None);
+        let (res, _) = store.get(App::Mis, &input);
+        let exec = executor_for(App::Mis, Variant::Deterministic, 2, None);
+        let run = run_resident(App::Mis, &exec, &res, None).unwrap().unwrap();
+        assert_eq!(run.outcome.fingerprint, oneshot.fingerprint);
+        // Repeated pfp runs on one resident network: the reset makes each
+        // run start clean, so the fingerprint is stable run over run.
+        let (flow_in, _) = store.get(App::Pfp, &input);
+        let exec = executor_for(App::Pfp, Variant::Deterministic, 2, None);
+        let a = run_resident(App::Pfp, &exec, &flow_in, None)
+            .unwrap()
+            .unwrap();
+        let b = run_resident(App::Pfp, &exec, &flow_in, None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.outcome.fingerprint, b.outcome.fingerprint);
+    }
+}

@@ -1,0 +1,69 @@
+//! Portability-sweep helpers shared by every test crate.
+//!
+//! Portability sweeps follow one shape — run the app at every thread count,
+//! reduce the run to a signature, assert all signatures are equal — so the
+//! sweep loop and the executor construction live here (promoted from the
+//! workspace-level `tests/common` module) instead of being copied into
+//! every test crate that asserts the paper's thread-count invariance.
+
+use galois_core::{DetOptions, Executor, Schedule};
+use std::fmt::Debug;
+
+/// Thread counts every portability sweep covers. The host running the
+/// tests may have a single core: 8 and 16 deliberately oversubscribe it,
+/// because determinism that only holds when every thread gets its own core
+/// is not the paper's determinism.
+pub const THREAD_COUNTS: [usize; 5] = [1, 2, 5, 8, 16];
+
+/// Thread budgets a *served* request sweep covers: the server-facing
+/// subset of [`THREAD_COUNTS`] used by the `galois-serve` end-to-end
+/// battery, where each budget is one full executor pool per request.
+pub const SERVE_THREAD_BUDGETS: [usize; 4] = [1, 2, 4, 8];
+
+/// The default deterministic executor at `threads`.
+pub fn det_executor(threads: usize) -> Executor {
+    Executor::new()
+        .threads(threads)
+        .schedule(Schedule::deterministic())
+}
+
+/// A deterministic executor with a non-default locality spread (the §3.3
+/// id-assignment optimization used by the mesh apps).
+pub fn det_executor_spread(threads: usize, locality_spread: usize) -> Executor {
+    Executor::new()
+        .threads(threads)
+        .schedule(Schedule::Deterministic(DetOptions {
+            locality_spread,
+            ..Default::default()
+        }))
+}
+
+/// Runs `run` at every thread count in [`THREAD_COUNTS`] and asserts the
+/// returned signature never changes. The signature should hold everything
+/// the test claims is portable: outputs, schedule counters, round counts.
+/// Returns the per-count signatures (all equal) for further assertions.
+pub fn assert_portable<S, F>(label: &str, run: F) -> Vec<S>
+where
+    S: PartialEq + Debug,
+    F: FnMut(usize) -> S,
+{
+    assert_portable_over(label, &THREAD_COUNTS, run)
+}
+
+/// [`assert_portable`] over an explicit thread-count list, for sweeps that
+/// need a different budget set (e.g. the serve battery's request budgets).
+pub fn assert_portable_over<S, F>(label: &str, thread_counts: &[usize], mut run: F) -> Vec<S>
+where
+    S: PartialEq + Debug,
+    F: FnMut(usize) -> S,
+{
+    let mut sigs: Vec<S> = Vec::with_capacity(thread_counts.len());
+    for &threads in thread_counts {
+        let sig = run(threads);
+        if let Some(p) = sigs.first() {
+            assert_eq!(&sig, p, "{label} changed at {threads} threads");
+        }
+        sigs.push(sig);
+    }
+    sigs
+}

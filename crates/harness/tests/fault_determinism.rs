@@ -3,7 +3,8 @@
 //! panic seed)` — never of the thread count.
 //!
 //! For every drawn panic seed, bfs and mis run under the deterministic
-//! executor at threads {1, 2, 4, 8, 16}; the reduced [`FaultOutcome`] —
+//! executor at the shared sweep thread counts (`sweep::THREAD_COUNTS`,
+//! including oversubscribed ones); the reduced [`FaultOutcome`] —
 //! which for a faulted run carries the structured
 //! `ExecError::OperatorPanic { task_id, message, round }` including the
 //! captured panic *message string* — must be byte-identical to the
@@ -12,11 +13,9 @@
 //! termination: a deadlock here would hang the test and be killed by the
 //! suite's (and CI's) global timeout.
 
+use galois_harness::sweep::THREAD_COUNTS as THREADS;
 use galois_harness::{run_app_panic, App, FaultOutcome, InputConfig, Variant};
 use proptest::prelude::*;
-
-/// Thread counts the deterministic report must be invariant over.
-const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
 
 /// Runs one `(app, seed)` cell at every thread count and checks the
 /// deterministic reports agree; returns the reference outcome.

@@ -1,0 +1,269 @@
+//! Minimal JSON support for the serve front end.
+//!
+//! The tree is registry-free, so there is no serde; requests are *flat*
+//! JSON objects (string / unsigned-integer / boolean values only), parsed
+//! by a strict, allocation-light recursive-descent scanner. Responses are
+//! built by hand with fixed field order — canonical output needs exact
+//! byte control anyway, so a serializer would buy nothing.
+
+/// A value a request object may carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Str(String),
+}
+
+impl JsonValue {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(found) if found == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(found) => Err(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char, self.pos, found as char
+            )),
+            None => Err(format!("expected `{}`, found end of input", b as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                }
+                b if b < 0x20 => return Err("raw control byte in string".into()),
+                b => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = match b {
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            0xf0..=0xf7 => 4,
+                            _ => return Err("invalid UTF-8 in string".into()),
+                        };
+                        let chunk = self
+                            .bytes
+                            .get(start..start + len)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        let s = std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?;
+                        out.push_str(s);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'0'..=b'9') => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                if self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| matches!(b, b'.' | b'e' | b'E'))
+                {
+                    return Err("fractional numbers are not accepted here".into());
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .unwrap()
+                    .parse()
+                    .map(JsonValue::UInt)
+                    .map_err(|_| "integer out of range".into())
+            }
+            Some(b'{') | Some(b'[') => {
+                Err("nested objects/arrays are not accepted in requests".into())
+            }
+            Some(b'-') => Err("negative numbers are not accepted here".into()),
+            Some(b) => Err(format!("unexpected byte `{}`", b as char)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+}
+
+/// Parses a flat JSON object — `{"key": <string|uint|bool|null>, ...}` —
+/// into key/value pairs in document order. Nested containers, floats, and
+/// trailing garbage are all rejected: a request either parses exactly or
+/// names the reason it did not.
+pub fn parse_flat_object(text: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut sc = Scanner {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    sc.expect(b'{')?;
+    let mut pairs = Vec::new();
+    if sc.peek() == Some(b'}') {
+        sc.pos += 1;
+    } else {
+        loop {
+            let key = sc.string()?;
+            sc.expect(b':')?;
+            let value = sc.value()?;
+            pairs.push((key, value));
+            match sc.peek() {
+                Some(b',') => sc.pos += 1,
+                Some(b'}') => {
+                    sc.pos += 1;
+                    break;
+                }
+                _ => return Err("expected `,` or `}` after value".into()),
+            }
+        }
+    }
+    if sc.peek().is_some() {
+        return Err("trailing bytes after object".into());
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_requests() {
+        let pairs =
+            parse_flat_object(r#" {"app": "bfs", "threads": 4, "round_log": true, "x": null} "#)
+                .unwrap();
+        assert_eq!(pairs[0], ("app".into(), JsonValue::Str("bfs".into())));
+        assert_eq!(pairs[1], ("threads".into(), JsonValue::UInt(4)));
+        assert_eq!(pairs[2], ("round_log".into(), JsonValue::Bool(true)));
+        assert_eq!(pairs[3], ("x".into(), JsonValue::Null));
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_nesting_floats_and_garbage() {
+        assert!(parse_flat_object(r#"{"a": {"b": 1}}"#).is_err());
+        assert!(parse_flat_object(r#"{"a": [1]}"#).is_err());
+        assert!(parse_flat_object(r#"{"a": 1.5}"#).is_err());
+        assert!(parse_flat_object(r#"{"a": -1}"#).is_err());
+        assert!(parse_flat_object(r#"{"a": 1} extra"#).is_err());
+        assert!(parse_flat_object(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let pairs = parse_flat_object(r#"{"k": "a\"b\\c\ndAé"}"#).unwrap();
+        assert_eq!(pairs[0].1.as_str().unwrap(), "a\"b\\c\ndAé");
+        assert_eq!(escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -11,6 +11,7 @@
 //!        [--chaos-seed N] [--cache-dir DIR]
 //! galois replay FILE [--threads N] [--cache-dir DIR]
 //!        [--lockstep T1,T2[,..]] [--lockstep-chaos S1,S2[,..]]
+//! galois serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]
 //!
 //! apps: bfs, mis, dt, dmr, pfp
 //! ```
@@ -49,6 +50,12 @@
 //! round hashes at every barrier and reporting the first round where any
 //! two replicas — or a replica and the recording — disagree.
 //!
+//! `galois serve` starts the resident compute service (`galois-serve`): a
+//! blocking HTTP/1.1+JSON server that keeps inputs warm across requests,
+//! quarantines faulting runs into structured error responses, and streams
+//! round logs and replayable manifests back to clients. It runs until
+//! `POST /shutdown` (or the process is killed).
+//!
 //! [`RunManifest`]: deterministic_galois::core::RunManifest
 
 use deterministic_galois::apps::{bfs, dmr, dt, mis, mm, pfp};
@@ -86,7 +93,8 @@ fn usage() -> ! {
          galois record <app> --out FILE [--threads N] [--size N] [--seed N] \
          [--chaos-seed N] [--cache-dir DIR]\n       \
          galois replay FILE [--threads N] [--cache-dir DIR] \
-         [--lockstep T1,T2[,..]] [--lockstep-chaos S1,S2[,..]]"
+         [--lockstep T1,T2[,..]] [--lockstep-chaos S1,S2[,..]]\n       \
+         galois serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]"
     );
     exit(2);
 }
@@ -271,12 +279,59 @@ fn cmd_replay(argv: &[String]) -> ! {
     }
 }
 
+/// `galois serve ...` — run the resident compute service until shutdown.
+fn cmd_serve(argv: &[String]) -> ! {
+    use deterministic_galois::serve::{ServeConfig, Server};
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7423".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut it = argv.iter().cloned();
+    while let Some(flag) = it.next() {
+        let mut val = |a: &mut dyn FnMut(String)| match it.next() {
+            Some(v) => a(v),
+            None => usage(),
+        };
+        match flag.as_str() {
+            "--addr" => val(&mut |v| config.addr = v),
+            "--workers" => val(&mut |v| config.workers = v.parse().unwrap_or_else(|_| usage())),
+            "--cache-dir" => val(&mut |v| config.cache_dir = Some(v.into())),
+            _ => usage(),
+        }
+    }
+    if config.workers == 0 {
+        eprintln!("--workers must be positive");
+        exit(2);
+    }
+    let handle = match Server::start(config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", config.addr);
+            exit(1);
+        }
+    };
+    println!(
+        "galois-serve listening on {} ({} workers, cache {})",
+        handle.addr(),
+        config.workers,
+        config
+            .cache_dir
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "off".to_string()),
+    );
+    handle.wait();
+    println!("galois-serve stopped");
+    exit(0);
+}
+
 fn parse_args() -> Args {
     {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         match argv.first().map(String::as_str) {
             Some("record") => cmd_record(&argv[1..]),
             Some("replay") => cmd_replay(&argv[1..]),
+            Some("serve") => cmd_serve(&argv[1..]),
             _ => {}
         }
     }

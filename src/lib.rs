@@ -13,6 +13,7 @@
 //! | [`mesh`] | `galois-mesh` | concurrent triangle mesh, cavities, checkers |
 //! | [`pbbs`] | `pbbs-det` | deterministic reservations, priority writes |
 //! | [`apps`] | `galois-apps` | bfs, mis, dt, dmr, pfp in all paper variants |
+//! | [`serve`] | `galois-serve` | resident compute service: HTTP front end, warm inputs, fault quarantine |
 //! | [`coredet`] | `coredet-sim` | the CoreDet comparison system |
 //! | [`cachesim`] | `cache-sim` | the locality-study cache model |
 //!
@@ -54,4 +55,5 @@ pub use galois_graph as graph;
 pub use galois_harness as harness;
 pub use galois_mesh as mesh;
 pub use galois_runtime as runtime;
+pub use galois_serve as serve;
 pub use pbbs_det as pbbs;

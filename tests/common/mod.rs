@@ -1,51 +1,10 @@
 //! Shared support for the cross-crate portability tests.
 //!
-//! Portability sweeps follow one shape — run the app at every thread count,
-//! reduce the run to a signature, assert all signatures are equal — so the
-//! sweep loop and the executor construction live here instead of being
-//! copied into every test.
+//! The sweep helpers were promoted into `galois_harness::sweep` so the
+//! serve/runtime/harness test crates share one implementation; this module
+//! re-exports them for the workspace-level tests.
 
-use deterministic_galois::core::{DetOptions, Executor, Schedule};
-use std::fmt::Debug;
-
-/// Thread counts every portability sweep covers. The host running the
-/// tests may have a single core: 8 and 16 deliberately oversubscribe it,
-/// because determinism that only holds when every thread gets its own core
-/// is not the paper's determinism.
-pub const THREAD_COUNTS: [usize; 5] = [1, 2, 5, 8, 16];
-
-/// The default deterministic executor at `threads`.
-pub fn det_executor(threads: usize) -> Executor {
-    Executor::new()
-        .threads(threads)
-        .schedule(Schedule::deterministic())
-}
-
-/// A deterministic executor with a non-default locality spread (the §3.3
-/// id-assignment optimization used by the mesh apps).
-pub fn det_executor_spread(threads: usize, locality_spread: usize) -> Executor {
-    Executor::new()
-        .threads(threads)
-        .schedule(Schedule::Deterministic(DetOptions {
-            locality_spread,
-            ..Default::default()
-        }))
-}
-
-/// Runs `run` at every thread count in [`THREAD_COUNTS`] and asserts the
-/// returned signature never changes. The signature should hold everything
-/// the test claims is portable: outputs, schedule counters, round counts.
-pub fn assert_portable<S, F>(label: &str, mut run: F)
-where
-    S: PartialEq + Debug,
-    F: FnMut(usize) -> S,
-{
-    let mut prev: Option<S> = None;
-    for threads in THREAD_COUNTS {
-        let sig = run(threads);
-        if let Some(p) = &prev {
-            assert_eq!(&sig, p, "{label} changed at {threads} threads");
-        }
-        prev = Some(sig);
-    }
-}
+#[allow(unused_imports)]
+pub use deterministic_galois::harness::sweep::{
+    assert_portable, assert_portable_over, det_executor, det_executor_spread, THREAD_COUNTS,
+};
