@@ -86,7 +86,10 @@ pub use executor::{
 };
 pub use galois_runtime::chaos::ChaosPolicy;
 pub use galois_runtime::probe::{Probe, RoundLog, RoundRecord};
-pub use manifest::{ManifestError, ManifestRecorder, ReplayDivergence, RunManifest};
+pub use manifest::{
+    LockstepEvent, LockstepEventKind, LockstepOutcome, LockstepReport, ManifestError,
+    ManifestRecorder, ReplayDivergence, RunManifest,
+};
 pub use marks::{LockId, MarkTable};
 pub use ops::Operator;
 pub use window::WindowPolicy;
@@ -101,7 +104,8 @@ pub mod prelude {
         DetOptions, Executor, LoopSpec, RunReport, Schedule, WorklistPolicy,
     };
     pub use crate::manifest::{
-        ExecConfig, ManifestError, ManifestRecorder, ReplayDivergence, RunManifest,
+        ExecConfig, LockstepEvent, LockstepEventKind, LockstepOutcome, LockstepReport,
+        ManifestError, ManifestRecorder, ReplayDivergence, RunManifest,
     };
     pub use crate::marks::{LockId, MarkTable};
     pub use crate::ops::Operator;

@@ -544,6 +544,26 @@ impl<'a> Parser<'a> {
         Ok(out)
     }
 
+    fn key_u64_array(&mut self, name: &str) -> Result<Vec<u64>, ManifestError> {
+        self.key(name)?;
+        self.expect("[")?;
+        let mut out = Vec::new();
+        if self.rest().starts_with(']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.u64_value()?);
+            if self.rest().starts_with(',') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect("]")?;
+        Ok(out)
+    }
+
     fn end(&mut self) -> Result<(), ManifestError> {
         if self.rest().is_empty() {
             Ok(())
@@ -762,6 +782,326 @@ impl Probe for ManifestRecorder {
     }
 }
 
+/// Lockstep report format version this build writes and accepts.
+pub const LOCKSTEP_REPORT_VERSION: u64 = 1;
+
+/// How a distributed lockstep run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockstepOutcome {
+    /// Every surviving replica reproduced the reference chain and agreed on
+    /// the final fingerprint.
+    Agreed,
+    /// At least one replica diverged and was evicted, but a quorum of
+    /// survivors matching the reference chain completed the run.
+    Diverged,
+    /// The coordinator refused to emit a result: quorum was lost, or a
+    /// majority of replicas contradicted the recorded reference chain.
+    NoQuorum,
+}
+
+impl LockstepOutcome {
+    /// The stable wire/report spelling of this outcome.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockstepOutcome::Agreed => "agreed",
+            LockstepOutcome::Diverged => "diverged",
+            LockstepOutcome::NoQuorum => "no_quorum",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "agreed" => Some(LockstepOutcome::Agreed),
+            "diverged" => Some(LockstepOutcome::Diverged),
+            "no_quorum" => Some(LockstepOutcome::NoQuorum),
+            _ => None,
+        }
+    }
+}
+
+/// What a [`LockstepEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockstepEventKind {
+    /// A replica's prefix hash contradicted the settled majority chain.
+    Divergence,
+    /// A minority replica was removed from the vote after diverging.
+    Eviction,
+    /// A replica's connection dropped (process death, socket close).
+    Death,
+    /// A replica went silent past the coordinator's timeout.
+    Timeout,
+    /// A replica reported a structured execution fault instead of finishing.
+    Fault,
+    /// The coordinator refused to settle: no trustworthy majority remained.
+    Refusal,
+}
+
+impl LockstepEventKind {
+    /// The stable wire/report spelling of this event kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockstepEventKind::Divergence => "divergence",
+            LockstepEventKind::Eviction => "eviction",
+            LockstepEventKind::Death => "death",
+            LockstepEventKind::Timeout => "timeout",
+            LockstepEventKind::Fault => "fault",
+            LockstepEventKind::Refusal => "refusal",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "divergence" => Some(LockstepEventKind::Divergence),
+            "eviction" => Some(LockstepEventKind::Eviction),
+            "death" => Some(LockstepEventKind::Death),
+            "timeout" => Some(LockstepEventKind::Timeout),
+            "fault" => Some(LockstepEventKind::Fault),
+            "refusal" => Some(LockstepEventKind::Refusal),
+            _ => None,
+        }
+    }
+}
+
+/// One structured entry in a lockstep run's event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockstepEvent {
+    /// Chain sequence index the event is anchored to (0 when the event is
+    /// not about a specific round, e.g. a pre-run death).
+    pub round: u64,
+    /// Replica the event concerns; `None` for coordinator-level events.
+    pub replica: Option<u64>,
+    /// Event classification.
+    pub kind: LockstepEventKind,
+    /// Reference prefix hash at `round` (0 when not applicable).
+    pub expected: u64,
+    /// The offending replica's prefix hash (0 when not applicable).
+    pub actual: u64,
+    /// Human-readable detail. Serialized without escapes, so
+    /// [`LockstepReport::to_json`] sanitizes quotes, backslashes and
+    /// control bytes to spaces.
+    pub detail: String,
+}
+
+fn sanitize_detail(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c == '"' || c == '\\' || (c as u32) < 0x20 {
+                ' '
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// The coordinator's structured account of one distributed lockstep run:
+/// identity, quorum geometry, the event log (divergences, evictions,
+/// deaths), and the agreed result hashes. Same on-disk discipline as
+/// [`RunManifest`]: versioned, checksummed, fixed-order single-line JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockstepReport {
+    /// Format version ([`LOCKSTEP_REPORT_VERSION`]).
+    pub version: u64,
+    /// Application name of the replicated run.
+    pub app: String,
+    /// Input identity key of the replicated run.
+    pub input_key: String,
+    /// Replicas that joined at the start.
+    pub replicas: u64,
+    /// Round-count comparison window (coordinator buffer bound).
+    pub window: u64,
+    /// Rounds settled against the reference chain.
+    pub rounds: u64,
+    /// How the run ended.
+    pub outcome: LockstepOutcome,
+    /// Replica ids still in the vote at the end.
+    pub survivors: Vec<u64>,
+    /// High-water mark of any replica's buffered (unsettled) hash count —
+    /// bounded by `window` by construction.
+    pub max_buffered: u64,
+    /// Agreed application output hash (0 when the run was refused).
+    pub output_hash: u64,
+    /// Agreed final run fingerprint (0 when the run was refused).
+    pub final_fingerprint: u64,
+    /// Structured event log, in detection order.
+    pub events: Vec<LockstepEvent>,
+}
+
+impl LockstepReport {
+    /// Serializes to the versioned, checksummed single-line JSON format.
+    pub fn to_json(&self) -> String {
+        let survivors: Vec<String> = self.survivors.iter().map(|r| r.to_string()).collect();
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| {
+                let replica = match e.replica {
+                    Some(r) => r.to_string(),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"round\":{},\"replica\":{},\"kind\":\"{}\",\"expected\":\"{:016x}\",\
+                     \"actual\":\"{:016x}\",\"detail\":\"{}\"}}",
+                    e.round,
+                    replica,
+                    e.kind.name(),
+                    e.expected,
+                    e.actual,
+                    sanitize_detail(&e.detail),
+                )
+            })
+            .collect();
+        let body = format!(
+            "{{\"version\":{},\"app\":\"{}\",\"input_key\":\"{}\",\"replicas\":{},\
+             \"window\":{},\"rounds\":{},\"outcome\":\"{}\",\"survivors\":[{}],\
+             \"max_buffered\":{},\"output_hash\":\"{:016x}\",\
+             \"final_fingerprint\":\"{:016x}\",\"events\":[{}]}}",
+            self.version,
+            self.app,
+            self.input_key,
+            self.replicas,
+            self.window,
+            self.rounds,
+            self.outcome.name(),
+            survivors.join(","),
+            self.max_buffered,
+            self.output_hash,
+            self.final_fingerprint,
+            events.join(","),
+        );
+        let mut h = Fnv64::new();
+        h.write_bytes(body.as_bytes());
+        format!(
+            "{},\"checksum\":\"{:016x}\"}}\n",
+            &body[..body.len() - 1],
+            h.finish()
+        )
+    }
+
+    /// Parses the format written by [`LockstepReport::to_json`], rejecting
+    /// version mismatches and any corruption.
+    pub fn from_json(text: &str) -> Result<LockstepReport, ManifestError> {
+        let text = text.trim_end();
+        let marker = ",\"checksum\":\"";
+        let at = text
+            .rfind(marker)
+            .ok_or_else(|| ManifestError::Parse("missing checksum field".into()))?;
+        let tail = &text[at + marker.len()..];
+        let stored = tail
+            .strip_suffix("\"}")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| ManifestError::Parse("malformed checksum field".into()))?;
+        let body = format!("{}}}", &text[..at]);
+        let mut h = Fnv64::new();
+        h.write_bytes(body.as_bytes());
+        let actual = h.finish();
+        if actual != stored {
+            return Err(ManifestError::Checksum { stored, actual });
+        }
+
+        let mut p = Parser::new(&body);
+        p.expect("{")?;
+        let version = p.key_u64("version")?;
+        if version != LOCKSTEP_REPORT_VERSION {
+            return Err(ManifestError::Version(version));
+        }
+        p.expect(",")?;
+        let app = p.key_string("app")?;
+        p.expect(",")?;
+        let input_key = p.key_string("input_key")?;
+        p.expect(",")?;
+        let replicas = p.key_u64("replicas")?;
+        p.expect(",")?;
+        let window = p.key_u64("window")?;
+        p.expect(",")?;
+        let rounds = p.key_u64("rounds")?;
+        p.expect(",")?;
+        let outcome = LockstepOutcome::from_name(&p.key_string("outcome")?)
+            .ok_or_else(|| ManifestError::Parse("unknown lockstep outcome".into()))?;
+        p.expect(",")?;
+        let survivors = p.key_u64_array("survivors")?;
+        p.expect(",")?;
+        let max_buffered = p.key_u64("max_buffered")?;
+        p.expect(",")?;
+        let output_hash = p.key_hex("output_hash")?;
+        p.expect(",")?;
+        let final_fingerprint = p.key_hex("final_fingerprint")?;
+        p.expect(",")?;
+        p.key("events")?;
+        p.expect("[")?;
+        let mut events = Vec::new();
+        if p.rest().starts_with(']') {
+            p.pos += 1;
+        } else {
+            loop {
+                p.expect("{")?;
+                let round = p.key_u64("round")?;
+                p.expect(",")?;
+                let replica = p.key_u64_or_null("replica")?;
+                p.expect(",")?;
+                let kind = LockstepEventKind::from_name(&p.key_string("kind")?)
+                    .ok_or_else(|| ManifestError::Parse("unknown event kind".into()))?;
+                p.expect(",")?;
+                let expected = p.key_hex("expected")?;
+                p.expect(",")?;
+                let actual = p.key_hex("actual")?;
+                p.expect(",")?;
+                let detail = p.key_string("detail")?;
+                p.expect("}")?;
+                events.push(LockstepEvent {
+                    round,
+                    replica,
+                    kind,
+                    expected,
+                    actual,
+                    detail,
+                });
+                if p.rest().starts_with(',') {
+                    p.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            p.expect("]")?;
+        }
+        p.expect("}")?;
+        p.end()?;
+
+        Ok(LockstepReport {
+            version,
+            app,
+            input_key,
+            replicas,
+            window,
+            rounds,
+            outcome,
+            survivors,
+            max_buffered,
+            output_hash,
+            final_fingerprint,
+            events,
+        })
+    }
+
+    /// Writes the report to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), ManifestError> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| ManifestError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Loads and validates a report from `path`.
+    pub fn load(path: &Path) -> Result<LockstepReport, ManifestError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ManifestError::Io(format!("{}: {e}", path.display())))?;
+        LockstepReport::from_json(&text)
+    }
+
+    /// Events of one kind, in detection order.
+    pub fn events_of(&self, kind: LockstepEventKind) -> Vec<&LockstepEvent> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -944,6 +1284,92 @@ mod tests {
             .expect("divergence flagged while streaming");
         assert_eq!(d.round, 1);
         assert_eq!(d.expected, m.round_hashes[1]);
+    }
+
+    fn report() -> LockstepReport {
+        LockstepReport {
+            version: LOCKSTEP_REPORT_VERSION,
+            app: "bfs".into(),
+            input_key: "uniform-n2000-d5-s42".into(),
+            replicas: 3,
+            window: 64,
+            rounds: 17,
+            outcome: LockstepOutcome::Diverged,
+            survivors: vec![0, 2],
+            max_buffered: 5,
+            output_hash: 0xfeed_face,
+            final_fingerprint: 0x0123_4567_89ab_cdef,
+            events: vec![
+                LockstepEvent {
+                    round: 9,
+                    replica: Some(1),
+                    kind: LockstepEventKind::Divergence,
+                    expected: 0xaaaa,
+                    actual: 0xbbbb,
+                    detail: "replica 1 contradicted the reference at round 9".into(),
+                },
+                LockstepEvent {
+                    round: 9,
+                    replica: Some(1),
+                    kind: LockstepEventKind::Eviction,
+                    expected: 0,
+                    actual: 0,
+                    detail: "minority of 1 evicted".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lockstep_report_round_trips() {
+        let r = report();
+        let text = r.to_json();
+        assert!(text.ends_with("\"}\n"));
+        assert_eq!(LockstepReport::from_json(&text).unwrap(), r);
+        // Empty survivors/events and a null replica round-trip too.
+        let mut r2 = report();
+        r2.survivors.clear();
+        r2.events = vec![LockstepEvent {
+            round: 0,
+            replica: None,
+            kind: LockstepEventKind::Refusal,
+            expected: 0,
+            actual: 0,
+            detail: "no strict majority".into(),
+        }];
+        r2.outcome = LockstepOutcome::NoQuorum;
+        assert_eq!(LockstepReport::from_json(&r2.to_json()).unwrap(), r2);
+    }
+
+    #[test]
+    fn lockstep_report_rejects_corruption_and_versions() {
+        let r = report();
+        let text = r.to_json();
+        let flipped = text.replacen("\"replicas\":3", "\"replicas\":4", 1);
+        assert!(matches!(
+            LockstepReport::from_json(&flipped),
+            Err(ManifestError::Checksum { .. })
+        ));
+        assert!(matches!(
+            LockstepReport::from_json(&text[..text.len() / 2]),
+            Err(ManifestError::Parse(_))
+        ));
+        let mut bumped = report();
+        bumped.version = LOCKSTEP_REPORT_VERSION + 1;
+        assert_eq!(
+            LockstepReport::from_json(&bumped.to_json()),
+            Err(ManifestError::Version(LOCKSTEP_REPORT_VERSION + 1))
+        );
+        assert!(LockstepReport::from_json("not json").is_err());
+        assert!(LockstepReport::from_json("").is_err());
+    }
+
+    #[test]
+    fn lockstep_detail_is_sanitized_to_stay_parseable() {
+        let mut r = report();
+        r.events[0].detail = "quote \" backslash \\ newline \n done".into();
+        let back = LockstepReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.events[0].detail, "quote   backslash   newline   done");
     }
 
     #[test]

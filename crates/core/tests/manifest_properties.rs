@@ -1,0 +1,172 @@
+//! Round-trip fuzz for the two on-disk formats: [`RunManifest`] and
+//! [`LockstepReport`]. For any drawn value, `parse(serialize(x)) == x`;
+//! and for any *single-byte* corruption of the serialized form, parsing is
+//! rejected — the checksum (or the strict cursor) catches every flip, so a
+//! torn or tampered file can never replay as a different run.
+
+use galois_core::manifest::{
+    ExecConfig, LockstepEvent, LockstepEventKind, LockstepOutcome, LockstepReport, ScheduleKind,
+    LOCKSTEP_REPORT_VERSION, MANIFEST_VERSION,
+};
+use galois_core::{RunManifest, WorklistPolicy};
+use proptest::prelude::*;
+
+const APPS: [&str; 6] = ["bfs", "mis", "mm", "dt", "dmr", "pfp"];
+const KINDS: [LockstepEventKind; 6] = [
+    LockstepEventKind::Divergence,
+    LockstepEventKind::Eviction,
+    LockstepEventKind::Death,
+    LockstepEventKind::Timeout,
+    LockstepEventKind::Fault,
+    LockstepEventKind::Refusal,
+];
+const OUTCOMES: [LockstepOutcome; 3] = [
+    LockstepOutcome::Agreed,
+    LockstepOutcome::Diverged,
+    LockstepOutcome::NoQuorum,
+];
+
+/// Event details drawn from the sanitizer's fixed point: characters that
+/// `to_json` passes through verbatim, so round-tripping is exact.
+fn safe_detail(payload: u64) -> String {
+    const CHARS: [char; 16] = [
+        'a', 'b', 'z', 'Z', '0', '9', ' ', '_', '-', ':', '.', ',', '(', ')', '/', '%',
+    ];
+    let mut s = String::new();
+    let mut p = payload;
+    for _ in 0..(payload % 24) {
+        s.push(CHARS[(p % 16) as usize]);
+        p = p.rotate_right(5).wrapping_add(7);
+    }
+    s
+}
+
+fn drawn_manifest(seed: u64, hashes: Vec<u64>) -> RunManifest {
+    RunManifest {
+        version: MANIFEST_VERSION,
+        app: APPS[(seed % 6) as usize].to_string(),
+        input_key: format!("uniform-n{}-d5-s{}", 100 + seed % 5000, seed % 97),
+        input_seed: seed % 97,
+        size: if seed.is_multiple_of(3) {
+            0
+        } else {
+            100 + seed % 5000
+        },
+        exec: ExecConfig {
+            threads: 1 + (seed % 16) as usize,
+            schedule: match seed % 3 {
+                0 => ScheduleKind::Serial,
+                1 => ScheduleKind::Speculative,
+                _ => ScheduleKind::Deterministic,
+            },
+            continuation: seed.is_multiple_of(2),
+            locality_spread: 1 + (seed % 32) as usize,
+            worklist: if seed.is_multiple_of(2) {
+                WorklistPolicy::Lifo
+            } else {
+                WorklistPolicy::Fifo
+            },
+            chaos_seed: (seed.is_multiple_of(5)).then_some(seed),
+            chaos_panics: seed.is_multiple_of(7),
+            max_stalled_rounds: 1 + seed % 1000,
+        },
+        final_fingerprint: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        round_hashes: hashes,
+    }
+}
+
+fn drawn_report(seed: u64, events: &[(u64, u64)]) -> LockstepReport {
+    let replicas = 1 + seed % 7;
+    LockstepReport {
+        version: LOCKSTEP_REPORT_VERSION,
+        app: APPS[(seed % 6) as usize].to_string(),
+        input_key: format!("key-{}", seed % 1000),
+        replicas,
+        window: 1 + seed % 128,
+        rounds: seed % 10_000,
+        outcome: OUTCOMES[(seed % 3) as usize],
+        survivors: (0..replicas).filter(|r| (seed >> r) & 1 == 0).collect(),
+        max_buffered: seed % 128,
+        output_hash: seed.rotate_left(17),
+        final_fingerprint: seed.rotate_left(33),
+        events: events
+            .iter()
+            .map(|&(a, b)| LockstepEvent {
+                round: a % 10_000,
+                replica: (a % 3 != 0).then_some(a % 7),
+                kind: KINDS[(b % 6) as usize],
+                expected: a.wrapping_mul(b),
+                actual: b.rotate_left(9),
+                detail: safe_detail(a ^ b),
+            })
+            .collect(),
+    }
+}
+
+/// Asserts every ASCII-safe single-byte flip of `text` fails to parse.
+/// The trailing newline is exempt: the loader trims trailing whitespace,
+/// so a flip there isn't corruption of the *document*.
+fn assert_flips_rejected<T, E: std::fmt::Debug>(text: &str, parse: impl Fn(&str) -> Result<T, E>) {
+    let bytes = text.as_bytes();
+    let end = if text.ends_with('\n') {
+        bytes.len() - 1
+    } else {
+        bytes.len()
+    };
+    for at in 0..end {
+        let mut flipped = bytes.to_vec();
+        flipped[at] ^= 0x01;
+        let Ok(corrupt) = String::from_utf8(flipped) else {
+            continue;
+        };
+        assert!(
+            parse(&corrupt).is_err(),
+            "flip at byte {at} ({:?} -> {:?}) was accepted",
+            bytes[at] as char,
+            (bytes[at] ^ 0x01) as char,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RunManifest: parse(serialize(x)) == x for drawn manifests.
+    fn run_manifest_round_trips(
+        seed in 0u64..u64::MAX,
+        hashes in proptest::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let manifest = drawn_manifest(seed, hashes);
+        let text = manifest.to_json();
+        prop_assert_eq!(RunManifest::from_json(&text), Ok(manifest));
+    }
+
+    /// RunManifest: every single-byte flip of the serialized form is
+    /// rejected (strict cursor or checksum, never a silent reinterpret).
+    fn run_manifest_rejects_every_byte_flip(
+        seed in 0u64..u64::MAX,
+        hashes in proptest::collection::vec(0u64..u64::MAX, 0..6),
+    ) {
+        let text = drawn_manifest(seed, hashes).to_json();
+        assert_flips_rejected(&text, RunManifest::from_json);
+    }
+
+    /// LockstepReport: parse(serialize(x)) == x, including the event log.
+    fn lockstep_report_round_trips(
+        seed in 0u64..u64::MAX,
+        events in proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..10),
+    ) {
+        let report = drawn_report(seed, &events);
+        let text = report.to_json();
+        prop_assert_eq!(LockstepReport::from_json(&text), Ok(report));
+    }
+
+    /// LockstepReport: every single-byte flip is rejected.
+    fn lockstep_report_rejects_every_byte_flip(
+        seed in 0u64..u64::MAX,
+        events in proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..3),
+    ) {
+        let text = drawn_report(seed, &events).to_json();
+        assert_flips_rejected(&text, LockstepReport::from_json);
+    }
+}

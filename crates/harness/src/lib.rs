@@ -34,11 +34,14 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 pub mod resident;
+pub mod subprocess;
 pub mod sweep;
 
 pub use galois_apps as apps;
 pub use galois_graph::cache::CacheOutcome as InputCacheOutcome;
-pub use resident::{load_input, run_resident, InputStore, Residency, ResidentInput, ResidentRun};
+pub use resident::{
+    load_input, run_resident, InputStore, Residency, ResidentInput, ResidentRun, StoreSnapshot,
+};
 // The harness used to carry its own private FNV implementation; all hashing
 // now goes through the runtime's single authority (see
 // `galois_runtime::fingerprint`). The re-export keeps the harness API.
@@ -339,7 +342,7 @@ pub fn run_app(
 /// [`RunOutcome`]. A [`ManifestRecorder`] passed in `rec` rides the run via
 /// the apps' `try_galois_recorded` paths, capturing (or replay-verifying)
 /// the canonical hash chain.
-fn run_cell(
+pub fn run_cell(
     app: App,
     exec: &Executor,
     input: &InputConfig,
@@ -467,6 +470,14 @@ fn manifest_app_input(manifest: &RunManifest) -> Result<(App, InputConfig), Repl
         )));
     }
     Ok((app, input))
+}
+
+/// Public face of [`manifest_app_input`]: resolves a manifest back to the
+/// `(app, input)` pair it identifies, for callers (like the distributed
+/// lockstep replica) that re-execute the run themselves instead of going
+/// through [`replay_run`].
+pub fn manifest_target(manifest: &RunManifest) -> Result<(App, InputConfig), ReplayError> {
+    manifest_app_input(manifest)
 }
 
 /// Records one deterministic run of `app` into a [`RunManifest`]: input

@@ -32,7 +32,6 @@ use galois_graph::{gen, CsrGraph, FlowNetwork};
 use galois_mesh::check;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// An input materialized for (potentially repeated) execution.
@@ -276,15 +275,36 @@ pub fn run_resident(
     }
 }
 
+/// One coherent reading of the store's counters, taken under a single
+/// lock acquisition — a concurrent observer never sees a torn set (e.g. a
+/// warm hit counted but the resident entry not yet visible).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Requests served from memory.
+    pub warm_hits: u64,
+    /// Requests that materialized (and retained) a new input.
+    pub cold_loads: u64,
+    /// Requests whose input had to be rebuilt (uncacheable apps).
+    pub rebuilds: u64,
+    /// Distinct inputs currently resident.
+    pub resident_inputs: usize,
+}
+
+struct StoreInner {
+    map: HashMap<String, ResidentInput>,
+    warm: u64,
+    cold: u64,
+    rebuilt: u64,
+}
+
 /// Thread-safe resident input store: one materialized input per input key,
 /// kept warm across requests. mis and mm share an entry (their input key
-/// is identical by construction).
+/// is identical by construction). Residency map and counters live under
+/// *one* mutex so every counter update is atomic with the map change that
+/// justifies it, and [`snapshot`](Self::snapshot) reads a coherent set.
 pub struct InputStore {
     cache_dir: Option<PathBuf>,
-    map: Mutex<HashMap<String, ResidentInput>>,
-    warm: AtomicU64,
-    cold: AtomicU64,
-    rebuilt: AtomicU64,
+    inner: Mutex<StoreInner>,
 }
 
 impl InputStore {
@@ -293,10 +313,12 @@ impl InputStore {
     pub fn new(cache_dir: Option<PathBuf>) -> Self {
         InputStore {
             cache_dir,
-            map: Mutex::new(HashMap::new()),
-            warm: AtomicU64::new(0),
-            cold: AtomicU64::new(0),
-            rebuilt: AtomicU64::new(0),
+            inner: Mutex::new(StoreInner {
+                map: HashMap::new(),
+                warm: 0,
+                cold: 0,
+                rebuilt: 0,
+            }),
         }
     }
 
@@ -308,45 +330,58 @@ impl InputStore {
     /// Materializes (or returns the resident copy of) the input for
     /// `(app, input)`. The store's own `cache_dir` overrides the one in
     /// `input`. Builds happen under the store lock, so concurrent requests
-    /// for the same missing key build it exactly once.
+    /// for the same missing key build it exactly once. (dmr inputs are
+    /// consumed per run; only their counter takes the lock, the rebuild
+    /// itself runs unlocked so concurrent dmr requests don't serialize.)
     pub fn get(&self, app: App, input: &InputConfig) -> (ResidentInput, Residency) {
         let mut input = input.clone();
         input.cache_dir = self.cache_dir.clone();
         if matches!(app, App::Dmr) {
-            self.rebuilt.fetch_add(1, Ordering::Relaxed);
+            self.inner.lock().unwrap().rebuilt += 1;
             let (built, _) = load_input(app, &input);
             return (built, Residency::Uncacheable);
         }
         let key = input_key(app, &input);
-        let mut map = self.map.lock().unwrap();
-        if let Some(found) = map.get(&key) {
-            self.warm.fetch_add(1, Ordering::Relaxed);
-            return (found.clone(), Residency::Warm);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(found) = inner.map.get(&key).cloned() {
+            inner.warm += 1;
+            return (found, Residency::Warm);
         }
         let (built, _) = load_input(app, &input);
-        map.insert(key, built.clone());
-        self.cold.fetch_add(1, Ordering::Relaxed);
+        inner.map.insert(key, built.clone());
+        inner.cold += 1;
         (built, Residency::Cold)
+    }
+
+    /// All counters, read coherently under one lock acquisition.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let inner = self.inner.lock().unwrap();
+        StoreSnapshot {
+            warm_hits: inner.warm,
+            cold_loads: inner.cold,
+            rebuilds: inner.rebuilt,
+            resident_inputs: inner.map.len(),
+        }
     }
 
     /// Requests served from memory.
     pub fn warm_hits(&self) -> u64 {
-        self.warm.load(Ordering::Relaxed)
+        self.snapshot().warm_hits
     }
 
     /// Requests that materialized (and retained) a new input.
     pub fn cold_loads(&self) -> u64 {
-        self.cold.load(Ordering::Relaxed)
+        self.snapshot().cold_loads
     }
 
     /// Requests whose input had to be rebuilt (uncacheable apps).
     pub fn rebuilds(&self) -> u64 {
-        self.rebuilt.load(Ordering::Relaxed)
+        self.snapshot().rebuilds
     }
 
     /// Distinct inputs currently resident.
     pub fn resident_inputs(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.snapshot().resident_inputs
     }
 }
 

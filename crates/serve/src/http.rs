@@ -82,14 +82,25 @@ pub enum ReadOutcome {
 /// soon as shutdown is flagged, while a request already in flight is read
 /// to completion so it can be answered. The caller must have installed
 /// [`READ_TIMEOUT`] on the stream.
+///
+/// `carry` is the connection's pipeline buffer: bytes read past the end of
+/// this request's body (the start of a pipelined next request) are left in
+/// it, and it is consumed ahead of the socket on the next call. Pass the
+/// same (initially empty) buffer for the life of the connection.
 pub fn read_request(
     stream: &mut TcpStream,
     stop: &AtomicBool,
     max_body: usize,
+    carry: &mut Vec<u8>,
 ) -> std::io::Result<ReadOutcome> {
-    let mut buf: Vec<u8> = Vec::new();
+    let mut buf: Vec<u8> = std::mem::take(carry);
     let mut chunk = [0u8; 4096];
-    let mut first_byte_at: Option<Instant> = None;
+    let mut first_byte_at: Option<Instant> = if buf.is_empty() {
+        None
+    } else {
+        // Pipelined bytes already in hand count as a request in flight.
+        Some(Instant::now())
+    };
 
     // Accumulate until the blank line ending the head.
     let head_end = loop {
@@ -184,7 +195,9 @@ pub fn read_request(
             Err(e) => return Err(e),
         }
     }
-    body.truncate(content_length);
+    // Bytes past this body belong to the *next* pipelined request: keep
+    // them for the following read_request call instead of dropping them.
+    *carry = body.split_off(content_length);
 
     Ok(ReadOutcome::Request(Request {
         method,

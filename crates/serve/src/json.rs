@@ -200,9 +200,9 @@ impl<'a> Scanner<'a> {
 }
 
 /// Parses a flat JSON object — `{"key": <string|uint|bool|null>, ...}` —
-/// into key/value pairs in document order. Nested containers, floats, and
-/// trailing garbage are all rejected: a request either parses exactly or
-/// names the reason it did not.
+/// into key/value pairs in document order. Nested containers, floats,
+/// duplicate keys, and trailing garbage are all rejected: a request either
+/// parses exactly or names the reason it did not.
 pub fn parse_flat_object(text: &str) -> Result<Vec<(String, JsonValue)>, String> {
     let mut sc = Scanner {
         bytes: text.as_bytes(),
@@ -217,6 +217,9 @@ pub fn parse_flat_object(text: &str) -> Result<Vec<(String, JsonValue)>, String>
             let key = sc.string()?;
             sc.expect(b':')?;
             let value = sc.value()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
             pairs.push((key, value));
             match sc.peek() {
                 Some(b',') => sc.pos += 1,
@@ -258,6 +261,14 @@ mod tests {
         assert!(parse_flat_object(r#"{"a": -1}"#).is_err());
         assert!(parse_flat_object(r#"{"a": 1} extra"#).is_err());
         assert!(parse_flat_object(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        assert!(parse_flat_object(r#"{"a": 1, "a": 2}"#).is_err());
+        assert!(parse_flat_object(r#"{"a": 1, "b": 2, "a": 1}"#).is_err());
+        // Distinct keys that merely share a prefix are fine.
+        assert!(parse_flat_object(r#"{"a": 1, "aa": 2}"#).is_ok());
     }
 
     #[test]

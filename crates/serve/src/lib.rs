@@ -41,6 +41,8 @@
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod lockstep;
+pub mod wire;
 
 use galois_core::manifest::ManifestRecorder;
 use galois_core::{ExecError, RunManifest};
@@ -52,7 +54,7 @@ use json::{escape, parse_flat_object, JsonValue};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -90,27 +92,66 @@ impl Default for ServeConfig {
     }
 }
 
-/// Monotone service counters, exposed at `GET /stats`.
+/// One coherent reading of the request counters. Also the *delta* type:
+/// each served request accumulates its outcome tallies into a local
+/// `StatsSnapshot` and commits them (together with `requests`) in a single
+/// critical section, so a concurrent `GET /stats` can never observe a torn
+/// set — e.g. a request counted in `requests` but not yet in `ok`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests parsed off the wire (any route).
+    pub requests: u64,
+    /// `/run` requests that completed and validated.
+    pub ok: u64,
+    /// `/run` requests whose run faulted (contained; structured response).
+    pub faults: u64,
+    /// `/run` requests whose clean run failed app-level validation.
+    pub invalid: u64,
+    /// Requests rejected before execution (parse/field errors).
+    pub bad_requests: u64,
+    /// Requests for unknown routes.
+    pub not_found: u64,
+    /// Routing panics downgraded to 500 by the worker's `catch_unwind`.
+    pub worker_panics: u64,
+    /// `/replay` requests accepted for re-execution.
+    pub replays: u64,
+    /// `/replay` requests that diverged from their manifest.
+    pub divergences: u64,
+}
+
+impl StatsSnapshot {
+    fn add(&mut self, delta: &StatsSnapshot) {
+        self.requests += delta.requests;
+        self.ok += delta.ok;
+        self.faults += delta.faults;
+        self.invalid += delta.invalid;
+        self.bad_requests += delta.bad_requests;
+        self.not_found += delta.not_found;
+        self.worker_panics += delta.worker_panics;
+        self.replays += delta.replays;
+        self.divergences += delta.divergences;
+    }
+}
+
+/// Monotone service counters, exposed at `GET /stats`. All counters live
+/// under one mutex: writers commit a whole request's tallies atomically
+/// and [`snapshot`](Self::snapshot) reads them all in one lock
+/// acquisition.
 #[derive(Debug, Default)]
 pub struct ServeStats {
-    /// Requests parsed off the wire (any route).
-    pub requests: AtomicU64,
-    /// `/run` requests that completed and validated.
-    pub ok: AtomicU64,
-    /// `/run` requests whose run faulted (contained; structured response).
-    pub faults: AtomicU64,
-    /// `/run` requests whose clean run failed app-level validation.
-    pub invalid: AtomicU64,
-    /// Requests rejected before execution (parse/field errors).
-    pub bad_requests: AtomicU64,
-    /// Requests for unknown routes.
-    pub not_found: AtomicU64,
-    /// Routing panics downgraded to 500 by the worker's `catch_unwind`.
-    pub worker_panics: AtomicU64,
-    /// `/replay` requests accepted for re-execution.
-    pub replays: AtomicU64,
-    /// `/replay` requests that diverged from their manifest.
-    pub divergences: AtomicU64,
+    inner: Mutex<StatsSnapshot>,
+}
+
+impl ServeStats {
+    /// Applies `delta` in one critical section.
+    pub fn commit(&self, delta: &StatsSnapshot) {
+        self.inner.lock().unwrap().add(delta);
+    }
+
+    /// All counters, read coherently under one lock acquisition.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        *self.inner.lock().unwrap()
+    }
 }
 
 struct Shared {
@@ -242,8 +283,11 @@ fn worker_loop(shared: &Shared) {
 
 /// Serves one keep-alive connection to completion.
 fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    // Pipeline buffer: bytes past one request's body are the start of the
+    // next pipelined request and must survive between read_request calls.
+    let mut carry = Vec::new();
     loop {
-        let req = match http::read_request(&mut stream, &shared.stop, shared.max_body) {
+        let req = match http::read_request(&mut stream, &shared.stop, shared.max_body, &mut carry) {
             Ok(http::ReadOutcome::Request(req)) => req,
             Ok(http::ReadOutcome::Closed) => return,
             Err(e) => {
@@ -255,22 +299,34 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
-        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
         let keep_alive = !req.wants_close() && !shared.stopped();
 
         // The run itself is already panic-contained by `try_run`; this
         // outer net catches *server* bugs (routing, serialization) so one
         // bad request can never take the process down.
         let t0 = Instant::now();
-        let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&req, shared)));
+        let mut delta = StatsSnapshot {
+            requests: 1,
+            ..StatsSnapshot::default()
+        };
+        let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            route(&req, shared, &mut delta)
+        }));
         let (status, mut headers, body) = routed.unwrap_or_else(|_| {
-            shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            delta = StatsSnapshot {
+                requests: 1,
+                worker_panics: 1,
+                ..StatsSnapshot::default()
+            };
             (
                 500,
                 Vec::new(),
                 "{\"status\":\"error\",\"error\":\"internal server panic\"}".to_string(),
             )
         });
+        // One critical section commits the whole request's tallies: a
+        // concurrent /stats reader sees either none of them or all.
+        shared.stats.commit(&delta);
         headers.push((
             "X-Galois-Micros".to_string(),
             t0.elapsed().as_micros().to_string(),
@@ -286,18 +342,18 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
 
 type Reply = (u16, Vec<(String, String)>, String);
 
-fn route(req: &http::Request, shared: &Shared) -> Reply {
+fn route(req: &http::Request, shared: &Shared, delta: &mut StatsSnapshot) -> Reply {
     match (req.method.as_str(), req.path()) {
         ("GET", "/healthz") => (200, Vec::new(), "{\"status\":\"ok\"}".to_string()),
         ("GET", "/stats") => (200, Vec::new(), stats_body(shared)),
-        ("POST", "/run") => handle_run(req, shared),
-        ("POST", "/replay") => handle_replay(req, shared),
+        ("POST", "/run") => handle_run(req, shared, delta),
+        ("POST", "/replay") => handle_replay(req, shared, delta),
         ("POST", "/shutdown") => {
             shared.signal_stop();
             (200, Vec::new(), "{\"status\":\"stopping\"}".to_string())
         }
         ("GET" | "POST", _) => {
-            shared.stats.not_found.fetch_add(1, Ordering::Relaxed);
+            delta.not_found += 1;
             (
                 404,
                 Vec::new(),
@@ -313,25 +369,28 @@ fn route(req: &http::Request, shared: &Shared) -> Reply {
 }
 
 fn stats_body(shared: &Shared) -> String {
-    let s = &shared.stats;
-    let ld = Ordering::Relaxed;
+    // Two lock acquisitions total — one per counter family — each yielding
+    // an internally-coherent set (no torn request tallies, no warm hit
+    // without its resident entry).
+    let s = shared.stats.snapshot();
+    let store = shared.store.snapshot();
     format!(
         "{{\"requests\":{},\"ok\":{},\"faults\":{},\"invalid\":{},\"bad_requests\":{},\
          \"not_found\":{},\"worker_panics\":{},\"replays\":{},\"divergences\":{},\
          \"warm_hits\":{},\"cold_loads\":{},\"rebuilds\":{},\"resident_inputs\":{}}}",
-        s.requests.load(ld),
-        s.ok.load(ld),
-        s.faults.load(ld),
-        s.invalid.load(ld),
-        s.bad_requests.load(ld),
-        s.not_found.load(ld),
-        s.worker_panics.load(ld),
-        s.replays.load(ld),
-        s.divergences.load(ld),
-        shared.store.warm_hits(),
-        shared.store.cold_loads(),
-        shared.store.rebuilds(),
-        shared.store.resident_inputs(),
+        s.requests,
+        s.ok,
+        s.faults,
+        s.invalid,
+        s.bad_requests,
+        s.not_found,
+        s.worker_panics,
+        s.replays,
+        s.divergences,
+        store.warm_hits,
+        store.cold_loads,
+        store.rebuilds,
+        store.resident_inputs,
     )
 }
 
@@ -448,8 +507,8 @@ impl RunRequest {
     }
 }
 
-fn bad_request(shared: &Shared, msg: &str) -> Reply {
-    shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+fn bad_request(delta: &mut StatsSnapshot, msg: &str) -> Reply {
+    delta.bad_requests += 1;
     (
         400,
         Vec::new(),
@@ -457,14 +516,14 @@ fn bad_request(shared: &Shared, msg: &str) -> Reply {
     )
 }
 
-fn handle_run(req: &http::Request, shared: &Shared) -> Reply {
+fn handle_run(req: &http::Request, shared: &Shared, delta: &mut StatsSnapshot) -> Reply {
     let body = match req.body_str() {
         Ok(b) => b,
-        Err(e) => return bad_request(shared, &e),
+        Err(e) => return bad_request(delta, &e),
     };
     let run_req = match RunRequest::parse(body) {
         Ok(r) => r,
-        Err(e) => return bad_request(shared, &e),
+        Err(e) => return bad_request(delta, &e),
     };
     let input = run_req.input();
     let key = input_key(run_req.app, &input);
@@ -499,7 +558,7 @@ fn handle_run(req: &http::Request, shared: &Shared) -> Reply {
     );
     match result {
         Err(validation) => {
-            shared.stats.invalid.fetch_add(1, Ordering::Relaxed);
+            delta.invalid += 1;
             (
                 500,
                 headers,
@@ -510,11 +569,11 @@ fn handle_run(req: &http::Request, shared: &Shared) -> Reply {
             )
         }
         Ok(Err(fault)) => {
-            shared.stats.faults.fetch_add(1, Ordering::Relaxed);
+            delta.faults += 1;
             (500, headers, fault_body(&prelude, &fault))
         }
         Ok(Ok(run)) => {
-            shared.stats.ok.fetch_add(1, Ordering::Relaxed);
+            delta.ok += 1;
             let out = &run.outcome;
             let mut body = format!(
                 "{{\"status\":\"ok\",{prelude},\"fingerprint\":\"{:016x}\",\
@@ -576,23 +635,23 @@ fn fault_body(prelude: &str, fault: &ExecError) -> String {
     body
 }
 
-fn handle_replay(req: &http::Request, shared: &Shared) -> Reply {
+fn handle_replay(req: &http::Request, shared: &Shared, delta: &mut StatsSnapshot) -> Reply {
     let body = match req.body_str() {
         Ok(b) => b,
-        Err(e) => return bad_request(shared, &e),
+        Err(e) => return bad_request(delta, &e),
     };
     let manifest = match RunManifest::from_json(body) {
         Ok(m) => m,
-        Err(e) => return bad_request(shared, &format!("manifest rejected: {e}")),
+        Err(e) => return bad_request(delta, &format!("manifest rejected: {e}")),
     };
     let threads = match req.query("threads") {
         None => 2,
         Some(t) => match t.parse::<usize>() {
             Ok(t) if (1..=MAX_THREAD_BUDGET).contains(&t) => t,
-            _ => return bad_request(shared, "`threads` must be in 1..=64"),
+            _ => return bad_request(delta, "`threads` must be in 1..=64"),
         },
     };
-    shared.stats.replays.fetch_add(1, Ordering::Relaxed);
+    delta.replays += 1;
     let prelude = format!(
         "\"app\":\"{}\",\"input_key\":\"{}\"",
         escape(&manifest.app),
@@ -609,7 +668,7 @@ fn handle_replay(req: &http::Request, shared: &Shared) -> Reply {
             ),
         ),
         Err(ReplayError::Divergence(d)) => {
-            shared.stats.divergences.fetch_add(1, Ordering::Relaxed);
+            delta.divergences += 1;
             (
                 409,
                 Vec::new(),
@@ -621,14 +680,14 @@ fn handle_replay(req: &http::Request, shared: &Shared) -> Reply {
             )
         }
         Err(ReplayError::Exec(fault)) => {
-            shared.stats.faults.fetch_add(1, Ordering::Relaxed);
+            delta.faults += 1;
             (500, Vec::new(), fault_body(&prelude, &fault))
         }
         Err(e @ (ReplayError::Manifest(_) | ReplayError::Mismatch(_))) => {
-            bad_request(shared, &e.to_string())
+            bad_request(delta, &e.to_string())
         }
         Err(e @ ReplayError::Validation(_)) => {
-            shared.stats.invalid.fetch_add(1, Ordering::Relaxed);
+            delta.invalid += 1;
             (
                 500,
                 Vec::new(),

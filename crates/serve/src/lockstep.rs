@@ -1,0 +1,798 @@
+//! Distributed lockstep replication: N replica *processes* re-execute one
+//! recorded deterministic run, streaming per-round prefix hashes to a
+//! coordinator that cross-checks them against the recorded reference
+//! chain within a bounded window.
+//!
+//! This is the wire-level payoff of deterministic execution (Aviram &
+//! Ford): because a run is a pure function of `(program, input, executor
+//! config)`, replica fault detection collapses to hash comparison — no
+//! state transfer, no output shipping, 16 bytes per barrier. The
+//! [`Coordinator`] drives the session:
+//!
+//! 1. **Join**: each replica connects, sends a versioned `HELLO`, and
+//!    receives a `JOB` frame carrying the reference [`RunManifest`] (input
+//!    key + `ExecConfig`) and its thread budget. Budgets may differ per
+//!    replica — portability *is* the redundancy claim.
+//! 2. **Stream**: replicas re-execute and send one `ROUND` frame per
+//!    barrier. The coordinator settles rounds in order, comparing every
+//!    replica's hash against the recorded chain. A replica may run at most
+//!    [`LockstepConfig::window`] rounds ahead of the slowest voter before
+//!    its reader blocks — coordinator memory is bounded by
+//!    `window × replicas` hashes, never by run length.
+//! 3. **Vote**: on a mismatch at the frontier round, the recorded manifest
+//!    chain is the binding reference. A *strict minority* contradicting it
+//!    is evicted (first divergent round pinpointed in the event log) and
+//!    the run continues with the survivors. If half or more of the live
+//!    replicas contradict the reference, the coordinator refuses the run
+//!    ([`EXIT_NO_QUORUM`]) rather than voting a wrong majority.
+//! 4. **Degrade**: replica death — socket drop, kill, silence past the
+//!    timeout — is a structured event; the run continues while at least a
+//!    quorum (majority of the original N) survives.
+//! 5. **Settle**: the final fingerprints of all survivors must agree with
+//!    the manifest; only then is the result (and the emitted manifest)
+//!    released.
+//!
+//! The whole session is summarized in a versioned, checksummed
+//! [`LockstepReport`].
+
+use crate::wire::{self, Frame, WireError, WIRE_VERSION};
+use galois_core::manifest::{
+    LockstepEvent, LockstepEventKind, LockstepOutcome, LockstepReport, ManifestRecorder,
+    LOCKSTEP_REPORT_VERSION,
+};
+use galois_core::RunManifest;
+use galois_harness::{manifest_target, run_cell};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Process exit code for a run that completed from a quorum after evicting
+/// divergent replicas (same code the replay CLI uses for divergence).
+pub const EXIT_DIVERGENCE: i32 = 13;
+
+/// Process exit code for a refused run: quorum lost, or a majority
+/// contradicted the recorded reference chain.
+pub const EXIT_NO_QUORUM: i32 = 14;
+
+/// Exit code a replica uses after being evicted by its coordinator.
+pub const EXIT_REPLICA_EVICTED: i32 = 3;
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct LockstepConfig {
+    /// Replicas that must join before the run starts.
+    pub replicas: usize,
+    /// Round-count comparison window: how far any replica may run ahead of
+    /// the slowest live voter before its stream is back-pressured.
+    pub window: usize,
+    /// Per-replica thread budgets, cycled over replica ids; empty = every
+    /// replica runs at the manifest's recorded budget.
+    pub threads: Vec<usize>,
+    /// Idle budget per replica: silence longer than this is a timeout
+    /// death.
+    pub timeout: Duration,
+    /// How long to wait for all `replicas` to join.
+    pub join_timeout: Duration,
+}
+
+impl Default for LockstepConfig {
+    fn default() -> Self {
+        LockstepConfig {
+            replicas: 3,
+            window: 64,
+            threads: Vec::new(),
+            timeout: Duration::from_secs(60),
+            join_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What a finished lockstep session reduces to.
+#[derive(Debug, Clone)]
+pub struct LockstepRunResult {
+    /// The structured session account.
+    pub report: LockstepReport,
+    /// `0` clean, [`EXIT_DIVERGENCE`], or [`EXIT_NO_QUORUM`].
+    pub exit_code: i32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ReplicaState {
+    Running,
+    Finished {
+        rounds: u64,
+        output_hash: u64,
+        fingerprint: u64,
+    },
+    Dead,
+    Evicted,
+}
+
+struct Board {
+    /// Per-replica queue of received-but-unsettled prefix hashes; the
+    /// front is always the hash for round `settled`.
+    pending: Vec<VecDeque<u64>>,
+    /// Total `ROUND` frames accepted per replica (seq contiguity check).
+    arrived: Vec<u64>,
+    state: Vec<ReplicaState>,
+    /// Rounds settled against the reference chain.
+    settled: u64,
+    /// High-water mark of any pending queue.
+    max_buffered: u64,
+    events: Vec<LockstepEvent>,
+    /// Set when the settler gives up; readers drain and exit.
+    halted: bool,
+}
+
+struct Shared {
+    board: Mutex<Board>,
+    turn: Condvar,
+    window: usize,
+}
+
+/// A bound coordinator, ready to accept replica joins.
+pub struct Coordinator {
+    listener: TcpListener,
+    addr: SocketAddr,
+    manifest: RunManifest,
+    config: LockstepConfig,
+}
+
+impl Coordinator {
+    /// Binds the coordinator's listening socket (use port 0 for an
+    /// ephemeral port, then read [`addr`](Self::addr)).
+    pub fn bind(
+        manifest: RunManifest,
+        config: LockstepConfig,
+        addr: &str,
+    ) -> std::io::Result<Coordinator> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Coordinator {
+            listener,
+            addr,
+            manifest,
+            config,
+        })
+    }
+
+    /// The bound address replicas should `--join`.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs the session to completion: join, stream, vote, settle.
+    /// `Err` is an orchestration failure (bind/join problems), not a
+    /// replication verdict — verdicts come back in the result's report.
+    pub fn run(self) -> Result<LockstepRunResult, String> {
+        let n = self.config.replicas;
+        if n == 0 {
+            return Err("lockstep needs at least one replica".into());
+        }
+        let quorum = n / 2 + 1;
+        let reference = self.manifest.round_hashes.clone();
+        let manifest_json = self.manifest.to_json();
+
+        // ---- Join phase -------------------------------------------------
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("listener nonblocking: {e}"))?;
+        let mut streams: Vec<TcpStream> = Vec::with_capacity(n);
+        let deadline = Instant::now() + self.config.join_timeout;
+        while streams.len() < n {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if let Some(stream) = self.admit(stream, streams.len() as u32, &manifest_json) {
+                        streams.push(stream);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(format!(
+                            "only {} of {n} replicas joined within {:?}",
+                            streams.len(),
+                            self.config.join_timeout
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+        }
+
+        // ---- Stream phase: one reader thread per replica ----------------
+        let shared = Arc::new(Shared {
+            board: Mutex::new(Board {
+                pending: (0..n).map(|_| VecDeque::new()).collect(),
+                arrived: vec![0; n],
+                state: vec![ReplicaState::Running; n],
+                settled: 0,
+                max_buffered: 0,
+                events: Vec::new(),
+                halted: false,
+            }),
+            turn: Condvar::new(),
+            window: self.config.window.max(1),
+        });
+        let timeout = self.config.timeout;
+        let mut readers = Vec::with_capacity(n);
+        for (i, stream) in streams.iter().enumerate() {
+            let mut stream = stream
+                .try_clone()
+                .map_err(|e| format!("clone replica {i} stream: {e}"))?;
+            let shared = Arc::clone(&shared);
+            readers.push(std::thread::spawn(move || {
+                reader_loop(&mut stream, i, &shared, timeout)
+            }));
+        }
+
+        // ---- Vote/settle phase ------------------------------------------
+        let (outcome, survivors, agreed) =
+            settle(&shared, &reference, &self.manifest, quorum, &streams);
+
+        // Courtesy frames, then hang up: survivors get an ACK, everyone
+        // else is already evicted/dead. Dropping the streams unblocks any
+        // replica still mid-stream.
+        for &i in &survivors {
+            if let Ok(mut s) = streams[i].try_clone() {
+                let _ = wire::write_frame(&mut s, &Frame::Ack);
+            }
+        }
+        for stream in &streams {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for reader in readers {
+            let _ = reader.join();
+        }
+
+        let board = shared.board.lock().unwrap();
+        let (output_hash, fingerprint) = agreed.unwrap_or((0, 0));
+        let report = LockstepReport {
+            version: LOCKSTEP_REPORT_VERSION,
+            app: self.manifest.app.clone(),
+            input_key: self.manifest.input_key.clone(),
+            replicas: n as u64,
+            window: shared.window as u64,
+            rounds: board.settled,
+            outcome,
+            survivors: survivors.iter().map(|&i| i as u64).collect(),
+            max_buffered: board.max_buffered,
+            output_hash,
+            final_fingerprint: fingerprint,
+            events: board.events.clone(),
+        };
+        let exit_code = match outcome {
+            LockstepOutcome::Agreed => 0,
+            LockstepOutcome::Diverged => EXIT_DIVERGENCE,
+            LockstepOutcome::NoQuorum => EXIT_NO_QUORUM,
+        };
+        Ok(LockstepRunResult { report, exit_code })
+    }
+
+    /// Handshakes one joining connection; `None` = rejected (does not
+    /// consume a replica slot).
+    fn admit(&self, mut stream: TcpStream, id: u32, manifest_json: &str) -> Option<TcpStream> {
+        stream
+            .set_read_timeout(Some(crate::http::READ_TIMEOUT))
+            .ok()?;
+        match wire::read_frame(&mut stream, self.config.join_timeout) {
+            Ok(Frame::Hello { version }) if version == WIRE_VERSION => {
+                let job = Frame::Job {
+                    replica: id,
+                    threads: self
+                        .config
+                        .threads
+                        .get(id as usize % self.config.threads.len().max(1))
+                        .copied()
+                        .unwrap_or(0) as u32,
+                    manifest: manifest_json.to_string(),
+                };
+                wire::write_frame(&mut stream, &job).ok()?;
+                Some(stream)
+            }
+            Ok(Frame::Hello { version }) => {
+                let _ = wire::write_frame(
+                    &mut stream,
+                    &Frame::Reject {
+                        reason: format!("wire version {version} != coordinator's {WIRE_VERSION}"),
+                    },
+                );
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One replica's reader: validates frame order, back-pressures at the
+/// window bound, and turns connection loss into structured board state.
+fn reader_loop(stream: &mut TcpStream, id: usize, shared: &Shared, timeout: Duration) {
+    loop {
+        let frame = wire::read_frame(stream, timeout);
+        let mut board = shared.board.lock().unwrap();
+        if board.state[id] != ReplicaState::Running || board.halted {
+            // Evicted, or the session settled, while we were blocked
+            // reading — nothing left to account for.
+            return;
+        }
+        match frame {
+            Ok(Frame::Round { seq, hash }) => {
+                if seq != board.arrived[id] {
+                    let expected_seq = board.arrived[id];
+                    mark_dead(
+                        &mut board,
+                        id,
+                        LockstepEventKind::Death,
+                        format!("replica {id} sent round {seq}, expected {expected_seq}"),
+                    );
+                    shared.turn.notify_all();
+                    return;
+                }
+                // Window bound: never buffer more than `window` unsettled
+                // hashes for one replica.
+                while board.pending[id].len() >= shared.window
+                    && board.state[id] == ReplicaState::Running
+                    && !board.halted
+                {
+                    board = shared.turn.wait(board).unwrap();
+                }
+                if board.state[id] != ReplicaState::Running || board.halted {
+                    return;
+                }
+                board.arrived[id] += 1;
+                board.pending[id].push_back(hash);
+                board.max_buffered = board.max_buffered.max(board.pending[id].len() as u64);
+                shared.turn.notify_all();
+            }
+            Ok(Frame::Done {
+                rounds,
+                output_hash,
+                fingerprint,
+            }) => {
+                board.state[id] = ReplicaState::Finished {
+                    rounds,
+                    output_hash,
+                    fingerprint,
+                };
+                shared.turn.notify_all();
+                return;
+            }
+            Ok(Frame::Fault { exit_code, message }) => {
+                let round = board.arrived[id];
+                mark_dead(
+                    &mut board,
+                    id,
+                    LockstepEventKind::Fault,
+                    format!("replica {id} faulted (exit {exit_code}): {message}"),
+                );
+                board.events.last_mut().expect("event just pushed").round = round;
+                shared.turn.notify_all();
+                return;
+            }
+            Ok(other) => {
+                mark_dead(
+                    &mut board,
+                    id,
+                    LockstepEventKind::Death,
+                    format!("replica {id} sent unexpected {other:?}"),
+                );
+                shared.turn.notify_all();
+                return;
+            }
+            Err(WireError::Timeout) => {
+                mark_dead(
+                    &mut board,
+                    id,
+                    LockstepEventKind::Timeout,
+                    format!("replica {id} silent past {timeout:?}"),
+                );
+                shared.turn.notify_all();
+                return;
+            }
+            Err(e) => {
+                mark_dead(
+                    &mut board,
+                    id,
+                    LockstepEventKind::Death,
+                    format!("replica {id} connection lost: {e}"),
+                );
+                shared.turn.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+fn mark_dead(board: &mut Board, id: usize, kind: LockstepEventKind, detail: String) {
+    board.state[id] = ReplicaState::Dead;
+    board.pending[id].clear();
+    board.events.push(LockstepEvent {
+        round: board.settled,
+        replica: Some(id as u64),
+        kind,
+        expected: 0,
+        actual: 0,
+        detail,
+    });
+}
+
+/// The settle loop: advances the frontier one round at a time, voting
+/// every live replica's hash against the recorded reference chain.
+/// Returns `(outcome, survivors, agreed (output_hash, fingerprint))`.
+fn settle(
+    shared: &Shared,
+    reference: &[u64],
+    manifest: &RunManifest,
+    quorum: usize,
+    streams: &[TcpStream],
+) -> (LockstepOutcome, Vec<usize>, Option<(u64, u64)>) {
+    let n = streams.len();
+    let mut board = shared.board.lock().unwrap();
+    loop {
+        let active: Vec<usize> = (0..n)
+            .filter(|&i| {
+                matches!(
+                    board.state[i],
+                    ReplicaState::Running | ReplicaState::Finished { .. }
+                )
+            })
+            .collect();
+        if active.len() < quorum {
+            let settled = board.settled;
+            board.events.push(LockstepEvent {
+                round: settled,
+                replica: None,
+                kind: LockstepEventKind::Refusal,
+                expected: 0,
+                actual: 0,
+                detail: format!(
+                    "quorum lost: {} of {n} replicas live, need {quorum}",
+                    active.len()
+                ),
+            });
+            board.halted = true;
+            shared.turn.notify_all();
+            return (LockstepOutcome::NoQuorum, Vec::new(), None);
+        }
+
+        // A Running replica with an empty queue owes the frontier hash (or
+        // its Done/death): wait for it.
+        if active
+            .iter()
+            .any(|&i| board.state[i] == ReplicaState::Running && board.pending[i].is_empty())
+        {
+            board = shared.turn.wait(board).unwrap();
+            continue;
+        }
+
+        let r = board.settled;
+        let expected = reference.get(r as usize).copied();
+        // Each active replica's claim for round r: a hash, or `None` —
+        // "my chain ended before this round".
+        let votes: Vec<(usize, Option<u64>)> = active
+            .iter()
+            .map(|&i| (i, board.pending[i].front().copied()))
+            .collect();
+
+        match expected {
+            None => {
+                // Reference chain exhausted: anyone still producing rounds
+                // contradicts the recording.
+                let extra: Vec<(usize, u64)> = votes
+                    .iter()
+                    .filter_map(|&(i, v)| v.map(|h| (i, h)))
+                    .collect();
+                if extra.is_empty() {
+                    // Everyone ended exactly at the reference length; the
+                    // final fingerprint vote decides below.
+                    return finalize(shared, board, manifest, quorum, n, streams);
+                }
+                if extra.len() * 2 >= active.len() {
+                    return refuse(
+                        shared,
+                        board,
+                        r,
+                        format!(
+                            "{} of {} live replicas ran past the recorded {}-round chain",
+                            extra.len(),
+                            active.len(),
+                            reference.len()
+                        ),
+                    );
+                }
+                for (i, hash) in extra {
+                    evict(&mut board, i, r, 0, hash, streams);
+                }
+                shared.turn.notify_all();
+            }
+            Some(expected) => {
+                let mismatch: Vec<(usize, Option<u64>)> = votes
+                    .iter()
+                    .copied()
+                    .filter(|&(_, v)| v != Some(expected))
+                    .collect();
+                if mismatch.is_empty() {
+                    for &i in &active {
+                        board.pending[i].pop_front();
+                    }
+                    board.settled += 1;
+                    shared.turn.notify_all();
+                    continue;
+                }
+                if mismatch.len() * 2 >= active.len() {
+                    return refuse(
+                        shared,
+                        board,
+                        r,
+                        format!(
+                            "{} of {} live replicas contradict the reference at round {r} — \
+                             refusing to vote a majority against the recording",
+                            mismatch.len(),
+                            active.len()
+                        ),
+                    );
+                }
+                for (i, v) in mismatch {
+                    evict(&mut board, i, r, expected, v.unwrap_or(0), streams);
+                }
+                shared.turn.notify_all();
+            }
+        }
+    }
+}
+
+/// Records the divergence + eviction pair for replica `i` at round `r`,
+/// removes it from the vote, and hangs up its socket.
+fn evict(board: &mut Board, i: usize, r: u64, expected: u64, actual: u64, streams: &[TcpStream]) {
+    board.events.push(LockstepEvent {
+        round: r,
+        replica: Some(i as u64),
+        kind: LockstepEventKind::Divergence,
+        expected,
+        actual,
+        detail: format!("replica {i} first diverged from the reference chain at round {r}"),
+    });
+    board.events.push(LockstepEvent {
+        round: r,
+        replica: Some(i as u64),
+        kind: LockstepEventKind::Eviction,
+        expected: 0,
+        actual: 0,
+        detail: format!("replica {i} evicted; continuing with the survivors"),
+    });
+    board.state[i] = ReplicaState::Evicted;
+    board.pending[i].clear();
+    if let Ok(mut s) = streams[i].try_clone() {
+        let _ = wire::write_frame(
+            &mut s,
+            &Frame::Evict {
+                round: r,
+                reason: "diverged from reference chain".into(),
+            },
+        );
+    }
+    let _ = streams[i].shutdown(std::net::Shutdown::Both);
+}
+
+fn refuse(
+    shared: &Shared,
+    mut board: std::sync::MutexGuard<'_, Board>,
+    round: u64,
+    detail: String,
+) -> (LockstepOutcome, Vec<usize>, Option<(u64, u64)>) {
+    board.events.push(LockstepEvent {
+        round,
+        replica: None,
+        kind: LockstepEventKind::Refusal,
+        expected: 0,
+        actual: 0,
+        detail,
+    });
+    board.halted = true;
+    shared.turn.notify_all();
+    (LockstepOutcome::NoQuorum, Vec::new(), None)
+}
+
+/// Every live replica settled the whole reference chain; now their final
+/// `DONE` payloads must agree with the manifest's fingerprint. Replicas
+/// are waited to `Finished` first (they may still be between their last
+/// `ROUND` and their `DONE`).
+fn finalize(
+    shared: &Shared,
+    mut board: std::sync::MutexGuard<'_, Board>,
+    manifest: &RunManifest,
+    quorum: usize,
+    n: usize,
+    streams: &[TcpStream],
+) -> (LockstepOutcome, Vec<usize>, Option<(u64, u64)>) {
+    loop {
+        if (0..n).any(|i| board.state[i] == ReplicaState::Running) {
+            board = shared.turn.wait(board).unwrap();
+            continue;
+        }
+        let round = board.settled;
+        let mut survivors = Vec::new();
+        let mut agreed: Option<(u64, u64)> = None;
+        for i in 0..n {
+            if let ReplicaState::Finished {
+                rounds,
+                output_hash,
+                fingerprint,
+            } = board.state[i]
+            {
+                if rounds != round || fingerprint != manifest.final_fingerprint {
+                    evict(
+                        &mut board,
+                        i,
+                        round,
+                        manifest.final_fingerprint,
+                        fingerprint,
+                        streams,
+                    );
+                    continue;
+                }
+                match agreed {
+                    None => agreed = Some((output_hash, fingerprint)),
+                    Some((h, _)) if h != output_hash => {
+                        // Same fingerprint, different output hash cannot
+                        // happen through honest hashing; treat as
+                        // divergence.
+                        evict(&mut board, i, round, h, output_hash, streams);
+                        continue;
+                    }
+                    Some(_) => {}
+                }
+                survivors.push(i);
+            }
+        }
+        if survivors.len() < quorum {
+            return refuse(
+                shared,
+                board,
+                round,
+                format!(
+                    "only {} of {n} replicas reproduced the recorded fingerprint, need {quorum}",
+                    survivors.len()
+                ),
+            );
+        }
+        let diverged = board
+            .events
+            .iter()
+            .any(|e| e.kind == LockstepEventKind::Divergence);
+        let outcome = if diverged {
+            LockstepOutcome::Diverged
+        } else {
+            LockstepOutcome::Agreed
+        };
+        board.halted = true;
+        shared.turn.notify_all();
+        return (outcome, survivors, agreed);
+    }
+}
+
+/// Replica-side knobs (the `galois replicate` flag surface).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplicaOptions {
+    /// Overrides the `JOB` frame's thread budget.
+    pub threads: Option<usize>,
+    /// Overrides the job's `locality_spread` — a *planted* deterministic
+    /// schedule perturbation, used by the battery to manufacture a replica
+    /// that diverges at a stable first round.
+    pub perturb_spread: Option<usize>,
+    /// Sleep this long in the round-hash hook (slow-replica testing;
+    /// timing is hash-invariant).
+    pub throttle_ms: u64,
+}
+
+/// Joins a coordinator at `addr`, re-executes the job it assigns, and
+/// streams per-round prefix hashes. Returns the process exit code: `0`
+/// settled, [`EXIT_REPLICA_EVICTED`] evicted, the fault's own exit code if
+/// the run faulted.
+pub fn run_replica(addr: &str, opts: ReplicaOptions) -> Result<i32, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(crate::http::READ_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    let mut control = stream.try_clone().map_err(|e| e.to_string())?;
+    wire::write_frame(
+        &mut control,
+        &Frame::Hello {
+            version: WIRE_VERSION,
+        },
+    )
+    .map_err(|e| format!("hello: {e}"))?;
+    let job = wire::read_frame(&mut control, Duration::from_secs(120))
+        .map_err(|e| format!("waiting for job: {e}"))?;
+    let (replica_id, job_threads, manifest_json) = match job {
+        Frame::Job {
+            replica,
+            threads,
+            manifest,
+        } => (replica, threads as usize, manifest),
+        Frame::Reject { reason } => return Err(format!("coordinator rejected join: {reason}")),
+        other => return Err(format!("expected JOB, got {other:?}")),
+    };
+    let manifest =
+        RunManifest::from_json(&manifest_json).map_err(|e| format!("job manifest: {e}"))?;
+    let (app, input) = manifest_target(&manifest).map_err(|e| e.to_string())?;
+
+    let mut cfg = manifest.exec.clone();
+    if let Some(spread) = opts.perturb_spread {
+        cfg.locality_spread = spread;
+    }
+    let threads = opts
+        .threads
+        .or((job_threads != 0).then_some(job_threads))
+        .unwrap_or(cfg.threads);
+    let exec = cfg.to_executor(threads).record_rounds(true);
+
+    // Stream hashes from inside the barrier hook. The hook must never
+    // panic (it runs on an executor thread), so send failures latch a flag
+    // and mute further sends — the coordinator hanging up on us (eviction,
+    // refusal) is an expected way for a session to end.
+    let hook_stream = Arc::new(Mutex::new(stream.try_clone().map_err(|e| e.to_string())?));
+    let send_failed = Arc::new(AtomicBool::new(false));
+    let throttle = Duration::from_millis(opts.throttle_ms);
+    let hook = {
+        let hook_stream = Arc::clone(&hook_stream);
+        let send_failed = Arc::clone(&send_failed);
+        move |seq: u64, hash: u64| {
+            if opts.throttle_ms != 0 {
+                std::thread::sleep(throttle);
+            }
+            if send_failed.load(Ordering::Relaxed) {
+                return;
+            }
+            let mut s = hook_stream.lock().unwrap();
+            if wire::write_frame(&mut s, &Frame::Round { seq, hash }).is_err() {
+                send_failed.store(true, Ordering::Relaxed);
+            }
+        }
+    };
+    let mut rec = ManifestRecorder::new().on_round_hash(hook);
+
+    let final_frame = match run_cell(app, &exec, &input, Some(&mut rec)) {
+        Ok((Ok(out), _cached)) => Frame::Done {
+            rounds: out.rounds,
+            output_hash: out.output_hash,
+            fingerprint: out.fingerprint,
+        },
+        Ok((Err(fault), _cached)) => Frame::Fault {
+            exit_code: fault.exit_code() as u32,
+            message: fault.to_string(),
+        },
+        Err(validation) => Frame::Fault {
+            exit_code: 1,
+            message: format!("validation failed: {validation}"),
+        },
+    };
+    let fault_exit = match &final_frame {
+        Frame::Fault { exit_code, .. } => Some(*exit_code as i32),
+        _ => None,
+    };
+    {
+        let mut s = hook_stream.lock().unwrap();
+        if wire::write_frame(&mut s, &final_frame).is_err() {
+            send_failed.store(true, Ordering::Relaxed);
+        }
+    }
+    if let Some(code) = fault_exit {
+        return Ok(code);
+    }
+
+    // Wait for the verdict: ACK (settled), EVICT, or a hang-up.
+    match wire::read_frame(&mut control, Duration::from_secs(120)) {
+        Ok(Frame::Ack) => Ok(0),
+        Ok(Frame::Evict { round, reason }) => {
+            eprintln!("replica {replica_id}: evicted at round {round}: {reason}");
+            Ok(EXIT_REPLICA_EVICTED)
+        }
+        _ if send_failed.load(Ordering::Relaxed) => Ok(EXIT_REPLICA_EVICTED),
+        Ok(other) => Err(format!("expected verdict, got {other:?}")),
+        Err(WireError::Closed) => Ok(0),
+        Err(e) => Err(format!("waiting for verdict: {e}")),
+    }
+}

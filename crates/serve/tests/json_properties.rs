@@ -1,0 +1,168 @@
+//! Property tests for `serve::json`: drawn flat objects round-trip through
+//! the scanner, and *no* malformed input — truncations, mutations, bad
+//! escapes, deep nesting, oversized numbers, duplicate keys — ever gets
+//! anything but a structured `Err`. The scanner guards a network-facing
+//! endpoint; panicking on attacker-shaped bytes would take a worker with it.
+
+use galois_serve::json::{escape, parse_flat_object, JsonValue};
+use proptest::prelude::*;
+
+/// Renders pairs as the canonical request document.
+fn render(pairs: &[(String, JsonValue)]) -> String {
+    let fields: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| {
+            let value = match v {
+                JsonValue::Null => "null".to_string(),
+                JsonValue::Bool(b) => b.to_string(),
+                JsonValue::UInt(n) => n.to_string(),
+                JsonValue::Str(s) => format!("\"{}\"", escape(s)),
+            };
+            format!("\"{}\":{}", escape(k), value)
+        })
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+/// A drawn value: kind selector + payload. Strings exercise the escape
+/// table (quotes, backslashes, control bytes, multi-byte UTF-8).
+fn value_from(kind: u8, payload: u64) -> JsonValue {
+    const CHARS: [char; 12] = [
+        'a', 'Z', '9', '_', '"', '\\', '\n', '\t', '\u{1}', 'é', '✓', ' ',
+    ];
+    match kind % 4 {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(payload.is_multiple_of(2)),
+        2 => JsonValue::UInt(payload),
+        _ => {
+            let mut s = String::new();
+            let mut p = payload;
+            for _ in 0..(payload % 9) {
+                s.push(CHARS[(p % CHARS.len() as u64) as usize]);
+                p = p.rotate_right(7).wrapping_add(13);
+            }
+            JsonValue::Str(s)
+        }
+    }
+}
+
+fn pairs_from(draws: &[(u8, u64)]) -> Vec<(String, JsonValue)> {
+    draws
+        .iter()
+        .enumerate()
+        .map(|(i, &(kind, payload))| (format!("k{i}"), value_from(kind, payload)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// parse(render(pairs)) == pairs for any drawn flat object.
+    fn drawn_objects_round_trip(draws in proptest::collection::vec((0u8..=255, 0u64..u64::MAX), 0..12)) {
+        let pairs = pairs_from(&draws);
+        let doc = render(&pairs);
+        let parsed = parse_flat_object(&doc);
+        prop_assert_eq!(parsed, Ok(pairs));
+    }
+
+    /// Whitespace between tokens is insignificant: a space-padded render
+    /// parses to the same pairs.
+    fn whitespace_is_insignificant(draws in proptest::collection::vec((0u8..=255, 0u64..1000), 1..8)) {
+        let pairs = pairs_from(&draws);
+        let doc = render(&pairs)
+            .replace(":", " : ")
+            .replace("{\"", "{ \"")
+            .replace("}", " }");
+        prop_assert_eq!(parse_flat_object(&doc), Ok(pairs));
+    }
+
+    /// Every strict prefix of a valid document is an error, never a panic
+    /// and never a silent partial parse.
+    fn strict_prefixes_never_parse(
+        draws in proptest::collection::vec((0u8..=255, 0u64..1000), 1..8),
+    ) {
+        let doc = render(&pairs_from(&draws));
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &doc[..cut];
+            prop_assert!(
+                parse_flat_object(prefix).is_err(),
+                "prefix {prefix:?} of {doc:?} parsed"
+            );
+        }
+    }
+
+    /// Duplicating any key of a valid document makes it an error.
+    fn duplicate_keys_are_rejected(
+        draws in proptest::collection::vec((0u8..=255, 0u64..1000), 1..8),
+        pick in 0usize..1000,
+    ) {
+        let mut pairs = pairs_from(&draws);
+        let dup = pairs[pick % pairs.len()].clone();
+        pairs.push(dup);
+        prop_assert!(parse_flat_object(&render(&pairs)).is_err());
+    }
+
+    /// Single-byte ASCII mutations of a valid document either parse to
+    /// *something* or error — they never panic, and a mutated key/value
+    /// byte never round-trips to the original pairs.
+    fn single_byte_mutations_never_panic(
+        draws in proptest::collection::vec((0u8..=255, 0u64..1000), 1..6),
+        pos in 0usize..10_000,
+        mutant in 0u8..128,
+    ) {
+        let pairs = pairs_from(&draws);
+        let doc = render(&pairs);
+        let mut bytes = doc.clone().into_bytes();
+        let at = pos % bytes.len();
+        bytes[at] = mutant;
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            // Must not panic; outcome (Ok or Err) is input-dependent.
+            let _ = parse_flat_object(&mutated);
+        }
+    }
+
+    /// Arbitrary ASCII garbage never panics the scanner.
+    fn ascii_garbage_never_panics(bytes in proptest::collection::vec(0u8..128, 0..64)) {
+        let text: String = bytes.iter().map(|&b| b as char).collect();
+        let _ = parse_flat_object(&text);
+    }
+
+    /// Numbers longer than u64 are a structured error, not a wrap or crash.
+    fn oversized_numbers_are_rejected(digits in 20usize..60, lead in 1u8..10) {
+        let doc = format!("{{\"n\":{}{}}}", lead, "9".repeat(digits));
+        let err = parse_flat_object(&doc).unwrap_err();
+        prop_assert!(err.contains("out of range"), "{err}");
+    }
+
+    /// Deeply nested containers are rejected at the first opener — the
+    /// scanner must hold no recursion for an attacker to exhaust.
+    fn deep_nesting_is_rejected_flat(depth in 1usize..2_000, open in 0u8..2) {
+        let opener = if open == 0 { "[" } else { "{" };
+        let doc = format!("{{\"k\":{}}}", opener.repeat(depth));
+        prop_assert!(parse_flat_object(&doc).is_err());
+    }
+}
+
+/// The escape-table edges the property draws may not pin down exactly.
+#[test]
+fn malformed_escapes_are_structured_errors() {
+    for doc in [
+        r#"{"k":"\x"}"#,         // unknown escape
+        r#"{"k":"\"#,            // escape at end of input
+        r#"{"k":"\u12"}"#,       // truncated \u
+        r#"{"k":"\ud800"}"#,     // lone surrogate
+        "{\"k\":\"raw\u{1}\"}",  // raw control byte
+        r#"{"k":"unterminated"#, // unterminated string
+        "{\"k\":\"\u{80}",       // truncated after high byte... (lossy)
+    ] {
+        let result = parse_flat_object(doc);
+        assert!(result.is_err(), "{doc:?} parsed: {result:?}");
+    }
+    // Invalid UTF-8 can't even be a &str, so the scanner never sees it —
+    // but a truncated multi-byte sequence mid-string must error cleanly.
+    let truncated = "{\"k\":\"é";
+    assert!(parse_flat_object(truncated).is_err());
+}

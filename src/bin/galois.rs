@@ -12,6 +12,8 @@
 //! galois replay FILE [--threads N] [--cache-dir DIR]
 //!        [--lockstep T1,T2[,..]] [--lockstep-chaos S1,S2[,..]]
 //! galois serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]
+//! galois lockstep FILE --replicas N [--spawn] [--window W] [--threads T1,T2[,..]]
+//! galois replicate --join ADDR [--threads N]
 //!
 //! apps: bfs, mis, dt, dmr, pfp
 //! ```
@@ -94,7 +96,13 @@ fn usage() -> ! {
          [--chaos-seed N] [--cache-dir DIR]\n       \
          galois replay FILE [--threads N] [--cache-dir DIR] \
          [--lockstep T1,T2[,..]] [--lockstep-chaos S1,S2[,..]]\n       \
-         galois serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]"
+         galois serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n       \
+         galois lockstep FILE --replicas N [--spawn] [--window W] \
+         [--threads T1,T2[,..]] [--timeout-ms T] [--addr HOST:PORT] \
+         [--report FILE] [--emit-manifest FILE] [--perturb i:SPREAD] \
+         [--throttle i:MS]\n       \
+         galois replicate --join ADDR [--threads N] [--perturb-spread N] \
+         [--throttle-ms MS]"
     );
     exit(2);
 }
@@ -102,6 +110,10 @@ fn usage() -> ! {
 /// Exit code for a verified replay that hashed differently from its
 /// manifest (or a lockstep replica pair that disagreed).
 const EXIT_DIVERGENCE: i32 = 13;
+
+/// Exit code for a distributed lockstep run the coordinator refused:
+/// quorum lost, or a majority contradicted the recorded reference chain.
+const EXIT_NO_QUORUM: i32 = 14;
 
 /// `galois record <app> --out FILE ...` — run deterministically, capture a
 /// replayable manifest.
@@ -325,6 +337,205 @@ fn cmd_serve(argv: &[String]) -> ! {
     exit(0);
 }
 
+/// `galois replicate --join ADDR ...` — join a lockstep coordinator, re-run
+/// its job, and stream per-round prefix hashes back over the wire.
+fn cmd_replicate(argv: &[String]) -> ! {
+    use deterministic_galois::serve::lockstep::{run_replica, ReplicaOptions};
+    let mut it = argv.iter().cloned();
+    let mut join: Option<String> = None;
+    let mut opts = ReplicaOptions::default();
+    while let Some(flag) = it.next() {
+        let mut val = |a: &mut dyn FnMut(String)| match it.next() {
+            Some(v) => a(v),
+            None => usage(),
+        };
+        match flag.as_str() {
+            "--join" => val(&mut |v| join = Some(v)),
+            "--threads" => val(&mut |v| opts.threads = Some(v.parse().unwrap_or_else(|_| usage()))),
+            "--perturb-spread" => val(&mut |v| {
+                opts.perturb_spread = Some(v.parse().unwrap_or_else(|_| usage()));
+            }),
+            "--throttle-ms" => {
+                val(&mut |v| opts.throttle_ms = v.parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+    }
+    let Some(addr) = join else {
+        eprintln!("replicate requires --join ADDR");
+        usage();
+    };
+    match run_replica(&addr, opts) {
+        Ok(code) => exit(code),
+        Err(e) => {
+            eprintln!("replicate failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+/// `galois lockstep FILE ...` — coordinate N replica processes re-executing
+/// a recorded manifest, cross-checking per-round hashes over the wire.
+fn cmd_lockstep(argv: &[String]) -> ! {
+    use deterministic_galois::core::RunManifest;
+    use deterministic_galois::serve::lockstep::{Coordinator, LockstepConfig};
+    use std::process::{Child, Command, Stdio};
+    use std::time::Duration;
+    let mut it = argv.iter().cloned();
+    let Some(path) = it.next() else { usage() };
+    let manifest = match RunManifest::load(path.as_ref()) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot load manifest {path}: {e}");
+            exit(1);
+        }
+    };
+    let mut config = LockstepConfig::default();
+    let mut spawn = false;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut report_path: Option<PathBuf> = None;
+    let mut emit_manifest: Option<PathBuf> = None;
+    // Per-replica-index overrides, "i:VALUE" pairs.
+    let mut perturb: Vec<(usize, usize)> = Vec::new();
+    let mut throttle: Vec<(usize, u64)> = Vec::new();
+    let parse_pair = |v: &str| -> Option<(usize, u64)> {
+        let (i, x) = v.split_once(':')?;
+        Some((i.trim().parse().ok()?, x.trim().parse().ok()?))
+    };
+    while let Some(flag) = it.next() {
+        let mut val = |a: &mut dyn FnMut(String)| match it.next() {
+            Some(v) => a(v),
+            None => usage(),
+        };
+        match flag.as_str() {
+            "--replicas" => val(&mut |v| config.replicas = v.parse().unwrap_or_else(|_| usage())),
+            "--window" => val(&mut |v| config.window = v.parse().unwrap_or_else(|_| usage())),
+            "--threads" => val(&mut |v| {
+                config.threads = v
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }),
+            "--timeout-ms" => val(&mut |v| {
+                config.timeout = Duration::from_millis(v.parse().unwrap_or_else(|_| usage()));
+            }),
+            "--spawn" => spawn = true,
+            "--addr" => val(&mut |v| addr = v),
+            "--report" => val(&mut |v| report_path = Some(v.into())),
+            "--emit-manifest" => val(&mut |v| emit_manifest = Some(v.into())),
+            "--perturb" => val(&mut |v| {
+                let Some((i, s)) = parse_pair(&v) else {
+                    usage()
+                };
+                perturb.push((i, s as usize));
+            }),
+            "--throttle" => val(&mut |v| {
+                let Some((i, ms)) = parse_pair(&v) else {
+                    usage()
+                };
+                throttle.push((i, ms));
+            }),
+            _ => usage(),
+        }
+    }
+    if config.replicas == 0 {
+        eprintln!("--replicas must be positive");
+        exit(2);
+    }
+    let manifest_text = manifest.to_json();
+    let coordinator = match Coordinator::bind(manifest, config.clone(), &addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    let bound = coordinator.addr();
+    println!(
+        "lockstep coordinator on {bound} awaiting {} replicas",
+        config.replicas
+    );
+    let mut children: Vec<Child> = Vec::new();
+    if spawn {
+        let bin = std::env::current_exe().unwrap_or_else(|e| {
+            eprintln!("cannot find own binary: {e}");
+            exit(1);
+        });
+        for i in 0..config.replicas {
+            let mut cmd = Command::new(&bin);
+            cmd.arg("replicate").arg("--join").arg(bound.to_string());
+            if let Some(&(_, s)) = perturb.iter().find(|&&(j, _)| j == i) {
+                cmd.arg("--perturb-spread").arg(s.to_string());
+            }
+            if let Some(&(_, ms)) = throttle.iter().find(|&&(j, _)| j == i) {
+                cmd.arg("--throttle-ms").arg(ms.to_string());
+            }
+            cmd.stdin(Stdio::null());
+            match cmd.spawn() {
+                Ok(child) => children.push(child),
+                Err(e) => {
+                    eprintln!("cannot spawn replica {i}: {e}");
+                    for mut c in children {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    exit(1);
+                }
+            }
+        }
+    }
+    let result = coordinator.run();
+    for mut c in children {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lockstep failed: {e}");
+            exit(1);
+        }
+    };
+    for event in &result.report.events {
+        eprintln!(
+            "  [{}] round {} replica {}: {}",
+            event.kind.name(),
+            event.round,
+            event
+                .replica
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            event.detail,
+        );
+    }
+    if let Some(out) = report_path {
+        if let Err(e) = result.report.save(&out) {
+            eprintln!("cannot write report: {e}");
+            exit(1);
+        }
+    }
+    match result.exit_code {
+        0 => println!(
+            "lockstep ok: {} replicas agreed on all {} rounds, fingerprint {:016x}",
+            result.report.replicas, result.report.rounds, result.report.final_fingerprint,
+        ),
+        EXIT_DIVERGENCE => eprintln!(
+            "lockstep DIVERGED: survivors {:?} agreed, fingerprint {:016x}",
+            result.report.survivors, result.report.final_fingerprint,
+        ),
+        _ => eprintln!("lockstep REFUSED: no quorum (see events above)"),
+    }
+    if result.exit_code != EXIT_NO_QUORUM {
+        if let Some(out) = emit_manifest {
+            if let Err(e) = std::fs::write(&out, &manifest_text) {
+                eprintln!("cannot emit manifest: {e}");
+                exit(1);
+            }
+        }
+    }
+    exit(result.exit_code);
+}
+
 fn parse_args() -> Args {
     {
         let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -332,6 +543,8 @@ fn parse_args() -> Args {
             Some("record") => cmd_record(&argv[1..]),
             Some("replay") => cmd_replay(&argv[1..]),
             Some("serve") => cmd_serve(&argv[1..]),
+            Some("replicate") => cmd_replicate(&argv[1..]),
+            Some("lockstep") => cmd_lockstep(&argv[1..]),
             _ => {}
         }
     }
